@@ -1,0 +1,75 @@
+/// Reproduces the paper's §4.1.4 hyperparameter-search protocol (Table 3):
+/// random search over learning rate, weight decay, dropout, hidden
+/// dimension and adjacency kernel length for the GNN baselines, scored on
+/// a validation split of the training gauges.
+///
+/// The paper stresses that KCN/IGNNK were tuned "in a much larger search
+/// space than the original papers" and *still* trail SpaFormer — this
+/// bench runs that tuning loop and reports the best configurations found.
+
+#include "bench/bench_util.h"
+#include "eval/tuner.h"
+
+int main() {
+  using namespace ssin;
+  using namespace ssin::bench;
+  Banner("bench_ext_hparam_search", "Table 3 / §4.1.4 protocol");
+
+  RainfallRegionConfig region = HkRegionConfig();
+  region.num_gauges = 60;
+  RainfallSetup setup(region, /*hours=*/Scaled(120), /*data_seed=*/111);
+  const int trials = Scaled(6);
+  EvalOptions options;
+  options.stride = 2;
+
+  // Median pair distance converts Table 3's relative kernel lengths into
+  // kilometers for this network.
+  std::vector<double> dists;
+  for (size_t a = 0; a < setup.split.train_ids.size(); ++a) {
+    for (size_t b = a + 1; b < setup.split.train_ids.size(); ++b) {
+      dists.push_back(DistanceKm(
+          setup.data.station(setup.split.train_ids[a]).position,
+          setup.data.station(setup.split.train_ids[b]).position));
+    }
+  }
+  const double median_km = Quantile(dists, 0.5);
+
+  Rng rng(112);
+  {
+    std::printf("tuning KCN (%d trials)...\n", trials);
+    const TuningResult result = RandomSearch(
+        [&](const HyperParams& hp) {
+          KcnConfig config = ReducedKcn();
+          config.epochs = std::max(1, Scaled(2));
+          config.learning_rate = hp.learning_rate;
+          config.weight_decay = hp.weight_decay;
+          config.dropout = hp.dropout;
+          config.hidden_dim = hp.hidden_dim;
+          config.kernel_length = hp.kernel_length * median_km;
+          return std::make_unique<KcnInterpolator>(config);
+        },
+        setup.data, setup.split.train_ids, trials, &rng, 0.2, options);
+    std::printf("KCN best: %s  (val RMSE %.4f)\n",
+                result.best.ToString().c_str(), result.best_metrics.rmse);
+  }
+  {
+    std::printf("tuning IGNNK (%d trials)...\n", trials);
+    const TuningResult result = RandomSearch(
+        [&](const HyperParams& hp) {
+          IgnnkConfig config = ReducedIgnnk();
+          config.training_steps = std::max(50, Scaled(400));
+          config.learning_rate = hp.learning_rate;
+          config.weight_decay = hp.weight_decay;
+          config.hidden_dim = hp.hidden_dim;
+          config.kernel_length = hp.kernel_length * median_km;
+          return std::make_unique<IgnnkInterpolator>(config);
+        },
+        setup.data, setup.split.train_ids, trials, &rng, 0.2, options);
+    std::printf("IGNNK best: %s  (val RMSE %.4f)\n",
+                result.best.ToString().c_str(), result.best_metrics.rmse);
+  }
+  std::printf("\n(paper Table 3 ranges: lr (0,0.01), weight decay (0,1e-3),"
+              " dropout (0,0.5),\n hidden {4..128}, kernel length"
+              " {10,5,1,0.5,0.1,0.05,0.01}.)\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+/// Reproduces paper Figure 10: RMSE vs. the training mask ratio, from the
+/// extreme single-masked-node case up to 90%.
+///
+/// Expected shape: error decreases first (too few masks = weak training
+/// signal) and rises for large ratios (too little input left); ratios of
+/// 10-30% are a good balance.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace ssin;
+  using namespace ssin::bench;
+  Banner("bench_fig10_mask_ratio", "Figure 10");
+
+  RainfallRegionConfig hk_region = HkRegionConfig();
+  hk_region.num_gauges = 70;
+  RainfallRegionConfig bw_region = BwRegionConfig();
+  bw_region.num_gauges = 74;
+
+  std::printf("%-8s %-12s %9s %9s\n", "Dataset", "MaskRatio", "RMSE",
+              "MAE");
+  for (int block = 0; block < 2; ++block) {
+    RainfallSetup setup(block == 0 ? hk_region : bw_region, SweepHours(),
+                        /*data_seed=*/61 + block);
+    const int length = static_cast<int>(setup.split.train_ids.size());
+    // l_m = 1 (the extreme case) plus 10%..90%.
+    std::vector<std::pair<std::string, double>> ratios = {
+        {"1 node", 1.0 / length}, {"10%", 0.1}, {"20%", 0.2},
+        {"30%", 0.3},             {"50%", 0.5}, {"90%", 0.9}};
+    for (const auto& [label, ratio] : ratios) {
+      TrainConfig training = SweepTraining();
+      training.mask_ratio = ratio;
+      SsinInterpolator ssin(SpaFormerConfig::Paper(), training);
+      const EvalResult result =
+          EvaluateInterpolator(&ssin, setup.data, setup.split);
+      std::printf("%-8s %-12s %9.4f %9.4f\n", block == 0 ? "HK" : "BW",
+                  label.c_str(), result.metrics.rmse, result.metrics.mae);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\npaper shape: U-curve with the sweet spot at 10-30%%.\n");
+  return 0;
+}

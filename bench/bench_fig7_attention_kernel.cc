@@ -1,0 +1,102 @@
+/// Reproduces paper Figure 7: time and memory of the naive full-attention
+/// implementation of shielded attention vs. the packed kernel (the CPU
+/// analog of the paper's TVM CUDA kernel), as the sequence length L grows
+/// with a fixed observed set of 123 stations.
+///
+/// Expected shape: the naive implementation grows ~quadratically in L in
+/// both time and workspace; the packed kernel grows ~linearly in time and
+/// its private workspace is orders of magnitude smaller. The paper's
+/// absolute numbers (38.6ms / 16.4GB vs 9.2ms / 5.2GB at L=7000 on a
+/// V100) differ from CPU numbers; the crossover shape is the target.
+///
+/// The naive benchmark is capped at L=3000: beyond that its [L,L,d]
+/// dimension extension alone exceeds several GB, which is exactly the
+/// paper's point.
+
+#include <benchmark/benchmark.h>
+
+#include "tensor/attention_kernels.h"
+
+namespace {
+
+using namespace ssin;
+
+constexpr int kDk = 16;
+constexpr int kObserved = 123;  // HK station count, as in the paper.
+
+struct Inputs {
+  Tensor q, k, v, c;
+  std::vector<uint8_t> observed;
+
+  explicit Inputs(int length)
+      : q({length, kDk}),
+        k({length, kDk}),
+        v({length, kDk}),
+        c({length * length, kDk}),
+        observed(length, 0) {
+    // Deterministic cheap fill (Randn over L^2 * d entries would dominate
+    // setup time at L=7000).
+    auto fill = [](Tensor* t, double salt) {
+      for (int64_t i = 0; i < t->numel(); ++i) {
+        (*t)[i] = 0.01 * ((i * 37 + static_cast<int64_t>(salt)) % 101) -
+                  0.5;
+      }
+    };
+    fill(&q, 1);
+    fill(&k, 2);
+    fill(&v, 3);
+    fill(&c, 4);
+    for (int i = 0; i < kObserved && i < length; ++i) observed[i] = 1;
+  }
+};
+
+void BM_FullAttentionNaive(benchmark::State& state) {
+  const int length = static_cast<int>(state.range(0));
+  Inputs in(length);
+  AttentionConfig cfg;  // SRPE + shielded (mask applied after scoring).
+  for (auto _ : state) {
+    Tensor z = NaiveAttentionForward(in.q, in.k, in.v, &in.c, in.observed,
+                                     cfg);
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.counters["workspace_MB"] = benchmark::Counter(
+      NaiveAttentionWorkspaceBytes(length, kDk, true) / 1e6);
+}
+
+void BM_PackedShielded(benchmark::State& state) {
+  const int length = static_cast<int>(state.range(0));
+  Inputs in(length);
+  AttentionConfig cfg;
+  AttentionContext ctx;
+  for (auto _ : state) {
+    Tensor z = PackedAttentionForward(in.q, in.k, in.v, &in.c, in.observed,
+                                      cfg, &ctx);
+    benchmark::DoNotOptimize(z.data());
+  }
+  state.counters["workspace_MB"] = benchmark::Counter(
+      PackedAttentionWorkspaceBytes(length, kObserved, kDk) / 1e6);
+}
+
+}  // namespace
+
+BENCHMARK(BM_FullAttentionNaive)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(123)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(3000)
+    ->Iterations(2);
+
+BENCHMARK(BM_PackedShielded)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(123)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(3000)
+    ->Arg(5000)
+    ->Arg(7000)
+    ->Iterations(5);
+
+BENCHMARK_MAIN();

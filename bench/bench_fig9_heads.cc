@@ -1,0 +1,40 @@
+/// Reproduces paper Figure 9: RMSE/MAE vs. the number of attention heads H
+/// on both regions.
+///
+/// Expected shape: multiple heads help; the HK-like region (more complex
+/// convective spatial structure) tolerates or benefits from more heads,
+/// while the smoother BW-like region peaks early (paper: best H=2 on BW).
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace ssin;
+  using namespace ssin::bench;
+  Banner("bench_fig9_heads", "Figure 9");
+
+  RainfallRegionConfig hk_region = HkRegionConfig();
+  hk_region.num_gauges = 70;
+  RainfallRegionConfig bw_region = BwRegionConfig();
+  bw_region.num_gauges = 74;
+
+  std::printf("%-8s %-8s %9s %9s %9s\n", "Dataset", "Heads", "RMSE", "MAE",
+              "NSE");
+  for (int block = 0; block < 2; ++block) {
+    RainfallSetup setup(block == 0 ? hk_region : bw_region, SweepHours(),
+                        /*data_seed=*/51 + block);
+    for (int heads : {1, 2, 4, 8}) {
+      SpaFormerConfig model;
+      model.num_heads = heads;
+      SsinInterpolator ssin(model, SweepTraining());
+      const EvalResult result =
+          EvaluateInterpolator(&ssin, setup.data, setup.split);
+      std::printf("%-8s %-8d %9.4f %9.4f %9.4f\n",
+                  block == 0 ? "HK" : "BW", heads, result.metrics.rmse,
+                  result.metrics.mae, result.metrics.nse);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\npaper shape: HK keeps improving with more heads; BW is "
+              "best at H=2.\n");
+  return 0;
+}

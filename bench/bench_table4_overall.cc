@@ -1,0 +1,92 @@
+/// Reproduces paper Table 4: overall RMSE/MAE/NSE of TIN, IDW, TPS, OK,
+/// KCN, IGNNK and SpaFormer on the HK and BW raingauge datasets
+/// (synthetic stand-ins; see DESIGN.md).
+///
+/// Expected shape: SpaFormer best on both regions; traditional methods
+/// beat the GNN baselines; IGNNK worst.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace ssin;
+  using namespace ssin::bench;
+  Banner("bench_table4_overall", "Table 4");
+
+  std::vector<std::vector<EvalResult>> rows;
+  std::vector<std::string> method_names;
+
+  for (const char* region_name : {"HK", "BW"}) {
+    const bool is_hk = std::string(region_name) == "HK";
+    RainfallSetup setup(is_hk ? HkRegionConfig() : BwRegionConfig(),
+                        /*hours=*/-1, /*data_seed=*/is_hk ? 11 : 12);
+    std::printf("[%s] %d stations (%zu train / %zu test), %d rainy hours\n",
+                region_name, setup.data.num_stations(),
+                setup.split.train_ids.size(), setup.split.test_ids.size(),
+                setup.data.num_timestamps());
+
+    auto methods = MakeBaselines();
+    size_t row = 0;
+    for (auto& method : methods) {
+      std::printf("[%s] running %s...\n", region_name,
+                  method->Name().c_str());
+      std::fflush(stdout);
+      const EvalResult result =
+          EvaluateInterpolator(method.get(), setup.data, setup.split);
+      if (is_hk) {
+        rows.push_back({result});
+        method_names.push_back(result.method);
+      } else {
+        rows[row].push_back(result);
+      }
+      ++row;
+    }
+
+    std::printf("[%s] running SpaFormer...\n", region_name);
+    std::fflush(stdout);
+    SsinInterpolator ssin(SpaFormerConfig::Paper(), ReducedTraining());
+    const EvalResult result =
+        EvaluateInterpolator(&ssin, setup.data, setup.split);
+    if (is_hk) {
+      rows.push_back({result});
+    } else {
+      rows[row].push_back(result);
+    }
+  }
+
+  PrintResultsTable("Table 4: overall performance (synthetic HK | BW)",
+                    {"HK", "BW"}, rows);
+
+  // Improvement of SpaFormer over the best baseline, as in the paper.
+  for (int block = 0; block < 2; ++block) {
+    double best_baseline = 1e18;
+    for (size_t r = 0; r + 1 < rows.size(); ++r) {
+      best_baseline = std::min(best_baseline, rows[r][block].metrics.rmse);
+    }
+    const double ours = rows.back()[block].metrics.rmse;
+    std::printf("%s RMSE improvement over best baseline: %+.2f%%\n",
+                block == 0 ? "HK" : "BW",
+                100.0 * (best_baseline - ours) / best_baseline);
+  }
+
+  PrintPaperReference(
+      "Table 4, HK",
+      {{"TIN", {3.0088, 0.9684, 0.7538}},
+       {"IDW", {2.9171, 1.1056, 0.7686}},
+       {"TPS", {2.6594, 0.8953, 0.8076}},
+       {"OK", {2.8661, 1.0001, 0.7766}},
+       {"KCN", {2.7122, 0.9935, 0.7999}},
+       {"IGNNK", {3.3007, 2.0864, 0.7037}},
+       {"SpaFormer", {2.3328, 0.8329, 0.8520}}},
+      {"RMSE", "MAE", "NSE"});
+  PrintPaperReference(
+      "Table 4, BW",
+      {{"TIN", {1.0985, 0.3494, 0.4008}},
+       {"IDW", {1.0493, 0.3917, 0.4533}},
+       {"TPS", {1.0985, 0.3537, 0.4008}},
+       {"OK", {1.0804, 0.3647, 0.4203}},
+       {"KCN", {1.0468, 0.3819, 0.4559}},
+       {"IGNNK", {1.1429, 0.6018, 0.3514}},
+       {"SpaFormer", {0.9874, 0.3278, 0.5158}}},
+      {"RMSE", "MAE", "NSE"});
+  return 0;
+}

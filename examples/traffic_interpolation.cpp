@@ -1,0 +1,67 @@
+/// Traffic spatial interpolation (paper §4.3): infer speeds at road
+/// locations without sensors, using *travel* distance on the freeway graph
+/// instead of geographic distance for the relative position embedding.
+
+#include <cstdio>
+
+#include "baselines/idw.h"
+#include "baselines/kriging.h"
+#include "baselines/tin.h"
+#include "core/ssin_interpolator.h"
+#include "data/traffic_generator.h"
+#include "eval/runner.h"
+
+int main() {
+  using namespace ssin;
+
+  // A synthetic freeway network (PEMS-BAY stand-in): corridors crossing at
+  // sparse interchanges, so travel distance >> geographic distance for
+  // many sensor pairs.
+  TrafficNetworkConfig network;
+  network.corridors_ew = 4;
+  network.corridors_ns = 4;
+  network.extent_km = 35.0;
+  network.num_sensors = 120;
+  TrafficGenerator generator(network);
+  SpatialDataset data = generator.Generate(/*num_timestamps=*/300,
+                                           /*seed=*/8);
+  std::printf("network: %d graph nodes, %d sensors, %d timestamps\n",
+              generator.graph().num_nodes(), data.num_stations(),
+              data.num_timestamps());
+
+  Rng rng(9);
+  NodeSplit split = RandomNodeSplit(data.num_stations(), 0.2, &rng);
+
+  // SpaFormer's relative positions automatically use the dataset's travel
+  // distance matrix (SpatialContext::Build); so do IDW/KCN/IGNNK. The
+  // coordinate-only methods (TIN, OK) cannot, which is why they fall
+  // behind on traffic — the paper's Table 9 story.
+  TrainConfig training;
+  training.epochs = 5;
+  training.masks_per_sequence = 2;
+  training.batch_size = 32;
+  training.warmup_steps = 120;
+  training.lr_factor = 0.3;
+  SsinInterpolator ssin(SpaFormerConfig::Paper(), training);
+  IdwInterpolator idw;
+  TinInterpolator tin;
+  KrigingInterpolator ok;
+
+  EvalOptions options;
+  options.stride = 2;  // Score every other timestamp.
+
+  std::vector<std::vector<EvalResult>> rows;
+  for (SpatialInterpolator* method :
+       std::initializer_list<SpatialInterpolator*>{&ssin, &idw, &tin,
+                                                   &ok}) {
+    std::printf("evaluating %s...\n", method->Name().c_str());
+    rows.push_back({EvaluateInterpolator(method, data, split, options)});
+  }
+  PrintResultsTable("Traffic interpolation (synthetic PEMS-BAY stand-in)",
+                    {"speed"}, rows);
+
+  std::printf(
+      "\nTravel-distance methods (SpaFormer, IDW) should beat the\n"
+      "coordinate-only methods (TIN, OK), mirroring the paper's Table 9.\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure into bench_output.txt, mirroring
+# the recorded run: Table 4 (the headline comparison) at full bench scale,
+# everything else at 0.75. Raise the scales to push toward paper scale.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build}
+MAIN_SCALE=${MAIN_SCALE:-1}
+SWEEP_SCALE=${SWEEP_SCALE:-0.75}
+
+{
+  SSIN_BENCH_SCALE=$MAIN_SCALE  "$BUILD"/bench/bench_table4_overall
+  SSIN_BENCH_SCALE=$SWEEP_SCALE "$BUILD"/bench/bench_table5_model_cost
+  "$BUILD"/bench/bench_fig7_attention_kernel
+  SSIN_BENCH_SCALE=$SWEEP_SCALE "$BUILD"/bench/bench_table6_ablation
+  SSIN_BENCH_SCALE=$SWEEP_SCALE "$BUILD"/bench/bench_fig8_depth
+  SSIN_BENCH_SCALE=$SWEEP_SCALE "$BUILD"/bench/bench_fig9_heads
+  SSIN_BENCH_SCALE=$SWEEP_SCALE "$BUILD"/bench/bench_fig10_mask_ratio
+  SSIN_BENCH_SCALE=$SWEEP_SCALE "$BUILD"/bench/bench_table7_data_amount
+  SSIN_BENCH_SCALE=$SWEEP_SCALE "$BUILD"/bench/bench_fig11_model_update
+  SSIN_BENCH_SCALE=$SWEEP_SCALE "$BUILD"/bench/bench_table8_transfer
+  SSIN_BENCH_SCALE=$SWEEP_SCALE "$BUILD"/bench/bench_table9_traffic
+  SSIN_BENCH_SCALE=$SWEEP_SCALE "$BUILD"/bench/bench_ext_outage_robustness
+  SSIN_BENCH_SCALE=$SWEEP_SCALE "$BUILD"/bench/bench_ext_hparam_search
+} 2>&1 | tee bench_output.txt

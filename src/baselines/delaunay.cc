@@ -1,0 +1,129 @@
+#include "baselines/delaunay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace ssin {
+
+bool InCircumcircle(const PointKm& a, const PointKm& b, const PointKm& c,
+                    const PointKm& p) {
+  // Standard in-circle determinant; sign normalized by triangle
+  // orientation so the test is orientation-independent.
+  const double ax = a.x - p.x, ay = a.y - p.y;
+  const double bx = b.x - p.x, by = b.y - p.y;
+  const double cx = c.x - p.x, cy = c.y - p.y;
+  const double det =
+      (ax * ax + ay * ay) * (bx * cy - cx * by) -
+      (bx * bx + by * by) * (ax * cy - cx * ay) +
+      (cx * cx + cy * cy) * (ax * by - bx * ay);
+  const double orient =
+      (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y);
+  return orient >= 0.0 ? det > 0.0 : det < 0.0;
+}
+
+bool Barycentric(const PointKm& a, const PointKm& b, const PointKm& c,
+                 const PointKm& p, double weights[3]) {
+  const double det =
+      (b.y - c.y) * (a.x - c.x) + (c.x - b.x) * (a.y - c.y);
+  if (std::fabs(det) < 1e-12) return false;
+  weights[0] =
+      ((b.y - c.y) * (p.x - c.x) + (c.x - b.x) * (p.y - c.y)) / det;
+  weights[1] =
+      ((c.y - a.y) * (p.x - c.x) + (a.x - c.x) * (p.y - c.y)) / det;
+  weights[2] = 1.0 - weights[0] - weights[1];
+  return true;
+}
+
+DelaunayTriangulation::DelaunayTriangulation(
+    const std::vector<PointKm>& points)
+    : points_(points) {
+  const int n = static_cast<int>(points_.size());
+  if (n < 3) return;
+
+  // Super-triangle comfortably containing every point.
+  double min_x = points_[0].x, max_x = points_[0].x;
+  double min_y = points_[0].y, max_y = points_[0].y;
+  for (const PointKm& p : points_) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double span = std::max({max_x - min_x, max_y - min_y, 1.0});
+  const double cx = (min_x + max_x) / 2.0;
+  const double cy = (min_y + max_y) / 2.0;
+  std::vector<PointKm> work = points_;
+  work.push_back({cx - 30.0 * span, cy - 20.0 * span});
+  work.push_back({cx + 30.0 * span, cy - 20.0 * span});
+  work.push_back({cx, cy + 30.0 * span});
+  const int s0 = n, s1 = n + 1, s2 = n + 2;
+
+  std::vector<Triangle> tris = {{s0, s1, s2}};
+
+  for (int i = 0; i < n; ++i) {
+    // Skip exact duplicates of already-inserted points: Bowyer-Watson
+    // would create degenerate triangles for them.
+    bool duplicate = false;
+    for (int j = 0; j < i; ++j) {
+      if (points_[j].x == points_[i].x && points_[j].y == points_[i].y) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+
+    // Bad triangles: circumcircle contains the new point.
+    std::vector<Triangle> good;
+    std::map<std::pair<int, int>, int> edge_count;
+    auto add_edge = [&edge_count](int u, int v) {
+      if (u > v) std::swap(u, v);
+      ++edge_count[{u, v}];
+    };
+    for (const Triangle& t : tris) {
+      if (InCircumcircle(work[t.a], work[t.b], work[t.c], work[i])) {
+        add_edge(t.a, t.b);
+        add_edge(t.b, t.c);
+        add_edge(t.c, t.a);
+      } else {
+        good.push_back(t);
+      }
+    }
+    // The cavity boundary consists of edges seen exactly once.
+    for (const auto& [edge, count] : edge_count) {
+      if (count == 1) {
+        good.push_back({edge.first, edge.second, i});
+      }
+    }
+    tris = std::move(good);
+  }
+
+  // Drop triangles touching the super-triangle vertices.
+  for (const Triangle& t : tris) {
+    if (t.a < n && t.b < n && t.c < n) triangles_.push_back(t);
+  }
+}
+
+bool DelaunayTriangulation::Locate(const PointKm& p, int* triangle_index,
+                                   double weights[3]) const {
+  constexpr double kTolerance = -1e-9;
+  for (size_t t = 0; t < triangles_.size(); ++t) {
+    const Triangle& tri = triangles_[t];
+    double w[3];
+    if (!Barycentric(points_[tri.a], points_[tri.b], points_[tri.c], p, w)) {
+      continue;
+    }
+    if (w[0] >= kTolerance && w[1] >= kTolerance && w[2] >= kTolerance) {
+      *triangle_index = static_cast<int>(t);
+      weights[0] = std::max(0.0, w[0]);
+      weights[1] = std::max(0.0, w[1]);
+      weights[2] = std::max(0.0, w[2]);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ssin

@@ -1,0 +1,50 @@
+#ifndef SSIN_BASELINES_DELAUNAY_H_
+#define SSIN_BASELINES_DELAUNAY_H_
+
+#include <vector>
+
+#include "geo/coords.h"
+
+namespace ssin {
+
+/// A triangle of the triangulation, as indices into the input point list.
+struct Triangle {
+  int a, b, c;
+};
+
+/// Delaunay triangulation of a planar point set (Bowyer-Watson insertion,
+/// O(n^2) — ample for gauge networks of a few hundred stations). Substrate
+/// of the TIN baseline.
+class DelaunayTriangulation {
+ public:
+  /// Triangulates the given points. Duplicate points are tolerated (only
+  /// one copy participates). Needs at least 3 non-collinear points to
+  /// produce triangles.
+  explicit DelaunayTriangulation(const std::vector<PointKm>& points);
+
+  const std::vector<Triangle>& triangles() const { return triangles_; }
+  const std::vector<PointKm>& points() const { return points_; }
+
+  /// Finds the triangle containing `p` and its barycentric coordinates.
+  /// Returns false when `p` is outside the convex hull.
+  bool Locate(const PointKm& p, int* triangle_index,
+              double weights[3]) const;
+
+ private:
+  std::vector<PointKm> points_;
+  std::vector<Triangle> triangles_;
+};
+
+/// True when `p` lies inside (or on) the circumcircle of (a, b, c).
+/// Exposed for property tests of the Delaunay empty-circumcircle invariant.
+bool InCircumcircle(const PointKm& a, const PointKm& b, const PointKm& c,
+                    const PointKm& p);
+
+/// Barycentric coordinates of p in triangle (a, b, c); returns false for a
+/// degenerate triangle.
+bool Barycentric(const PointKm& a, const PointKm& b, const PointKm& c,
+                 const PointKm& p, double weights[3]);
+
+}  // namespace ssin
+
+#endif  // SSIN_BASELINES_DELAUNAY_H_

@@ -1,0 +1,199 @@
+#include "baselines/ignnk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "core/masking.h"
+#include "tensor/ops.h"
+
+namespace ssin {
+
+namespace {
+constexpr int kInputDim = 2;  // [masked value, known indicator].
+
+/// Row-normalized Gaussian-kernel transition matrix over a node set.
+Tensor TransitionMatrix(const StationGeometry& geometry,
+                        const std::vector<int>& nodes,
+                        double kernel_length) {
+  const int n = static_cast<int>(nodes.size());
+  Tensor a({n, n});
+  for (int i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double d = geometry.Distance(nodes[i], nodes[j]);
+      const double scaled = d / kernel_length;
+      a.At(i, j) = std::exp(-scaled * scaled);
+      row_sum += a.At(i, j);
+    }
+    if (row_sum > 0.0) {
+      for (int j = 0; j < n; ++j) a.At(i, j) /= row_sum;
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+/// One diffusion graph-conv block: H' = sum_k A^k H W_k (+ b), followed by
+/// ReLU except on the output layer.
+struct IgnnkInterpolator::Network : public Module {
+  std::vector<std::unique_ptr<Linear>> layer1;
+  std::vector<std::unique_ptr<Linear>> layer2;
+  std::vector<std::unique_ptr<Linear>> layer3;
+
+  Network(int hidden, int diffusion_steps, Rng* rng) {
+    auto make_block = [&](std::vector<std::unique_ptr<Linear>>* block,
+                          const std::string& name, int in, int out) {
+      for (int k = 0; k <= diffusion_steps; ++k) {
+        block->push_back(
+            std::make_unique<Linear>(in, out, /*bias=*/k == 0, rng));
+        RegisterSubmodule(name + "_k" + std::to_string(k),
+                          block->back().get());
+      }
+    };
+    make_block(&layer1, "gc1", kInputDim, hidden);
+    make_block(&layer2, "gc2", hidden, hidden);
+    make_block(&layer3, "gc3", hidden, 1);
+  }
+
+  static Var Diffuse(const std::vector<std::unique_ptr<Linear>>& block,
+                     Var transition, Var h) {
+    Var out = block[0]->Forward(h);  // k = 0: identity propagation.
+    Var propagated = h;
+    for (size_t k = 1; k < block.size(); ++k) {
+      propagated = MatMul(transition, propagated);
+      out = Add(out, block[k]->Forward(propagated));
+    }
+    return out;
+  }
+};
+
+IgnnkInterpolator::IgnnkInterpolator(const IgnnkConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+IgnnkInterpolator::~IgnnkInterpolator() = default;
+
+Var IgnnkInterpolator::ForwardNodes(Graph* graph,
+                                    const std::vector<int>& nodes,
+                                    const std::vector<double>& input,
+                                    const std::vector<uint8_t>& known) {
+  const int n = static_cast<int>(nodes.size());
+  Tensor features({n, kInputDim});
+  for (int i = 0; i < n; ++i) {
+    features.At(i, 0) = input[i];
+    features.At(i, 1) = known[i] ? 1.0 : 0.0;
+  }
+  Var transition =
+      graph->Constant(TransitionMatrix(geometry_, nodes, kernel_length_));
+  Var h = graph->Constant(features);
+  h = Relu(Network::Diffuse(network_->layer1, transition, h));
+  h = Relu(Network::Diffuse(network_->layer2, transition, h));
+  return Network::Diffuse(network_->layer3, transition, h);
+}
+
+void IgnnkInterpolator::Fit(const SpatialDataset& data,
+                            const std::vector<int>& train_ids) {
+  geometry_.Capture(data, /*use_travel_distance=*/true);
+
+  if (config_.kernel_length > 0.0) {
+    kernel_length_ = config_.kernel_length;
+  } else {
+    std::vector<double> dists;
+    for (size_t a = 0; a < train_ids.size(); ++a) {
+      for (size_t b = a + 1; b < train_ids.size(); ++b) {
+        dists.push_back(geometry_.Distance(train_ids[a], train_ids[b]));
+      }
+    }
+    kernel_length_ = std::max(1e-3, Quantile(dists, 0.5) / 2.0);
+  }
+
+  network_ = std::make_unique<Network>(config_.hidden_dim,
+                                       config_.diffusion_steps, &rng_);
+  Adam optimizer(network_->Parameters(), 0.9, 0.999, 1e-8,
+                 config_.weight_decay);
+  optimizer.set_learning_rate(config_.learning_rate);
+
+  const int num_t = data.num_timestamps();
+  SSIN_CHECK_GT(num_t, 0);
+  const int pool = static_cast<int>(train_ids.size());
+  const int sub_size = std::min(config_.subgraph_size, pool);
+
+  for (int step = 0; step < config_.training_steps; ++step) {
+    network_->ZeroGrad();
+    const double inv_batch = 1.0 / config_.batch_size;
+    for (int b = 0; b < config_.batch_size; ++b) {
+      const int t = static_cast<int>(rng_.UniformInt(0, num_t - 1));
+      std::vector<int> sample = rng_.SampleWithoutReplacement(pool, sub_size);
+      std::vector<int> nodes;
+      nodes.reserve(sub_size);
+      for (int idx : sample) nodes.push_back(train_ids[idx]);
+
+      int num_masked =
+          static_cast<int>(std::lround(config_.mask_fraction * sub_size));
+      num_masked = std::clamp(num_masked, 1, sub_size - 1);
+      std::vector<uint8_t> known(sub_size, 1);
+      for (int m : rng_.SampleWithoutReplacement(sub_size, num_masked)) {
+        known[m] = 0;
+      }
+
+      // Instance standardization over the unmasked values (matching the
+      // preprocessing used for the other learned methods).
+      std::vector<double> known_values;
+      for (int i = 0; i < sub_size; ++i) {
+        if (known[i]) {
+          known_values.push_back(data.Value(t, nodes[i]));
+        }
+      }
+      const MeanStd stats = ComputeMeanStd(known_values);
+      std::vector<double> input(sub_size, 0.0);
+      Tensor truth({sub_size, 1});
+      for (int i = 0; i < sub_size; ++i) {
+        const double z = (data.Value(t, nodes[i]) - stats.mean) / stats.std;
+        truth[i] = z;
+        input[i] = known[i] ? z : 0.0;
+      }
+
+      Graph graph;
+      Var recon = ForwardNodes(&graph, nodes, input, known);
+      Var loss = MseLoss(recon, truth);  // Full-signal reconstruction.
+      graph.Backward(Scale(loss, inv_batch));
+    }
+    optimizer.Step();
+  }
+}
+
+std::vector<double> IgnnkInterpolator::InterpolateTimestamp(
+    const std::vector<double>& all_values,
+    const std::vector<int>& observed_ids, const std::vector<int>& query_ids) {
+  SSIN_CHECK(network_ != nullptr) << "call Fit() first";
+
+  std::vector<int> nodes = observed_ids;
+  nodes.insert(nodes.end(), query_ids.begin(), query_ids.end());
+  const int n = static_cast<int>(nodes.size());
+  const int num_observed = static_cast<int>(observed_ids.size());
+
+  std::vector<double> observed_values;
+  observed_values.reserve(num_observed);
+  for (int o : observed_ids) observed_values.push_back(all_values[o]);
+  const MeanStd stats = ComputeMeanStd(observed_values);
+
+  std::vector<double> input(n, 0.0);
+  std::vector<uint8_t> known(n, 0);
+  for (int i = 0; i < num_observed; ++i) {
+    known[i] = 1;
+    input[i] = (observed_values[i] - stats.mean) / stats.std;
+  }
+
+  Graph graph;
+  Var recon = ForwardNodes(&graph, nodes, input, known);
+  std::vector<double> out;
+  out.reserve(query_ids.size());
+  for (size_t q = 0; q < query_ids.size(); ++q) {
+    out.push_back(Destandardize(
+        recon.value()[static_cast<int64_t>(num_observed + q)], stats));
+  }
+  return out;
+}
+
+}  // namespace ssin

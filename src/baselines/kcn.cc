@@ -1,0 +1,199 @@
+#include "baselines/kcn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "core/masking.h"
+#include "tensor/ops.h"
+
+namespace ssin {
+
+namespace {
+constexpr int kFeatureDim = 3;  // [value, observed flag, distance/kernel].
+}
+
+/// Two GCN layers plus a readout head.
+struct KcnInterpolator::Network : public Module {
+  Linear gc1;
+  Linear gc2;
+  Linear readout;
+
+  Network(int hidden, Rng* rng)
+      : gc1(kFeatureDim, hidden, /*bias=*/true, rng),
+        gc2(hidden, hidden, /*bias=*/true, rng),
+        readout(hidden, 1, /*bias=*/true, rng) {
+    RegisterSubmodule("gc1", &gc1);
+    RegisterSubmodule("gc2", &gc2);
+    RegisterSubmodule("readout", &readout);
+  }
+};
+
+KcnInterpolator::KcnInterpolator(const KcnConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+KcnInterpolator::~KcnInterpolator() = default;
+
+namespace {
+
+/// Symmetrically normalized Gaussian-kernel adjacency with self-loops:
+/// A_ij = exp(-d_ij^2 / l^2), Ahat = D^-1/2 (A) D^-1/2 (A includes i==j).
+Tensor NormalizedAdjacency(const std::vector<double>& pair_dist, int n,
+                           double kernel_length) {
+  Tensor a({n, n});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double d = pair_dist[static_cast<size_t>(i) * n + j];
+      const double scaled = d / kernel_length;
+      a.At(i, j) = std::exp(-scaled * scaled);
+    }
+  }
+  std::vector<double> inv_sqrt_degree(n);
+  for (int i = 0; i < n; ++i) {
+    double deg = 0.0;
+    for (int j = 0; j < n; ++j) deg += a.At(i, j);
+    inv_sqrt_degree[i] = deg > 0.0 ? 1.0 / std::sqrt(deg) : 0.0;
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a.At(i, j) *= inv_sqrt_degree[i] * inv_sqrt_degree[j];
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+Var KcnInterpolator::SubgraphForward(Graph* graph, int target,
+                                     const std::vector<int>& observed_ids,
+                                     const std::vector<double>& all_values,
+                                     const MeanStd& stats, bool training,
+                                     Rng* rng) {
+  // K nearest observed stations (excluding the target itself).
+  std::vector<std::pair<double, int>> by_distance;
+  by_distance.reserve(observed_ids.size());
+  for (int o : observed_ids) {
+    if (o == target) continue;
+    by_distance.push_back({geometry_.Distance(target, o), o});
+  }
+  const int k = std::min<int>(config_.num_neighbors,
+                              static_cast<int>(by_distance.size()));
+  SSIN_CHECK_GT(k, 0);
+  std::partial_sort(by_distance.begin(), by_distance.begin() + k,
+                    by_distance.end());
+
+  // Subgraph: target is node 0, neighbors follow.
+  const int n = k + 1;
+  std::vector<int> nodes(n);
+  nodes[0] = target;
+  for (int i = 0; i < k; ++i) nodes[i + 1] = by_distance[i].second;
+
+  std::vector<double> pair_dist(static_cast<size_t>(n) * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      pair_dist[static_cast<size_t>(i) * n + j] =
+          geometry_.Distance(nodes[i], nodes[j]);
+    }
+  }
+
+  Tensor features({n, kFeatureDim});
+  for (int i = 0; i < n; ++i) {
+    const bool is_target = i == 0;
+    const double value =
+        is_target ? 0.0 : (all_values[nodes[i]] - stats.mean) / stats.std;
+    features.At(i, 0) = value;
+    features.At(i, 1) = is_target ? 0.0 : 1.0;
+    features.At(i, 2) =
+        std::exp(-pair_dist[static_cast<size_t>(i) * n] / kernel_length_);
+  }
+
+  Var adjacency = graph->Constant(
+      NormalizedAdjacency(pair_dist, n, kernel_length_));
+  Var h = graph->Constant(features);
+  h = Relu(network_->gc1.Forward(MatMul(adjacency, h)));
+  h = Dropout(h, config_.dropout, rng, training);
+  h = Relu(network_->gc2.Forward(MatMul(adjacency, h)));
+  Var center = GatherRows(h, {0});
+  return network_->readout.Forward(center);  // [1, 1], standardized.
+}
+
+void KcnInterpolator::Fit(const SpatialDataset& data,
+                          const std::vector<int>& train_ids) {
+  geometry_.Capture(data, /*use_travel_distance=*/true);
+
+  if (config_.kernel_length > 0.0) {
+    kernel_length_ = config_.kernel_length;
+  } else {
+    std::vector<double> dists;
+    for (size_t a = 0; a < train_ids.size(); ++a) {
+      for (size_t b = a + 1; b < train_ids.size(); ++b) {
+        dists.push_back(geometry_.Distance(train_ids[a], train_ids[b]));
+      }
+    }
+    kernel_length_ = std::max(1e-3, Quantile(dists, 0.5) / 2.0);
+  }
+
+  network_ = std::make_unique<Network>(config_.hidden_dim, &rng_);
+  Adam optimizer(network_->Parameters(), 0.9, 0.999, 1e-8,
+                 config_.weight_decay);
+  optimizer.set_learning_rate(config_.learning_rate);
+
+  // Training samples: every (timestamp, train station) pair, shuffled;
+  // the station is predicted from the remaining train stations.
+  const int num_t = data.num_timestamps();
+  std::vector<std::pair<int, int>> samples;
+  samples.reserve(static_cast<size_t>(num_t) * train_ids.size());
+  for (int t = 0; t < num_t; ++t) {
+    for (int id : train_ids) samples.push_back({t, id});
+  }
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(&samples);
+    for (size_t start = 0; start < samples.size();
+         start += config_.batch_size) {
+      const size_t end =
+          std::min(samples.size(), start + config_.batch_size);
+      network_->ZeroGrad();
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      for (size_t s = start; s < end; ++s) {
+        const auto [t, target] = samples[s];
+        const std::vector<double>& values = data.Values(t);
+        std::vector<double> observed_values;
+        for (int id : train_ids) {
+          if (id != target) observed_values.push_back(values[id]);
+        }
+        const MeanStd stats = ComputeMeanStd(observed_values);
+        Graph graph;
+        Var pred = SubgraphForward(&graph, target, train_ids, values, stats,
+                                   /*training=*/true, &rng_);
+        Tensor truth({1, 1});
+        truth[0] = (values[target] - stats.mean) / stats.std;
+        Var loss = MseLoss(pred, truth);
+        graph.Backward(Scale(loss, inv_batch));
+      }
+      optimizer.Step();
+    }
+  }
+}
+
+std::vector<double> KcnInterpolator::InterpolateTimestamp(
+    const std::vector<double>& all_values,
+    const std::vector<int>& observed_ids, const std::vector<int>& query_ids) {
+  SSIN_CHECK(network_ != nullptr) << "call Fit() first";
+  std::vector<double> observed_values;
+  observed_values.reserve(observed_ids.size());
+  for (int o : observed_ids) observed_values.push_back(all_values[o]);
+  const MeanStd stats = ComputeMeanStd(observed_values);
+
+  std::vector<double> out;
+  out.reserve(query_ids.size());
+  for (int q : query_ids) {
+    Graph graph;
+    Var pred = SubgraphForward(&graph, q, observed_ids, all_values, stats,
+                               /*training=*/false, &rng_);
+    out.push_back(Destandardize(pred.value()[0], stats));
+  }
+  return out;
+}
+
+}  // namespace ssin

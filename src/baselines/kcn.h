@@ -1,0 +1,70 @@
+#ifndef SSIN_BASELINES_KCN_H_
+#define SSIN_BASELINES_KCN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/interpolation.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace ssin {
+
+/// Hyperparameters of the KCN baseline.
+struct KcnConfig {
+  int num_neighbors = 10;   ///< K nearest observed stations per target.
+  int hidden_dim = 32;
+  double kernel_length = -1.0;  ///< Gaussian kernel length; <0 = auto
+                                ///< (half the median train pair distance).
+  double learning_rate = 1e-3;
+  double weight_decay = 1e-5;
+  double dropout = 0.1;
+  int epochs = 8;
+  int batch_size = 32;
+  uint64_t seed = 23;
+};
+
+/// Kriging Convolutional Network (Appleby, Liu & Liu, AAAI 2020) — paper
+/// baseline. For each target location it builds a local subgraph of the K
+/// nearest observed stations (plus the target), with a Gaussian-kernel
+/// adjacency over distance, runs a two-layer GCN over node features
+/// [value, observed-indicator, distance-to-target], and regresses the
+/// center node's value. The paper points out the weaknesses this design
+/// shows on rainfall: center-only supervision and a fixed-size subgraph
+/// that can miss important distant neighbors.
+class KcnInterpolator : public SpatialInterpolator {
+ public:
+  explicit KcnInterpolator(const KcnConfig& config = KcnConfig());
+  ~KcnInterpolator() override;
+
+  std::string Name() const override { return "KCN"; }
+
+  void Fit(const SpatialDataset& data,
+           const std::vector<int>& train_ids) override;
+
+  std::vector<double> InterpolateTimestamp(
+      const std::vector<double>& all_values,
+      const std::vector<int>& observed_ids,
+      const std::vector<int>& query_ids) override;
+
+ private:
+  struct Network;  // GCN parameters.
+
+  /// Forward pass for one target; returns the standardized prediction.
+  Var SubgraphForward(Graph* graph, int target,
+                      const std::vector<int>& observed_ids,
+                      const std::vector<double>& all_values,
+                      const MeanStd& stats, bool training, Rng* rng);
+
+  KcnConfig config_;
+  StationGeometry geometry_;
+  std::unique_ptr<Network> network_;
+  double kernel_length_ = 1.0;
+  Rng rng_;
+};
+
+}  // namespace ssin
+
+#endif  // SSIN_BASELINES_KCN_H_

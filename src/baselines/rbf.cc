@@ -1,0 +1,102 @@
+#include "baselines/rbf.h"
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace ssin {
+
+RbfInterpolator::RbfInterpolator(Kernel kernel, double shape_km,
+                                 double ridge)
+    : kernel_(kernel),
+      shape_km_(shape_km),
+      configured_shape_km_(shape_km),
+      ridge_(ridge) {}
+
+std::string RbfInterpolator::Name() const {
+  switch (kernel_) {
+    case Kernel::kGaussian:
+      return "RBF-gauss";
+    case Kernel::kMultiquadric:
+      return "RBF-mq";
+    case Kernel::kInverseMultiquadric:
+      return "RBF-imq";
+  }
+  return "RBF";
+}
+
+double RbfInterpolator::Profile(Kernel kernel, double r) {
+  switch (kernel) {
+    case Kernel::kGaussian:
+      return std::exp(-r * r);
+    case Kernel::kMultiquadric:
+      return std::sqrt(1.0 + r * r);
+    case Kernel::kInverseMultiquadric:
+      return 1.0 / std::sqrt(1.0 + r * r);
+  }
+  return 0.0;
+}
+
+void RbfInterpolator::Fit(const SpatialDataset& data,
+                          const std::vector<int>& train_ids) {
+  geometry_.Capture(data, /*use_travel_distance=*/false);
+  cached_observed_.clear();
+  if (configured_shape_km_ > 0.0) {
+    shape_km_ = configured_shape_km_;
+  } else {
+    // Median pair distance of the training stations.
+    std::vector<double> dists;
+    for (size_t a = 0; a < train_ids.size(); ++a) {
+      for (size_t b = a + 1; b < train_ids.size(); ++b) {
+        dists.push_back(geometry_.Distance(train_ids[a], train_ids[b]));
+      }
+    }
+    shape_km_ = dists.empty() ? 1.0 : std::max(1e-3, Quantile(dists, 0.5));
+  }
+}
+
+void RbfInterpolator::PrepareSolver(const std::vector<int>& observed_ids) {
+  cached_observed_ = observed_ids;
+  const int n = static_cast<int>(observed_ids.size());
+  Matrix system(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double r =
+          geometry_.Distance(observed_ids[i], observed_ids[j]) / shape_km_;
+      system(i, j) = Profile(kernel_, r);
+    }
+    system(i, i) += ridge_;
+  }
+  const bool ok = Invert(system, &system_inverse_);
+  SSIN_CHECK(ok) << "RBF system singular; increase ridge";
+}
+
+std::vector<double> RbfInterpolator::InterpolateTimestamp(
+    const std::vector<double>& all_values,
+    const std::vector<int>& observed_ids, const std::vector<int>& query_ids) {
+  if (observed_ids != cached_observed_) PrepareSolver(observed_ids);
+  const int n = static_cast<int>(observed_ids.size());
+
+  std::vector<double> weights(n, 0.0);
+  for (int r = 0; r < n; ++r) {
+    double sum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      sum += system_inverse_(r, j) * all_values[observed_ids[j]];
+    }
+    weights[r] = sum;
+  }
+
+  std::vector<double> out;
+  out.reserve(query_ids.size());
+  for (int q : query_ids) {
+    double value = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double r = geometry_.Distance(q, observed_ids[i]) / shape_km_;
+      value += weights[i] * Profile(kernel_, r);
+    }
+    out.push_back(value);
+  }
+  return out;
+}
+
+}  // namespace ssin

@@ -1,0 +1,60 @@
+#ifndef SSIN_BASELINES_RBF_H_
+#define SSIN_BASELINES_RBF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/interpolation.h"
+
+namespace ssin {
+
+/// Radial basis function interpolation — the kernel family generalizing
+/// the paper's TPS baseline (library extension; not part of the paper's
+/// lineup). Solves (K + ridge I) w = y over the observed stations and
+/// predicts with sum_i w_i phi(||p - p_i|| / epsilon).
+class RbfInterpolator : public SpatialInterpolator {
+ public:
+  enum class Kernel {
+    kGaussian,              ///< exp(-r^2)
+    kMultiquadric,          ///< sqrt(1 + r^2)
+    kInverseMultiquadric,   ///< 1 / sqrt(1 + r^2)
+  };
+
+  /// `shape_km` is the kernel length scale epsilon; <= 0 selects it
+  /// automatically as the median observed pair distance. `ridge`
+  /// regularizes the system (also makes Gaussian kernels safe on near-
+  /// duplicate stations).
+  explicit RbfInterpolator(Kernel kernel = Kernel::kMultiquadric,
+                           double shape_km = -1.0, double ridge = 1e-8);
+
+  std::string Name() const override;
+
+  void Fit(const SpatialDataset& data,
+           const std::vector<int>& train_ids) override;
+
+  std::vector<double> InterpolateTimestamp(
+      const std::vector<double>& all_values,
+      const std::vector<int>& observed_ids,
+      const std::vector<int>& query_ids) override;
+
+  /// Kernel profile phi(r), r >= 0 already scaled by epsilon.
+  static double Profile(Kernel kernel, double r);
+
+  double shape_km() const { return shape_km_; }
+
+ private:
+  void PrepareSolver(const std::vector<int>& observed_ids);
+
+  Kernel kernel_;
+  double shape_km_;
+  double configured_shape_km_;
+  double ridge_;
+  StationGeometry geometry_;
+  std::vector<int> cached_observed_;
+  Matrix system_inverse_;
+};
+
+}  // namespace ssin
+
+#endif  // SSIN_BASELINES_RBF_H_

@@ -1,0 +1,81 @@
+#include "baselines/tin.h"
+
+#include <limits>
+
+namespace ssin {
+
+void TinInterpolator::Fit(const SpatialDataset& data,
+                          const std::vector<int>& train_ids) {
+  (void)train_ids;
+  geometry_.Capture(data, /*use_travel_distance=*/false);
+  cached_observed_.clear();
+  triangulation_.reset();
+  plan_cache_.clear();
+  plan_queries_.clear();
+}
+
+TinInterpolator::QueryPlan TinInterpolator::PlanFor(
+    int query, const std::vector<int>& observed_ids) {
+  QueryPlan plan;
+  const PointKm& p = geometry_.position(query);
+  int tri = -1;
+  double w[3];
+  if (triangulation_->Locate(p, &tri, w)) {
+    const Triangle& t = triangulation_->triangles()[tri];
+    plan.count = 3;
+    plan.station[0] = observed_ids[t.a];
+    plan.station[1] = observed_ids[t.b];
+    plan.station[2] = observed_ids[t.c];
+    plan.weight[0] = w[0];
+    plan.weight[1] = w[1];
+    plan.weight[2] = w[2];
+    return plan;
+  }
+  // Outside the hull: nearest observed station.
+  double best = std::numeric_limits<double>::infinity();
+  int best_station = observed_ids[0];
+  for (int o : observed_ids) {
+    const double d = DistanceKm(p, geometry_.position(o));
+    if (d < best) {
+      best = d;
+      best_station = o;
+    }
+  }
+  plan.count = 1;
+  plan.station[0] = best_station;
+  plan.weight[0] = 1.0;
+  return plan;
+}
+
+std::vector<double> TinInterpolator::InterpolateTimestamp(
+    const std::vector<double>& all_values,
+    const std::vector<int>& observed_ids, const std::vector<int>& query_ids) {
+  if (observed_ids != cached_observed_) {
+    cached_observed_ = observed_ids;
+    std::vector<PointKm> pts;
+    pts.reserve(observed_ids.size());
+    for (int o : observed_ids) pts.push_back(geometry_.position(o));
+    triangulation_ = std::make_unique<DelaunayTriangulation>(pts);
+    plan_cache_.clear();
+    plan_queries_.clear();
+  }
+  if (query_ids != plan_queries_) {
+    plan_queries_ = query_ids;
+    plan_cache_.clear();
+    plan_cache_.reserve(query_ids.size());
+    for (int q : query_ids) plan_cache_.push_back(PlanFor(q, observed_ids));
+  }
+
+  std::vector<double> out;
+  out.reserve(query_ids.size());
+  for (const QueryPlan& plan : plan_cache_) {
+    double value = 0.0;
+    for (int i = 0; i < plan.count; ++i) {
+      value += plan.weight[i] * all_values[plan.station[i]];
+    }
+    out.push_back(value);
+  }
+  return out;
+}
+
+}  // namespace ssin

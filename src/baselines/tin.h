@@ -1,0 +1,52 @@
+#ifndef SSIN_BASELINES_TIN_H_
+#define SSIN_BASELINES_TIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/delaunay.h"
+#include "core/interpolation.h"
+
+namespace ssin {
+
+/// Triangulated Irregular Network interpolation (paper baseline): Delaunay
+/// triangulation of the observed stations, linear (barycentric)
+/// interpolation within each triangle, nearest-observation fallback for
+/// queries outside the convex hull. Coordinate-based only — it cannot use
+/// road travel distances, which is why it collapses on traffic (Table 9).
+class TinInterpolator : public SpatialInterpolator {
+ public:
+  std::string Name() const override { return "TIN"; }
+
+  void Fit(const SpatialDataset& data,
+           const std::vector<int>& train_ids) override;
+
+  std::vector<double> InterpolateTimestamp(
+      const std::vector<double>& all_values,
+      const std::vector<int>& observed_ids,
+      const std::vector<int>& query_ids) override;
+
+ private:
+  /// Interpolation plan for one query against one observed set: either
+  /// barycentric weights over 3 stations or a single nearest station.
+  struct QueryPlan {
+    int station[3];
+    double weight[3];
+    int count;  // 3 inside the hull, 1 outside.
+  };
+
+  QueryPlan PlanFor(int query, const std::vector<int>& observed_ids);
+
+  StationGeometry geometry_;
+  // Triangulation and plans are cached per observed set (the observed set
+  // is fixed across timestamps in the paper's evaluation).
+  std::vector<int> cached_observed_;
+  std::unique_ptr<DelaunayTriangulation> triangulation_;
+  std::vector<QueryPlan> plan_cache_;
+  std::vector<int> plan_queries_;
+};
+
+}  // namespace ssin
+
+#endif  // SSIN_BASELINES_TIN_H_

@@ -1,0 +1,73 @@
+#ifndef SSIN_COMMON_CHECK_H_
+#define SSIN_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+/// \file
+/// CHECK-style runtime assertions. Unlike <cassert>, these are active in all
+/// build types: interpolation code paths are numeric and silent corruption is
+/// worse than an abort. Use SSIN_CHECK for invariants and SSIN_DCHECK for
+/// hot-loop checks that are compiled out in release builds.
+
+namespace ssin {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "[SSIN CHECK FAILED] %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::abort();
+}
+
+/// Stream sink that builds the optional "CHECK(...) << extra" message.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessage() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ssin
+
+#define SSIN_CHECK(condition)                                       \
+  if (condition) {                                                  \
+  } else /* NOLINT */                                               \
+    ::ssin::internal::CheckMessage(__FILE__, __LINE__, #condition)
+
+#define SSIN_CHECK_EQ(a, b) SSIN_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SSIN_CHECK_NE(a, b) SSIN_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SSIN_CHECK_LT(a, b) SSIN_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SSIN_CHECK_LE(a, b) SSIN_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SSIN_CHECK_GT(a, b) SSIN_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SSIN_CHECK_GE(a, b) SSIN_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define SSIN_DCHECK(condition) \
+  if (true) {                  \
+  } else /* NOLINT */          \
+    ::ssin::internal::CheckMessage(__FILE__, __LINE__, #condition)
+#else
+#define SSIN_DCHECK(condition) SSIN_CHECK(condition)
+#endif
+
+#endif  // SSIN_COMMON_CHECK_H_

@@ -1,0 +1,98 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ssin {
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(cell);
+      cell.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF exports.
+    } else {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(cell);
+  return cells;
+}
+
+bool ReadCsv(const std::string& path, CsvTable* table) {
+  std::ifstream in(path);
+  if (!in) return false;
+  table->header.clear();
+  table->rows.clear();
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells = ParseCsvLine(line);
+    if (first) {
+      table->header = std::move(cells);
+      first = false;
+    } else {
+      table->rows.push_back(std::move(cells));
+    }
+  }
+  return !first;
+}
+
+namespace {
+
+std::string EscapeCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void WriteRow(std::ostream& out, const std::vector<std::string>& row) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out << ',';
+    out << EscapeCell(row[i]);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+bool WriteCsv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteRow(out, table.header);
+  for (const auto& row : table.rows) WriteRow(out, row);
+  return out.good();
+}
+
+}  // namespace ssin

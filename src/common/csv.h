@@ -1,0 +1,31 @@
+#ifndef SSIN_COMMON_CSV_H_
+#define SSIN_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace ssin {
+
+/// Minimal CSV table: a header row plus string cells. Quoting is supported
+/// for fields containing commas or quotes; this is all the climate-database
+/// style exports in this project need.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Parses a single CSV line honoring double-quote escaping.
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Reads a CSV file with a header row. Returns false on IO failure.
+bool ReadCsv(const std::string& path, CsvTable* table);
+
+/// Writes a CSV file, quoting cells that need it. Returns false on failure.
+bool WriteCsv(const std::string& path, const CsvTable& table);
+
+}  // namespace ssin
+
+#endif  // SSIN_COMMON_CSV_H_

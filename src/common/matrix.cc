@@ -1,0 +1,182 @@
+#include "common/matrix.h"
+
+#include <cmath>
+#include <utility>
+
+namespace ssin {
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  SSIN_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (int j = 0; j < other.cols_; ++j) {
+        out(i, j) += aik * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  SSIN_CHECK_EQ(rows_, other.rows_);
+  SSIN_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  SSIN_CHECK_EQ(rows_, other.rows_);
+  SSIN_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::ScaledBy(double s) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= s;
+  return out;
+}
+
+double Matrix::Norm() const {
+  double sq = 0.0;
+  for (double v : data_) sq += v * v;
+  return std::sqrt(sq);
+}
+
+namespace {
+
+// In-place LU decomposition with partial pivoting. Returns false when a
+// pivot is numerically zero. `perm` records row swaps.
+bool LuDecompose(Matrix* a, std::vector<int>* perm) {
+  const int n = a->rows();
+  SSIN_CHECK_EQ(n, a->cols());
+  perm->resize(n);
+  for (int i = 0; i < n; ++i) (*perm)[i] = i;
+
+  for (int col = 0; col < n; ++col) {
+    // Pivot selection.
+    int pivot = col;
+    double best = std::fabs((*a)(col, col));
+    for (int r = col + 1; r < n; ++r) {
+      const double v = std::fabs((*a)(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-13) return false;
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) std::swap((*a)(col, c), (*a)(pivot, c));
+      std::swap((*perm)[col], (*perm)[pivot]);
+    }
+    const double diag = (*a)(col, col);
+    for (int r = col + 1; r < n; ++r) {
+      const double factor = (*a)(r, col) / diag;
+      (*a)(r, col) = factor;
+      for (int c = col + 1; c < n; ++c) {
+        (*a)(r, c) -= factor * (*a)(col, c);
+      }
+    }
+  }
+  return true;
+}
+
+// Solves using a prior LU factorization (L has unit diagonal, stored below
+// the diagonal of `lu`).
+void LuSolve(const Matrix& lu, const std::vector<int>& perm,
+             const std::vector<double>& b, std::vector<double>* x) {
+  const int n = lu.rows();
+  x->resize(n);
+  // Forward substitution with permuted b.
+  for (int i = 0; i < n; ++i) {
+    double sum = b[perm[i]];
+    for (int j = 0; j < i; ++j) sum -= lu(i, j) * (*x)[j];
+    (*x)[i] = sum;
+  }
+  // Back substitution.
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = (*x)[i];
+    for (int j = i + 1; j < n; ++j) sum -= lu(i, j) * (*x)[j];
+    (*x)[i] = sum / lu(i, i);
+  }
+}
+
+}  // namespace
+
+bool SolveLinearSystem(const Matrix& a, const std::vector<double>& b,
+                       std::vector<double>* x) {
+  SSIN_CHECK_EQ(a.rows(), a.cols());
+  SSIN_CHECK_EQ(static_cast<size_t>(a.rows()), b.size());
+  Matrix lu = a;
+  std::vector<int> perm;
+  if (!LuDecompose(&lu, &perm)) return false;
+  LuSolve(lu, perm, b, x);
+  return true;
+}
+
+bool SolveLinearSystem(const Matrix& a, const Matrix& b, Matrix* x) {
+  SSIN_CHECK_EQ(a.rows(), a.cols());
+  SSIN_CHECK_EQ(a.rows(), b.rows());
+  Matrix lu = a;
+  std::vector<int> perm;
+  if (!LuDecompose(&lu, &perm)) return false;
+  *x = Matrix(b.rows(), b.cols());
+  std::vector<double> col(b.rows()), sol;
+  for (int c = 0; c < b.cols(); ++c) {
+    for (int r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    LuSolve(lu, perm, col, &sol);
+    for (int r = 0; r < b.rows(); ++r) (*x)(r, c) = sol[r];
+  }
+  return true;
+}
+
+bool Invert(const Matrix& a, Matrix* inv) {
+  return SolveLinearSystem(a, Matrix::Identity(a.rows()), inv);
+}
+
+bool Cholesky(const Matrix& a, Matrix* l) {
+  const int n = a.rows();
+  SSIN_CHECK_EQ(n, a.cols());
+  *l = Matrix(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (int k = 0; k < j; ++k) sum -= (*l)(i, k) * (*l)(j, k);
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        (*l)(i, j) = std::sqrt(sum);
+      } else {
+        (*l)(i, j) = sum / (*l)(j, j);
+      }
+    }
+  }
+  return true;
+}
+
+bool SolveLeastSquares(const Matrix& a, const std::vector<double>& b,
+                       std::vector<double>* x, double ridge) {
+  SSIN_CHECK_EQ(static_cast<size_t>(a.rows()), b.size());
+  const Matrix at = a.Transposed();
+  Matrix normal = at * a;
+  for (int i = 0; i < normal.rows(); ++i) normal(i, i) += ridge;
+  std::vector<double> rhs(a.cols(), 0.0);
+  for (int i = 0; i < a.cols(); ++i) {
+    for (int r = 0; r < a.rows(); ++r) rhs[i] += at(i, r) * b[r];
+  }
+  return SolveLinearSystem(normal, rhs, x);
+}
+
+}  // namespace ssin

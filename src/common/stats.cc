@@ -1,0 +1,51 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssin {
+
+MeanStd ComputeMeanStd(const std::vector<double>& values, double min_std) {
+  MeanStd result;
+  if (values.empty()) return result;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  result.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) {
+    const double d = v - result.mean;
+    sq += d * d;
+  }
+  result.std = std::sqrt(sq / static_cast<double>(values.size()));
+  if (result.std < min_std) result.std = min_std;
+  return result;
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  SSIN_CHECK_EQ(a.size(), b.size());
+  if (a.size() < 2) return 0.0;
+  const MeanStd sa = ComputeMeanStd(a, 0.0);
+  const MeanStd sb = ComputeMeanStd(b, 0.0);
+  if (sa.std == 0.0 || sb.std == 0.0) return 0.0;
+  double cov = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - sa.mean) * (b[i] - sb.mean);
+  }
+  cov /= static_cast<double>(a.size());
+  return cov / (sa.std * sb.std);
+}
+
+double Quantile(std::vector<double> values, double q) {
+  SSIN_CHECK(!values.empty());
+  SSIN_CHECK_GE(q, 0.0);
+  SSIN_CHECK_LE(q, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace ssin

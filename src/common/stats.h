@@ -1,0 +1,57 @@
+#ifndef SSIN_COMMON_STATS_H_
+#define SSIN_COMMON_STATS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ssin {
+
+/// Mean and (population) standard deviation of a sample.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 1.0;
+};
+
+/// Computes mean and population standard deviation. If the standard deviation
+/// is numerically zero it is clamped to `min_std` so callers can divide by it
+/// safely (the SSIN instance-wise standardization divides by per-sequence
+/// std, which can vanish when every gauge reports the same value).
+MeanStd ComputeMeanStd(const std::vector<double>& values,
+                       double min_std = 1e-8);
+
+/// Pearson correlation of two equal-length samples; 0 when degenerate.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Quantile via linear interpolation of the sorted sample, q in [0, 1].
+double Quantile(std::vector<double> values, double q);
+
+/// Streaming accumulator for mean/variance (Welford).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace ssin
+
+#endif  // SSIN_COMMON_STATS_H_

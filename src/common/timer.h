@@ -1,0 +1,31 @@
+#ifndef SSIN_COMMON_TIMER_H_
+#define SSIN_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace ssin {
+
+/// Wall-clock stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ssin
+
+#endif  // SSIN_COMMON_TIMER_H_

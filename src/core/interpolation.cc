@@ -1,0 +1,12 @@
+#include "core/interpolation.h"
+
+namespace ssin {
+
+void StationGeometry::Capture(const SpatialDataset& data,
+                              bool use_travel_distance) {
+  positions_ = data.Positions();
+  has_travel_ = use_travel_distance && data.has_travel_distance();
+  if (has_travel_) travel_ = data.travel_distance();
+}
+
+}  // namespace ssin

@@ -1,0 +1,72 @@
+#ifndef SSIN_CORE_INTERPOLATION_H_
+#define SSIN_CORE_INTERPOLATION_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace ssin {
+
+/// Common interface of every spatial interpolator in this library
+/// (SpaFormer and all six paper baselines).
+///
+/// Protocol (matching the paper's evaluation): Fit() receives the full
+/// station network and the indices of the training gauges, and may train on
+/// the historical values of those gauges. InterpolateTimestamp() then
+/// answers one timestamp: given the values observed at `observed_ids`,
+/// predict the values at `query_ids`. Implementations must only read
+/// `all_values[i]` for i in observed_ids.
+class SpatialInterpolator {
+ public:
+  virtual ~SpatialInterpolator() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Prepares the interpolator for the given network; trains learned
+  /// methods on the train stations' history.
+  virtual void Fit(const SpatialDataset& data,
+                   const std::vector<int>& train_ids) = 0;
+
+  /// Predicts the values at query stations for one timestamp.
+  /// `all_values` is indexed by station id; entries outside observed_ids
+  /// must not be read. Returns one prediction per query id, in order.
+  virtual std::vector<double> InterpolateTimestamp(
+      const std::vector<double>& all_values,
+      const std::vector<int>& observed_ids,
+      const std::vector<int>& query_ids) = 0;
+};
+
+/// Geometry shared by the per-timestamp baselines: station positions plus
+/// the pairwise distance the method should reason with (geographic, or road
+/// travel distance when the dataset provides one — paper §4.3 does this for
+/// IDW/KCN/IGNNK/SpaFormer on traffic).
+class StationGeometry {
+ public:
+  StationGeometry() = default;
+
+  /// Captures positions (and the travel-distance matrix when present and
+  /// `use_travel_distance`).
+  void Capture(const SpatialDataset& data, bool use_travel_distance);
+
+  int num_stations() const { return static_cast<int>(positions_.size()); }
+  const std::vector<PointKm>& positions() const { return positions_; }
+  const PointKm& position(int i) const { return positions_[i]; }
+
+  /// The working distance between two stations.
+  double Distance(int i, int j) const {
+    if (has_travel_) return travel_(i, j);
+    return DistanceKm(positions_[i], positions_[j]);
+  }
+
+  bool using_travel_distance() const { return has_travel_; }
+
+ private:
+  std::vector<PointKm> positions_;
+  Matrix travel_;
+  bool has_travel_ = false;
+};
+
+}  // namespace ssin
+
+#endif  // SSIN_CORE_INTERPOLATION_H_

@@ -1,0 +1,109 @@
+#include "core/masking.h"
+
+#include <algorithm>
+
+namespace ssin {
+
+namespace {
+
+/// Smallest std used for instance standardization: half the 0.1-mm gauge
+/// quantization step, so near-constant hours cannot blow up the
+/// standardized targets.
+constexpr double kMinInstanceStd = 0.05;
+
+/// Standardizes the sequence and fills hidden entries.
+///
+/// `stats_over_all` selects the population for the instance statistics:
+/// during training every gauge in the sequence is a *known* observation
+/// (masking is the supervision trick, not missing data), so the paper's
+/// "statistics of the known observed values X_L" covers all L values; at
+/// inference only the truly observed nodes exist.
+MaskedSequence BuildSequence(const std::vector<double>& values,
+                             const std::vector<uint8_t>& observed,
+                             const std::vector<int>& targets,
+                             const MaskingOptions& options, bool with_truth,
+                             bool stats_over_all) {
+  const int length = static_cast<int>(observed.size());
+  std::vector<double> stat_values;
+  stat_values.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    if (stats_over_all || observed[i]) stat_values.push_back(values[i]);
+  }
+  SSIN_CHECK(!stat_values.empty()) << "sequence has no observed nodes";
+
+  MaskedSequence seq;
+  seq.stats = ComputeMeanStd(stat_values, kMinInstanceStd);
+  seq.observed = observed;
+  seq.target_positions = targets;
+  seq.input = Tensor({length, 1});
+
+  // Mean fill standardizes to 0; zero fill standardizes a raw zero.
+  const double fill = options.mean_fill
+                          ? 0.0
+                          : (0.0 - seq.stats.mean) / seq.stats.std;
+  for (int i = 0; i < length; ++i) {
+    seq.input[i] = observed[i]
+                       ? (values[i] - seq.stats.mean) / seq.stats.std
+                       : fill;
+  }
+  if (with_truth) {
+    seq.targets = Tensor({static_cast<int>(targets.size()), 1});
+    for (size_t t = 0; t < targets.size(); ++t) {
+      seq.targets[static_cast<int64_t>(t)] =
+          (values[targets[t]] - seq.stats.mean) / seq.stats.std;
+    }
+  }
+  return seq;
+}
+
+}  // namespace
+
+MaskedSequence BuildMaskedSequence(const std::vector<double>& values,
+                                   const std::vector<int>& mask,
+                                   const MaskingOptions& options) {
+  const int length = static_cast<int>(values.size());
+  SSIN_CHECK(!mask.empty());
+  SSIN_CHECK_LT(static_cast<int>(mask.size()), length);
+  std::vector<uint8_t> observed(length, 1);
+  for (int m : mask) {
+    SSIN_CHECK(m >= 0 && m < length);
+    SSIN_CHECK(observed[m]) << "duplicate mask position " << m;
+    observed[m] = 0;
+  }
+  return BuildSequence(values, observed, mask, options, /*with_truth=*/true,
+                       /*stats_over_all=*/true);
+}
+
+MaskedSequence BuildInferenceSequence(const std::vector<double>& values,
+                                      int num_queries,
+                                      const MaskingOptions& options) {
+  const int num_observed = static_cast<int>(values.size());
+  SSIN_CHECK_GT(num_observed, 0);
+  SSIN_CHECK_GE(num_queries, 0);
+  const int length = num_observed + num_queries;
+  std::vector<double> padded = values;
+  padded.resize(length, 0.0);
+  std::vector<uint8_t> observed(length, 1);
+  std::vector<int> targets(num_queries);
+  for (int q = 0; q < num_queries; ++q) {
+    observed[num_observed + q] = 0;
+    targets[q] = num_observed + q;
+  }
+  return BuildSequence(padded, observed, targets, options,
+                       /*with_truth=*/false, /*stats_over_all=*/false);
+}
+
+std::vector<int> SampleMask(int length, double mask_ratio, Rng* rng) {
+  SSIN_CHECK_GT(length, 1);
+  int count = static_cast<int>(std::lround(mask_ratio * length));
+  count = std::clamp(count, 1, length - 1);
+  std::vector<int> mask = rng->SampleWithoutReplacement(length, count);
+  std::sort(mask.begin(), mask.end());
+  return mask;
+}
+
+double Destandardize(double standardized, const MeanStd& stats) {
+  return standardized * stats.std + stats.mean;
+}
+
+}  // namespace ssin

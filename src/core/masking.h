@@ -1,0 +1,68 @@
+#ifndef SSIN_CORE_MASKING_H_
+#define SSIN_CORE_MASKING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "tensor/tensor.h"
+
+namespace ssin {
+
+/// One prepared training (or inference) sequence for SpaFormer.
+///
+/// A sequence covers L nodes. Nodes are of three kinds:
+///  * observed  — real gauge readings fed to the model;
+///  * masked    — gauges whose reading was hidden (training targets);
+///  * query     — locations with no reading at all (inference targets).
+/// Masked and query nodes are both "unobserved" for the shielded attention.
+struct MaskedSequence {
+  /// Standardized model input, shape [L, 1]. Observed entries hold
+  /// standardized readings; masked/query entries hold the fill value.
+  Tensor input;
+  /// Per-node flags for the shielded attention (1 = observed).
+  std::vector<uint8_t> observed;
+  /// Sequence positions of the target nodes (masked during training,
+  /// queries during inference).
+  std::vector<int> target_positions;
+  /// Standardized ground-truth values at target_positions (training only).
+  Tensor targets;
+  /// Instance statistics used for (de)standardization.
+  MeanStd stats;
+};
+
+/// Options mirroring the paper's training-strategy ablations (§4.2.3).
+struct MaskingOptions {
+  double mask_ratio = 0.2;  ///< Fraction of nodes masked per sequence.
+  /// Replace hidden inputs with the mean of the observed values (paper
+  /// default). When false, hidden inputs are raw zeros ("zero fill").
+  bool mean_fill = true;
+};
+
+/// Builds a training sequence from raw gauge readings: standardizes with
+/// the statistics of the full sequence (during training every gauge is a
+/// known observation; masking is the supervision trick), hides the nodes
+/// in `mask`, and records their standardized truths as targets.
+/// `values[i]` is the raw reading of sequence node i; `mask` lists the
+/// node positions to hide (must be non-empty and leave >= 1 node observed).
+MaskedSequence BuildMaskedSequence(const std::vector<double>& values,
+                                   const std::vector<int>& mask,
+                                   const MaskingOptions& options);
+
+/// Builds an inference sequence: the first `values.size()` nodes are
+/// observed gauges, followed by `num_queries` query nodes.
+MaskedSequence BuildInferenceSequence(const std::vector<double>& values,
+                                      int num_queries,
+                                      const MaskingOptions& options);
+
+/// Samples a random mask of round(mask_ratio * length) node positions
+/// (at least 1, at most length - 1). Used per presentation under dynamic
+/// masking; generated once per sequence under static masking.
+std::vector<int> SampleMask(int length, double mask_ratio, Rng* rng);
+
+/// Converts a standardized prediction back to the raw value scale.
+double Destandardize(double standardized, const MeanStd& stats);
+
+}  // namespace ssin
+
+#endif  // SSIN_CORE_MASKING_H_

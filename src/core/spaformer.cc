@@ -1,0 +1,126 @@
+#include "core/spaformer.h"
+
+namespace ssin {
+
+SpaFormerConfig SpaFormerConfig::EmbPosLinear() {
+  SpaFormerConfig c;
+  c.position_embedding = Embedding::kLinearNoBias;
+  return c;
+}
+
+SpaFormerConfig SpaFormerConfig::EmbInputLinear() {
+  SpaFormerConfig c;
+  c.value_embedding = Embedding::kLinearNoBias;
+  return c;
+}
+
+SpaFormerConfig SpaFormerConfig::EmbBothLinear() {
+  SpaFormerConfig c;
+  c.value_embedding = Embedding::kLinearNoBias;
+  c.position_embedding = Embedding::kLinearNoBias;
+  return c;
+}
+
+SpaFormerConfig SpaFormerConfig::WithSape() {
+  SpaFormerConfig c;
+  c.position_mode = PositionMode::kSape;
+  return c;
+}
+
+SpaFormerConfig SpaFormerConfig::WithoutShield() {
+  SpaFormerConfig c;
+  c.shielded = false;
+  return c;
+}
+
+SpaFormerConfig SpaFormerConfig::NaiveTransformer() {
+  SpaFormerConfig c;
+  c.value_embedding = Embedding::kLinearNoBias;
+  c.position_embedding = Embedding::kLinearNoBias;
+  c.position_mode = PositionMode::kSape;
+  c.shielded = false;
+  return c;
+}
+
+namespace {
+
+AttentionConfig MakeAttentionConfig(const SpaFormerConfig& config) {
+  AttentionConfig attn;
+  attn.use_srpe =
+      config.position_mode == SpaFormerConfig::PositionMode::kSrpe;
+  attn.shielded = config.shielded;
+  return attn;
+}
+
+}  // namespace
+
+SpaFormer::SpaFormer(const SpaFormerConfig& config, Rng* rng)
+    : config_(config),
+      encoder_(config.num_layers, config.d_model, config.num_heads,
+               config.d_k, config.d_ff, MakeAttentionConfig(config), rng),
+      prediction_(config.d_model, config.d_model, 1, /*relu=*/false,
+                  /*bias=*/true, rng) {
+  value_embedding_ = MakeEmbedding(config.value_embedding, 1, config.d_model,
+                                   rng, &value_linear_, &value_fcn_);
+  RegisterSubmodule("iem", value_embedding_.get());
+
+  const bool srpe =
+      config.position_mode == SpaFormerConfig::PositionMode::kSrpe;
+  const int pos_out = srpe ? config.d_k : config.d_model;
+  position_embedding_ = MakeEmbedding(config.position_embedding, 2, pos_out,
+                                      rng, &position_linear_, &position_fcn_);
+  RegisterSubmodule(srpe ? "srpem" : "sapem", position_embedding_.get());
+
+  RegisterSubmodule("itm", &encoder_);
+  RegisterSubmodule("pm", &prediction_);
+}
+
+std::unique_ptr<Module> SpaFormer::MakeEmbedding(
+    SpaFormerConfig::Embedding kind, int in, int out, Rng* rng,
+    Linear** linear, Fcn2** fcn) {
+  if (kind == SpaFormerConfig::Embedding::kFcn) {
+    auto module = std::make_unique<Fcn2>(in, out, out, /*relu=*/false,
+                                         /*bias=*/true, rng);
+    *fcn = module.get();
+    *linear = nullptr;
+    return module;
+  }
+  auto module = std::make_unique<Linear>(in, out, /*bias=*/false, rng);
+  *linear = module.get();
+  *fcn = nullptr;
+  return module;
+}
+
+Var SpaFormer::ApplyEmbedding(Linear* linear, Fcn2* fcn, Var in) {
+  return linear != nullptr ? linear->Forward(in) : fcn->Forward(in);
+}
+
+Var SpaFormer::Forward(Graph* graph, const Tensor& x, const Tensor& relpos,
+                       const Tensor& abspos,
+                       const std::vector<uint8_t>& observed) {
+  const int length = x.dim(0);
+  SSIN_CHECK_EQ(x.dim(1), 1);
+  SSIN_CHECK_EQ(static_cast<int>(observed.size()), length);
+
+  // Input Embedding Module.
+  Var e = ApplyEmbedding(value_linear_, value_fcn_, graph->Constant(x));
+
+  Var srpe;  // Stays invalid in SAPE mode.
+  if (config_.position_mode == SpaFormerConfig::PositionMode::kSrpe) {
+    SSIN_CHECK_EQ(relpos.dim(0), length * length);
+    SSIN_CHECK_EQ(relpos.dim(1), 2);
+    srpe = ApplyEmbedding(position_linear_, position_fcn_,
+                          graph->Constant(relpos));
+  } else {
+    SSIN_CHECK_EQ(abspos.dim(0), length);
+    SSIN_CHECK_EQ(abspos.dim(1), 2);
+    Var sape = ApplyEmbedding(position_linear_, position_fcn_,
+                              graph->Constant(abspos));
+    e = Add(e, sape);  // APE-style addition, the paper's SAPE ablation.
+  }
+
+  Var h = encoder_.Forward(e, srpe, observed);
+  return prediction_.Forward(h);  // [L, 1]
+}
+
+}  // namespace ssin

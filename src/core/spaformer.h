@@ -1,0 +1,96 @@
+#ifndef SSIN_CORE_SPAFORMER_H_
+#define SSIN_CORE_SPAFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/transformer.h"
+
+namespace ssin {
+
+/// Architecture configuration of the SpaFormer model, including the
+/// switches for every Table 6 ablation variant.
+struct SpaFormerConfig {
+  int num_layers = 3;  ///< T, Transformer blocks.
+  int num_heads = 2;   ///< H.
+  int d_model = 16;    ///< d_e, embedding dimension.
+  int d_k = 16;        ///< Per-head query/key/value dimension.
+  int d_ff = 256;      ///< Feed-forward hidden dimension.
+
+  /// How numeric inputs are embedded.
+  enum class Embedding {
+    kFcn,           ///< Two-layer FCN with bias (paper Eq. 2/3).
+    kLinearNoBias,  ///< Single linear layer without bias (ablation).
+  };
+  Embedding value_embedding = Embedding::kFcn;
+  Embedding position_embedding = Embedding::kFcn;
+
+  /// How spatial position enters the model.
+  enum class PositionMode {
+    kSrpe,  ///< Relative (distance, azimuth) in the attention (paper).
+    kSape,  ///< Absolute [x, y] added to input embeddings (ablation).
+  };
+  PositionMode position_mode = PositionMode::kSrpe;
+
+  /// Shielded attention (paper) vs. full self-attention (ablation).
+  bool shielded = true;
+
+  /// Named constructors for the paper's ablation variants (Table 6).
+  static SpaFormerConfig Paper() { return SpaFormerConfig(); }
+  static SpaFormerConfig EmbPosLinear();
+  static SpaFormerConfig EmbInputLinear();
+  static SpaFormerConfig EmbBothLinear();
+  static SpaFormerConfig WithSape();
+  static SpaFormerConfig WithoutShield();
+  static SpaFormerConfig NaiveTransformer();
+};
+
+/// The SpaFormer spatial interpolator model (paper §3.3): Input Embedding
+/// Module, Spatial Relative Position Embedding Module, Interpolation
+/// Transformer Module, and Prediction Module.
+class SpaFormer : public Module {
+ public:
+  SpaFormer(const SpaFormerConfig& config, Rng* rng);
+
+  /// Runs the model on one sequence.
+  ///
+  /// x:        [L, 1] standardized input values (masked/query nodes
+  ///           pre-filled; see BuildMaskedSequence).
+  /// relpos:   [L*L, 2] standardized relative positions (SRPE mode).
+  /// abspos:   [L, 2] standardized absolute coordinates (SAPE mode).
+  /// observed: per-node observation flags for the shielded attention.
+  /// Returns predictions, shape [L, 1], in standardized space.
+  Var Forward(Graph* graph, const Tensor& x, const Tensor& relpos,
+              const Tensor& abspos, const std::vector<uint8_t>& observed);
+
+  const SpaFormerConfig& config() const { return config_; }
+
+ private:
+  std::unique_ptr<Module> MakeEmbedding(SpaFormerConfig::Embedding kind,
+                                        int in, int out, Rng* rng,
+                                        Linear** linear, Fcn2** fcn);
+
+  Var ApplyEmbedding(Linear* linear, Fcn2* fcn, Var in);
+
+  SpaFormerConfig config_;
+
+  // Input Embedding Module (scalar value -> d_model).
+  std::unique_ptr<Module> value_embedding_;
+  Linear* value_linear_ = nullptr;
+  Fcn2* value_fcn_ = nullptr;
+
+  // Position embedding: SRPE ([dist, azimuth] -> d_k) or SAPE
+  // ([x, y] -> d_model, added to input embeddings).
+  std::unique_ptr<Module> position_embedding_;
+  Linear* position_linear_ = nullptr;
+  Fcn2* position_fcn_ = nullptr;
+
+  Encoder encoder_;
+  Fcn2 prediction_;
+};
+
+}  // namespace ssin
+
+#endif  // SSIN_CORE_SPAFORMER_H_

@@ -1,0 +1,62 @@
+#include "core/spatial_context.h"
+
+namespace ssin {
+
+void SpatialContext::Build(const SpatialDataset& data,
+                           const std::vector<int>& train_ids) {
+  num_stations_ = data.num_stations();
+  SSIN_CHECK_GT(num_stations_, 1);
+  positions_ = data.Positions();
+  raw_relpos_ = data.has_travel_distance()
+                    ? BuildRelPos(positions_, data.travel_distance())
+                    : BuildRelPos(positions_);
+
+  // Global standardization statistics over the training sub-network.
+  SSIN_CHECK_GT(train_ids.size(), 1u);
+  std::vector<double> dists, azims, xs, ys;
+  for (int a : train_ids) {
+    xs.push_back(positions_[a].x);
+    ys.push_back(positions_[a].y);
+    for (int b : train_ids) {
+      if (a == b) continue;
+      const int64_t row = static_cast<int64_t>(a) * num_stations_ + b;
+      dists.push_back(raw_relpos_[row * 2]);
+      azims.push_back(raw_relpos_[row * 2 + 1]);
+    }
+  }
+  stats_.distance = ComputeMeanStd(dists);
+  stats_.azimuth = ComputeMeanStd(azims);
+  x_stats_ = ComputeMeanStd(xs);
+  y_stats_ = ComputeMeanStd(ys);
+}
+
+Tensor SpatialContext::RelposFor(const std::vector<int>& ids) const {
+  const int length = static_cast<int>(ids.size());
+  Tensor out({length * length, 2});
+  for (int a = 0; a < length; ++a) {
+    for (int b = 0; b < length; ++b) {
+      const int64_t src =
+          static_cast<int64_t>(ids[a]) * num_stations_ + ids[b];
+      const int64_t dst = static_cast<int64_t>(a) * length + b;
+      out[dst * 2] =
+          (raw_relpos_[src * 2] - stats_.distance.mean) / stats_.distance.std;
+      out[dst * 2 + 1] = (raw_relpos_[src * 2 + 1] - stats_.azimuth.mean) /
+                         stats_.azimuth.std;
+    }
+  }
+  return out;
+}
+
+Tensor SpatialContext::AbsposFor(const std::vector<int>& ids) const {
+  const int length = static_cast<int>(ids.size());
+  Tensor out({length, 2});
+  for (int a = 0; a < length; ++a) {
+    out[static_cast<int64_t>(a) * 2] =
+        (positions_[ids[a]].x - x_stats_.mean) / x_stats_.std;
+    out[static_cast<int64_t>(a) * 2 + 1] =
+        (positions_[ids[a]].y - y_stats_.mean) / y_stats_.std;
+  }
+  return out;
+}
+
+}  // namespace ssin

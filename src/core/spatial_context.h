@@ -1,0 +1,49 @@
+#ifndef SSIN_CORE_SPATIAL_CONTEXT_H_
+#define SSIN_CORE_SPATIAL_CONTEXT_H_
+
+#include <vector>
+
+#include "core/interpolation.h"
+#include "data/dataset.h"
+#include "geo/relpos.h"
+
+namespace ssin {
+
+/// Precomputed spatial information for one station network.
+///
+/// SSIN standardizes positions globally (paper §3.2): the relative-position
+/// and coordinate statistics are computed once over the *training* stations
+/// and reused for every sequence, including inference sequences that add
+/// query nodes. This class owns the raw pairwise relative positions for the
+/// whole network and serves standardized slices for arbitrary node subsets.
+class SpatialContext {
+ public:
+  SpatialContext() = default;
+
+  /// Builds relative positions over all stations of `data` (using the road
+  /// travel-distance matrix when the dataset carries one) and computes the
+  /// standardization statistics over the `train_ids` sub-network.
+  void Build(const SpatialDataset& data, const std::vector<int>& train_ids);
+
+  /// Standardized relative positions for a node subset: shape
+  /// [|ids|^2, 2], row a*|ids|+b = standardized r(ids[a], ids[b]).
+  Tensor RelposFor(const std::vector<int>& ids) const;
+
+  /// Standardized absolute coordinates for a node subset: [|ids|, 2]
+  /// (used by the SAPE ablation).
+  Tensor AbsposFor(const std::vector<int>& ids) const;
+
+  const RelPosStats& relpos_stats() const { return stats_; }
+  int num_stations() const { return num_stations_; }
+
+ private:
+  int num_stations_ = 0;
+  Tensor raw_relpos_;  ///< [N*N, 2] over the full network.
+  RelPosStats stats_;
+  MeanStd x_stats_, y_stats_;
+  std::vector<PointKm> positions_;
+};
+
+}  // namespace ssin
+
+#endif  // SSIN_CORE_SPATIAL_CONTEXT_H_

@@ -1,0 +1,102 @@
+#include "core/ssin_interpolator.h"
+
+#include "core/masking.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+
+namespace ssin {
+
+SsinInterpolator::SsinInterpolator(const SpaFormerConfig& model_config,
+                                   const TrainConfig& train_config)
+    : model_config_(model_config), train_config_(train_config) {}
+
+SsinInterpolator::~SsinInterpolator() = default;
+
+void SsinInterpolator::Prepare(const SpatialDataset& data,
+                               const std::vector<int>& train_ids) {
+  context_.Build(data, train_ids);
+  Rng init_rng(train_config_.seed ^ 0x9e3779b9u);
+  model_ = std::make_unique<SpaFormer>(model_config_, &init_rng);
+  trainer_ =
+      std::make_unique<SsinTrainer>(model_.get(), &context_, train_config_);
+  prepared_ = true;
+}
+
+void SsinInterpolator::Fit(const SpatialDataset& data,
+                           const std::vector<int>& train_ids) {
+  Prepare(data, train_ids);
+  train_stats_ = trainer_->Train(data, train_ids);
+}
+
+TrainStats SsinInterpolator::ContinueTraining(
+    const SpatialDataset& data, const std::vector<int>& train_ids) {
+  SSIN_CHECK(prepared_) << "call Fit() or Prepare() first";
+  TrainStats stats = trainer_->Train(data, train_ids);
+  for (double l : stats.epoch_loss) train_stats_.epoch_loss.push_back(l);
+  for (double s : stats.epoch_seconds) {
+    train_stats_.epoch_seconds.push_back(s);
+  }
+  train_stats_.steps += stats.steps;
+  return stats;
+}
+
+void SsinInterpolator::CopyParametersFrom(SsinInterpolator& source) {
+  SSIN_CHECK(prepared_ && source.prepared_);
+  std::vector<Parameter*> dst = model_->Parameters();
+  std::vector<Parameter*> src = source.model_->Parameters();
+  SSIN_CHECK_EQ(dst.size(), src.size());
+  for (size_t i = 0; i < dst.size(); ++i) {
+    SSIN_CHECK(dst[i]->value.SameShape(src[i]->value))
+        << "architecture mismatch at " << dst[i]->name;
+    dst[i]->value = src[i]->value;
+  }
+}
+
+bool SsinInterpolator::Save(const std::string& path) {
+  SSIN_CHECK(prepared_) << "nothing to save before Fit()/Prepare()";
+  return SaveModule(model_.get(), path);
+}
+
+bool SsinInterpolator::Load(const std::string& path) {
+  SSIN_CHECK(prepared_) << "call Prepare() with the target dataset first";
+  return LoadModule(model_.get(), path);
+}
+
+std::vector<double> SsinInterpolator::InterpolateTimestamp(
+    const std::vector<double>& all_values,
+    const std::vector<int>& observed_ids, const std::vector<int>& query_ids) {
+  SSIN_CHECK(prepared_) << "call Fit() first";
+
+  // Sequence layout: observed stations first, then query nodes.
+  std::vector<int> node_ids = observed_ids;
+  node_ids.insert(node_ids.end(), query_ids.begin(), query_ids.end());
+
+  std::vector<double> observed_values;
+  observed_values.reserve(observed_ids.size());
+  for (int id : observed_ids) observed_values.push_back(all_values[id]);
+
+  MaskingOptions options;
+  options.mean_fill = train_config_.mean_fill;
+  MaskedSequence seq = BuildInferenceSequence(
+      observed_values, static_cast<int>(query_ids.size()), options);
+
+  const Tensor relpos =
+      model_config_.position_mode == SpaFormerConfig::PositionMode::kSrpe
+          ? context_.RelposFor(node_ids)
+          : Tensor();
+  const Tensor abspos = context_.AbsposFor(node_ids);
+
+  Graph graph;
+  Var pred =
+      model_->Forward(&graph, seq.input, relpos, abspos, seq.observed);
+
+  std::vector<double> out;
+  out.reserve(query_ids.size());
+  const Tensor& values = pred.value();
+  for (int position : seq.target_positions) {
+    out.push_back(Destandardize(values[position], seq.stats));
+  }
+  return out;
+}
+
+}  // namespace ssin

@@ -1,0 +1,77 @@
+#ifndef SSIN_CORE_SSIN_INTERPOLATOR_H_
+#define SSIN_CORE_SSIN_INTERPOLATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/interpolation.h"
+#include "core/spaformer.h"
+#include "core/spatial_context.h"
+#include "core/trainer.h"
+
+namespace ssin {
+
+/// The complete SSIN system behind the SpatialInterpolator interface:
+/// owns a SpaFormer model, trains it with the self-supervised
+/// mask-and-recover task on Fit(), and answers interpolation queries by
+/// appending query nodes to the observed sequence (paper §3.2 "Testing").
+class SsinInterpolator : public SpatialInterpolator {
+ public:
+  SsinInterpolator(const SpaFormerConfig& model_config,
+                   const TrainConfig& train_config);
+  ~SsinInterpolator() override;
+
+  std::string Name() const override { return "SpaFormer"; }
+
+  void Fit(const SpatialDataset& data,
+           const std::vector<int>& train_ids) override;
+
+  std::vector<double> InterpolateTimestamp(
+      const std::vector<double>& all_values,
+      const std::vector<int>& observed_ids,
+      const std::vector<int>& query_ids) override;
+
+  /// Builds the spatial context and model without training — used for
+  /// transfer experiments (Table 8) and checkpoint loading.
+  void Prepare(const SpatialDataset& data,
+               const std::vector<int>& train_ids);
+
+  /// Continues training on `data` (e.g. after appending new seasons,
+  /// Figure 11's year-by-year model update). Prepare()/Fit() must have
+  /// been called.
+  TrainStats ContinueTraining(const SpatialDataset& data,
+                              const std::vector<int>& train_ids);
+
+  /// Copies trained weights from another interpolator with an identical
+  /// architecture (cross-region transfer).
+  void CopyParametersFrom(SsinInterpolator& source);
+
+  /// Saves the complete interpolator state — model weights plus the
+  /// model/train configuration fingerprint — to one file. The spatial
+  /// context is rebuilt from the dataset on load, so a checkpoint is
+  /// portable across regions (transfer-style deployment).
+  bool Save(const std::string& path);
+
+  /// Restores a checkpoint produced by Save(). Must be called after
+  /// Prepare() (or Fit()) with a matching architecture; returns false on
+  /// IO failure or architecture mismatch.
+  bool Load(const std::string& path);
+
+  /// Trained model access (checkpointing via nn/serialize.h).
+  SpaFormer* model() { return model_.get(); }
+  const TrainStats& train_stats() const { return train_stats_; }
+
+ private:
+  SpaFormerConfig model_config_;
+  TrainConfig train_config_;
+  std::unique_ptr<SpaFormer> model_;
+  std::unique_ptr<SsinTrainer> trainer_;
+  SpatialContext context_;
+  TrainStats train_stats_;
+  bool prepared_ = false;
+};
+
+}  // namespace ssin
+
+#endif  // SSIN_CORE_SSIN_INTERPOLATOR_H_

@@ -1,0 +1,131 @@
+#include "core/trainer.h"
+
+#include <cstdio>
+#include <algorithm>
+#include <numeric>
+
+#include "common/timer.h"
+#include "tensor/ops.h"
+
+namespace ssin {
+
+double TrainStats::mean_epoch_seconds() const {
+  if (epoch_seconds.empty()) return 0.0;
+  return std::accumulate(epoch_seconds.begin(), epoch_seconds.end(), 0.0) /
+         static_cast<double>(epoch_seconds.size());
+}
+
+SsinTrainer::SsinTrainer(SpaFormer* model, const SpatialContext* context,
+                         const TrainConfig& config)
+    : model_(model),
+      context_(context),
+      config_(config),
+      optimizer_(model->Parameters(), /*beta1=*/0.9, /*beta2=*/0.98,
+                 /*eps=*/1e-9),
+      rng_(config.seed) {}
+
+TrainStats SsinTrainer::Train(const SpatialDataset& data,
+                              const std::vector<int>& train_ids) {
+  const int num_sequences = data.num_timestamps();
+  const int length = static_cast<int>(train_ids.size());
+  SSIN_CHECK_GT(num_sequences, 0);
+  SSIN_CHECK_GT(length, 1);
+
+  // Static spatial inputs for the training sub-network: sequence node i is
+  // station train_ids[i].
+  const Tensor relpos = context_->RelposFor(train_ids);
+  const Tensor abspos = context_->AbsposFor(train_ids);
+
+  MaskingOptions mask_options;
+  mask_options.mask_ratio = config_.mask_ratio;
+  mask_options.mean_fill = config_.mean_fill;
+
+  // Raw value rows gathered once.
+  std::vector<std::vector<double>> sequences(num_sequences);
+  for (int t = 0; t < num_sequences; ++t) {
+    sequences[t].resize(length);
+    for (int i = 0; i < length; ++i) {
+      sequences[t][i] = data.Value(t, train_ids[i]);
+    }
+  }
+
+  // Static-masking ablation: one fixed mask per (sequence, repetition),
+  // drawn during "preprocessing" and replayed every epoch.
+  std::vector<std::vector<int>> static_masks;
+  if (!config_.dynamic_masking) {
+    static_masks.resize(static_cast<size_t>(num_sequences) *
+                        config_.masks_per_sequence);
+    for (auto& mask : static_masks) {
+      mask = SampleMask(length, config_.mask_ratio, &rng_);
+    }
+  }
+
+  // An epoch presents every sequence masks_per_sequence times.
+  std::vector<int> items(static_cast<size_t>(num_sequences) *
+                         config_.masks_per_sequence);
+  std::iota(items.begin(), items.end(), 0);
+
+  if (schedule_ == nullptr) {
+    // Size the warmup for this run: at most a quarter of the planned
+    // steps, so short CPU runs still reach and traverse the decay phase.
+    const int64_t steps_per_epoch = static_cast<int64_t>(
+        (items.size() + config_.batch_size - 1) / config_.batch_size);
+    const int64_t planned = steps_per_epoch * config_.epochs;
+    const int warmup = static_cast<int>(std::max<int64_t>(
+        1, std::min<int64_t>(config_.warmup_steps, planned / 4)));
+    schedule_ = std::make_unique<NoamSchedule>(model_->config().d_model,
+                                               warmup, config_.lr_factor);
+  }
+
+  TrainStats stats;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    Timer epoch_timer;
+    rng_.Shuffle(&items);
+    double loss_sum = 0.0;
+    int64_t loss_count = 0;
+
+    for (size_t start = 0; start < items.size();
+         start += config_.batch_size) {
+      const size_t end =
+          std::min(items.size(), start + config_.batch_size);
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      model_->ZeroGrad();
+      for (size_t it = start; it < end; ++it) {
+        const int item = items[it];
+        const int t = item % num_sequences;
+        const std::vector<int> mask =
+            config_.dynamic_masking
+                ? SampleMask(length, config_.mask_ratio, &rng_)
+                : static_masks[item];
+        MaskedSequence seq =
+            BuildMaskedSequence(sequences[t], mask, mask_options);
+
+        Graph graph;
+        Var pred = model_->Forward(&graph, seq.input, relpos, abspos,
+                                   seq.observed);
+        Var masked_pred = GatherRows(pred, seq.target_positions);
+        Var loss = MseLoss(masked_pred, seq.targets);
+        loss_sum += loss.value()[0];
+        ++loss_count;
+        // Average gradients over the batch.
+        graph.Backward(Scale(loss, inv_batch));
+      }
+      schedule_->Step(&optimizer_);
+      optimizer_.Step();
+      ++stats.steps;
+    }
+
+    stats.epoch_loss.push_back(loss_sum /
+                               static_cast<double>(std::max<int64_t>(
+                                   1, loss_count)));
+    stats.epoch_seconds.push_back(epoch_timer.Seconds());
+    if (config_.verbose) {
+      std::fprintf(stderr, "[ssin] epoch %3d  loss %.5f  (%.1fs, lr %.2e)\n",
+                   epoch + 1, stats.epoch_loss.back(),
+                   stats.epoch_seconds.back(), optimizer_.learning_rate());
+    }
+  }
+  return stats;
+}
+
+}  // namespace ssin

@@ -1,0 +1,119 @@
+#include "data/csv_loader.h"
+
+#include <cstdlib>
+
+#include "common/csv.h"
+
+namespace ssin {
+
+namespace {
+
+bool ParseDouble(const std::string& cell, double* out) {
+  if (cell.empty()) {
+    *out = 0.0;
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(cell.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+bool LoadDatasetCsv(const std::string& stations_path,
+                    const std::string& values_path, SpatialDataset* dataset,
+                    std::string* error) {
+  CsvTable stations_csv;
+  if (!ReadCsv(stations_path, &stations_csv)) {
+    *error = "cannot read " + stations_path;
+    return false;
+  }
+  const int id_col = stations_csv.ColumnIndex("id");
+  const int lat_col = stations_csv.ColumnIndex("lat");
+  const int lon_col = stations_csv.ColumnIndex("lon");
+  if (id_col < 0 || lat_col < 0 || lon_col < 0) {
+    *error = "stations file needs id,lat,lon columns";
+    return false;
+  }
+
+  std::vector<Station> stations;
+  double lat_sum = 0.0, lon_sum = 0.0;
+  for (const auto& row : stations_csv.rows) {
+    Station s;
+    s.id = row[id_col];
+    if (!ParseDouble(row[lat_col], &s.latlon.lat) ||
+        !ParseDouble(row[lon_col], &s.latlon.lon)) {
+      *error = "bad coordinate for station " + s.id;
+      return false;
+    }
+    lat_sum += s.latlon.lat;
+    lon_sum += s.latlon.lon;
+    stations.push_back(std::move(s));
+  }
+  if (stations.empty()) {
+    *error = "no stations";
+    return false;
+  }
+  const LatLon centroid{lat_sum / stations.size(), lon_sum / stations.size()};
+  for (Station& s : stations) {
+    s.position = ProjectEquirectangular(s.latlon, centroid);
+  }
+
+  CsvTable values_csv;
+  if (!ReadCsv(values_path, &values_csv)) {
+    *error = "cannot read " + values_path;
+    return false;
+  }
+  // Map header station ids to station order.
+  std::vector<int> column_of(stations.size(), -1);
+  for (size_t s = 0; s < stations.size(); ++s) {
+    column_of[s] = values_csv.ColumnIndex(stations[s].id);
+    if (column_of[s] <= 0) {  // Column 0 is the timestamp.
+      *error = "values file lacks a column for station " + stations[s].id;
+      return false;
+    }
+  }
+
+  *dataset = SpatialDataset(std::move(stations));
+  for (const auto& row : values_csv.rows) {
+    std::vector<double> values(column_of.size(), 0.0);
+    for (size_t s = 0; s < column_of.size(); ++s) {
+      if (static_cast<size_t>(column_of[s]) >= row.size() ||
+          !ParseDouble(row[column_of[s]], &values[s])) {
+        *error = "bad value in row with timestamp " +
+                 (row.empty() ? std::string("?") : row[0]);
+        return false;
+      }
+    }
+    dataset->AddTimestamp(std::move(values));
+  }
+  return true;
+}
+
+bool SaveDatasetCsv(const SpatialDataset& dataset,
+                    const std::string& stations_path,
+                    const std::string& values_path) {
+  CsvTable stations_csv;
+  stations_csv.header = {"id", "lat", "lon"};
+  for (const Station& s : dataset.stations()) {
+    stations_csv.rows.push_back({s.id, std::to_string(s.latlon.lat),
+                                 std::to_string(s.latlon.lon)});
+  }
+  if (!WriteCsv(stations_path, stations_csv)) return false;
+
+  CsvTable values_csv;
+  values_csv.header = {"timestamp"};
+  for (const Station& s : dataset.stations()) {
+    values_csv.header.push_back(s.id);
+  }
+  for (int t = 0; t < dataset.num_timestamps(); ++t) {
+    std::vector<std::string> row = {std::to_string(t)};
+    for (int s = 0; s < dataset.num_stations(); ++s) {
+      row.push_back(std::to_string(dataset.Value(t, s)));
+    }
+    values_csv.rows.push_back(std::move(row));
+  }
+  return WriteCsv(values_path, values_csv);
+}
+
+}  // namespace ssin

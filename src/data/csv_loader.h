@@ -1,0 +1,35 @@
+#ifndef SSIN_DATA_CSV_LOADER_H_
+#define SSIN_DATA_CSV_LOADER_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace ssin {
+
+/// CSV import/export so the library can run on real archives (the climate
+/// database layout of paper §3.2).
+///
+/// stations.csv:  id,lat,lon             (one row per gauge)
+/// values.csv:    timestamp,<id1>,<id2>,... (one row per hour; the header
+///                names the station ids; cells are numeric readings, empty
+///                cells are treated as 0.0)
+///
+/// Station planar positions are an equirectangular projection around the
+/// network centroid.
+
+/// Loads a dataset from the two-file layout above. Returns false and
+/// leaves *error describing the problem on malformed input.
+bool LoadDatasetCsv(const std::string& stations_path,
+                    const std::string& values_path, SpatialDataset* dataset,
+                    std::string* error);
+
+/// Writes a dataset back out in the same layout (timestamps are written
+/// as their integer index). Returns false on IO failure.
+bool SaveDatasetCsv(const SpatialDataset& dataset,
+                    const std::string& stations_path,
+                    const std::string& values_path);
+
+}  // namespace ssin
+
+#endif  // SSIN_DATA_CSV_LOADER_H_

@@ -1,0 +1,57 @@
+#include "eval/crossval.h"
+
+#include <algorithm>
+
+namespace ssin {
+
+std::vector<std::vector<int>> MakeFolds(int num_stations, int k, Rng* rng) {
+  SSIN_CHECK_GE(k, 2);
+  SSIN_CHECK_GE(num_stations, k);
+  std::vector<int> perm = rng->Permutation(num_stations);
+  std::vector<std::vector<int>> folds(k);
+  for (int i = 0; i < num_stations; ++i) {
+    folds[i % k].push_back(perm[i]);
+  }
+  for (auto& fold : folds) std::sort(fold.begin(), fold.end());
+  return folds;
+}
+
+CrossValidationResult CrossValidate(
+    const std::function<std::unique_ptr<SpatialInterpolator>()>& factory,
+    const SpatialDataset& data, int k, Rng* rng,
+    const EvalOptions& options) {
+  const std::vector<std::vector<int>> folds =
+      MakeFolds(data.num_stations(), k, rng);
+
+  CrossValidationResult result;
+  MetricsAccumulator pooled;
+  for (int fold = 0; fold < k; ++fold) {
+    NodeSplit split;
+    split.test_ids = folds[fold];
+    for (int other = 0; other < k; ++other) {
+      if (other == fold) continue;
+      split.train_ids.insert(split.train_ids.end(), folds[other].begin(),
+                             folds[other].end());
+    }
+    std::sort(split.train_ids.begin(), split.train_ids.end());
+
+    std::unique_ptr<SpatialInterpolator> method = factory();
+    EvalResult eval = EvaluateInterpolator(method.get(), data, split,
+                                           options);
+    // Re-accumulate into the pooled metrics.
+    const int end =
+        options.end < 0 ? data.num_timestamps() : options.end;
+    for (int t = options.begin; t < end; t += options.stride) {
+      const std::vector<double> predictions = method->InterpolateTimestamp(
+          data.Values(t), split.train_ids, split.test_ids);
+      for (size_t q = 0; q < split.test_ids.size(); ++q) {
+        pooled.Add(data.Value(t, split.test_ids[q]), predictions[q]);
+      }
+    }
+    result.folds.push_back(std::move(eval));
+  }
+  result.pooled = pooled.Compute();
+  return result;
+}
+
+}  // namespace ssin

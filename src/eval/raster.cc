@@ -1,0 +1,91 @@
+#include "eval/raster.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace ssin {
+
+Raster::Raster(int width, int height, double x0_km, double y0_km,
+               double cell_km)
+    : width_(width),
+      height_(height),
+      x0_km_(x0_km),
+      y0_km_(y0_km),
+      cell_km_(cell_km),
+      values_(static_cast<size_t>(width) * height, 0.0) {
+  SSIN_CHECK_GT(width, 0);
+  SSIN_CHECK_GT(height, 0);
+  SSIN_CHECK_GT(cell_km, 0.0);
+}
+
+double& Raster::At(int gx, int gy) {
+  SSIN_DCHECK(gx >= 0 && gx < width_ && gy >= 0 && gy < height_);
+  return values_[static_cast<size_t>(gy) * width_ + gx];
+}
+
+double Raster::At(int gx, int gy) const {
+  return const_cast<Raster*>(this)->At(gx, gy);
+}
+
+PointKm Raster::CellCenter(int gx, int gy) const {
+  return {x0_km_ + (gx + 0.5) * cell_km_, y0_km_ + (gy + 0.5) * cell_km_};
+}
+
+std::vector<PointKm> Raster::CellCenters() const {
+  std::vector<PointKm> centers;
+  centers.reserve(values_.size());
+  for (int gy = 0; gy < height_; ++gy) {
+    for (int gx = 0; gx < width_; ++gx) {
+      centers.push_back(CellCenter(gx, gy));
+    }
+  }
+  return centers;
+}
+
+void Raster::SetValues(const std::vector<double>& values) {
+  SSIN_CHECK_EQ(values.size(), values_.size());
+  values_ = values;
+}
+
+double Raster::MinValue() const {
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Raster::MaxValue() const {
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Raster::MeanValue() const {
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+bool Raster::WritePgm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const double lo = MinValue();
+  const double hi = MaxValue();
+  const double span = hi > lo ? hi - lo : 1.0;
+  out << "P5\n" << width_ << " " << height_ << "\n255\n";
+  // PGM rows run top to bottom; our rows run south to north.
+  for (int gy = height_ - 1; gy >= 0; --gy) {
+    for (int gx = 0; gx < width_; ++gx) {
+      const double norm = (At(gx, gy) - lo) / span;
+      out.put(static_cast<char>(static_cast<int>(norm * 255.0)));
+    }
+  }
+  return out.good();
+}
+
+double Raster::FractionAbove(double threshold) const {
+  int64_t count = 0;
+  for (double v : values_) {
+    if (v >= threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(values_.size());
+}
+
+}  // namespace ssin

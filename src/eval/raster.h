@@ -1,0 +1,58 @@
+#ifndef SSIN_EVAL_RASTER_H_
+#define SSIN_EVAL_RASTER_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/coords.h"
+
+namespace ssin {
+
+/// A regular grid of interpolated values over a rectangular domain — the
+/// "fine-grained rainfall distribution" deliverable the paper's
+/// introduction motivates. Row-major, row 0 at the south edge.
+class Raster {
+ public:
+  Raster(int width, int height, double x0_km, double y0_km,
+         double cell_km);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  double cell_km() const { return cell_km_; }
+
+  double& At(int gx, int gy);
+  double At(int gx, int gy) const;
+
+  /// Planar coordinates of a cell center.
+  PointKm CellCenter(int gx, int gy) const;
+
+  /// All cell centers in row-major order (the query list to hand to an
+  /// interpolator).
+  std::vector<PointKm> CellCenters() const;
+
+  /// Fills values from a row-major vector (size width*height).
+  void SetValues(const std::vector<double>& values);
+  const std::vector<double>& values() const { return values_; }
+
+  double MinValue() const;
+  double MaxValue() const;
+  double MeanValue() const;
+
+  /// Writes a portable graymap (PGM) image, darkest = MinValue. A raster
+  /// export any image viewer or GIS tool can open. Returns false on IO
+  /// failure.
+  bool WritePgm(const std::string& path) const;
+
+  /// Areal statistics above a threshold (e.g. flood-warning coverage):
+  /// fraction of cells with value >= threshold.
+  double FractionAbove(double threshold) const;
+
+ private:
+  int width_, height_;
+  double x0_km_, y0_km_, cell_km_;
+  std::vector<double> values_;
+};
+
+}  // namespace ssin
+
+#endif  // SSIN_EVAL_RASTER_H_

@@ -1,0 +1,80 @@
+#include "eval/runner.h"
+
+#include <cstdio>
+
+#include "common/timer.h"
+
+namespace ssin {
+
+namespace {
+
+EvalResult RunEvaluation(SpatialInterpolator* method,
+                         const SpatialDataset& data, const NodeSplit& split,
+                         const EvalOptions& options, bool fit) {
+  EvalResult result;
+  result.method = method->Name();
+
+  if (fit) {
+    Timer fit_timer;
+    method->Fit(data, split.train_ids);
+    result.fit_seconds = fit_timer.Seconds();
+  }
+
+  const int end = options.end < 0 ? data.num_timestamps() : options.end;
+  SSIN_CHECK_LE(end, data.num_timestamps());
+  SSIN_CHECK_GE(options.stride, 1);
+
+  MetricsAccumulator acc;
+  Timer interp_timer;
+  for (int t = options.begin; t < end; t += options.stride) {
+    const std::vector<double> predictions = method->InterpolateTimestamp(
+        data.Values(t), split.train_ids, split.test_ids);
+    SSIN_CHECK_EQ(predictions.size(), split.test_ids.size());
+    for (size_t q = 0; q < split.test_ids.size(); ++q) {
+      acc.Add(data.Value(t, split.test_ids[q]), predictions[q]);
+    }
+    ++result.timestamps_evaluated;
+  }
+  result.interpolate_seconds = interp_timer.Seconds();
+  result.metrics = acc.Compute();
+  return result;
+}
+
+}  // namespace
+
+EvalResult EvaluateInterpolator(SpatialInterpolator* method,
+                                const SpatialDataset& data,
+                                const NodeSplit& split,
+                                const EvalOptions& options) {
+  return RunEvaluation(method, data, split, options, /*fit=*/true);
+}
+
+EvalResult EvaluateWithoutFit(SpatialInterpolator* method,
+                              const SpatialDataset& data,
+                              const NodeSplit& split,
+                              const EvalOptions& options) {
+  return RunEvaluation(method, data, split, options, /*fit=*/false);
+}
+
+void PrintResultsTable(const std::string& title,
+                       const std::vector<std::string>& blocks,
+                       const std::vector<std::vector<EvalResult>>& rows) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-18s", "Method");
+  for (const std::string& block : blocks) {
+    std::printf(" | %8s %8s %8s", (block + " RMSE").c_str(), "MAE", "NSE");
+  }
+  std::printf("\n");
+  for (const auto& row : rows) {
+    if (row.empty()) continue;
+    std::printf("%-18s", row[0].method.c_str());
+    for (const EvalResult& r : row) {
+      std::printf(" | %8.4f %8.4f %8.4f", r.metrics.rmse, r.metrics.mae,
+                  r.metrics.nse);
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace ssin

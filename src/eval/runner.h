@@ -1,0 +1,51 @@
+#ifndef SSIN_EVAL_RUNNER_H_
+#define SSIN_EVAL_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/interpolation.h"
+#include "eval/metrics.h"
+
+namespace ssin {
+
+/// Evaluation options: which timestamps of the dataset to score.
+struct EvalOptions {
+  int begin = 0;
+  int end = -1;    ///< Exclusive; -1 = all timestamps.
+  int stride = 1;  ///< Evaluate every stride-th timestamp.
+};
+
+/// Result of evaluating one method on one dataset.
+struct EvalResult {
+  std::string method;
+  Metrics metrics;
+  double fit_seconds = 0.0;
+  double interpolate_seconds = 0.0;
+  int timestamps_evaluated = 0;
+};
+
+/// Runs the paper's evaluation protocol: the interpolator is Fit() on the
+/// training stations' history, then for each evaluated timestamp predicts
+/// the held-out stations from the training stations' readings; metrics
+/// aggregate over all (timestamp, test station) pairs.
+EvalResult EvaluateInterpolator(SpatialInterpolator* method,
+                                const SpatialDataset& data,
+                                const NodeSplit& split,
+                                const EvalOptions& options = EvalOptions());
+
+/// Variant that skips Fit() (for already-trained / transferred models).
+EvalResult EvaluateWithoutFit(SpatialInterpolator* method,
+                              const SpatialDataset& data,
+                              const NodeSplit& split,
+                              const EvalOptions& options = EvalOptions());
+
+/// Prints a paper-style results table. Each row: name + RMSE/MAE/NSE per
+/// dataset block. `blocks` names dataset columns (e.g. {"HK", "BW"}).
+void PrintResultsTable(const std::string& title,
+                       const std::vector<std::string>& blocks,
+                       const std::vector<std::vector<EvalResult>>& rows);
+
+}  // namespace ssin
+
+#endif  // SSIN_EVAL_RUNNER_H_

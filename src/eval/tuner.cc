@@ -1,0 +1,67 @@
+#include "eval/tuner.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace ssin {
+
+std::string HyperParams::ToString() const {
+  std::ostringstream out;
+  out << "lr=" << learning_rate << " wd=" << weight_decay
+      << " dropout=" << dropout << " hidden=" << hidden_dim
+      << " kernel=" << kernel_length;
+  return out.str();
+}
+
+HyperParams SampleHyperParams(Rng* rng) {
+  HyperParams hp;
+  // Log-uniform over the open intervals of Table 3.
+  hp.learning_rate = std::pow(10.0, rng->Uniform(-4.0, -2.0));   // (0,0.01)
+  hp.weight_decay = std::pow(10.0, rng->Uniform(-6.0, -3.0));    // (0,1e-3)
+  hp.dropout = rng->Uniform(0.0, 0.5);
+  static constexpr int kHidden[] = {4, 8, 16, 32, 64, 128};
+  hp.hidden_dim = kHidden[rng->UniformInt(0, 5)];
+  static constexpr double kKernel[] = {10.0, 5.0, 1.0, 0.5,
+                                       0.1,  0.05, 0.01};
+  hp.kernel_length = kKernel[rng->UniformInt(0, 6)];
+  return hp;
+}
+
+TuningResult RandomSearch(const InterpolatorFactory& factory,
+                          const SpatialDataset& data,
+                          const std::vector<int>& train_ids, int trials,
+                          Rng* rng, double val_fraction,
+                          const EvalOptions& options) {
+  SSIN_CHECK_GE(trials, 1);
+  SSIN_CHECK_GT(train_ids.size(), 4u);
+
+  // Hold out validation stations from the training set; the real test
+  // gauges never enter the search.
+  const int num_val = std::max(
+      1, static_cast<int>(train_ids.size() * val_fraction + 0.5));
+  std::vector<int> shuffled = train_ids;
+  rng->Shuffle(&shuffled);
+  NodeSplit inner;
+  inner.test_ids.assign(shuffled.begin(), shuffled.begin() + num_val);
+  inner.train_ids.assign(shuffled.begin() + num_val, shuffled.end());
+
+  TuningResult result;
+  double best_rmse = std::numeric_limits<double>::infinity();
+  for (int t = 0; t < trials; ++t) {
+    const HyperParams hp = SampleHyperParams(rng);
+    std::unique_ptr<SpatialInterpolator> method = factory(hp);
+    const EvalResult eval =
+        EvaluateInterpolator(method.get(), data, inner, options);
+    result.tried.push_back(hp);
+    result.metrics.push_back(eval.metrics);
+    if (eval.metrics.rmse < best_rmse) {
+      best_rmse = eval.metrics.rmse;
+      result.best = hp;
+      result.best_metrics = eval.metrics;
+    }
+  }
+  return result;
+}
+
+}  // namespace ssin

@@ -1,0 +1,78 @@
+#include "geo/relpos.h"
+
+#include <cmath>
+
+namespace ssin {
+
+namespace {
+
+Tensor BuildRelPosImpl(const std::vector<PointKm>& points,
+                       const Matrix* distance) {
+  const int length = static_cast<int>(points.size());
+  Tensor relpos({length * length, 2});
+  for (int i = 0; i < length; ++i) {
+    for (int j = 0; j < length; ++j) {
+      const int64_t row = static_cast<int64_t>(i) * length + j;
+      if (i == j) {
+        relpos[row * 2] = 0.0;
+        relpos[row * 2 + 1] = 0.0;
+        continue;
+      }
+      relpos[row * 2] = distance != nullptr
+                            ? (*distance)(i, j)
+                            : DistanceKm(points[i], points[j]);
+      relpos[row * 2 + 1] = AzimuthRad(points[i], points[j]);
+    }
+  }
+  return relpos;
+}
+
+}  // namespace
+
+Tensor BuildRelPos(const std::vector<PointKm>& points) {
+  return BuildRelPosImpl(points, nullptr);
+}
+
+Tensor BuildRelPos(const std::vector<PointKm>& points,
+                   const Matrix& distance) {
+  SSIN_CHECK_EQ(distance.rows(), static_cast<int>(points.size()));
+  SSIN_CHECK_EQ(distance.cols(), static_cast<int>(points.size()));
+  return BuildRelPosImpl(points, &distance);
+}
+
+RelPosStats ComputeRelPosStats(const Tensor& relpos) {
+  SSIN_CHECK_EQ(relpos.rank(), 2);
+  SSIN_CHECK_EQ(relpos.dim(1), 2);
+  const int64_t pairs = relpos.dim(0);
+  const int length = static_cast<int>(std::lround(
+      std::sqrt(static_cast<double>(pairs))));
+  SSIN_CHECK_EQ(static_cast<int64_t>(length) * length, pairs);
+
+  std::vector<double> dists, azims;
+  dists.reserve(pairs);
+  azims.reserve(pairs);
+  for (int i = 0; i < length; ++i) {
+    for (int j = 0; j < length; ++j) {
+      if (i == j) continue;
+      const int64_t row = static_cast<int64_t>(i) * length + j;
+      dists.push_back(relpos[row * 2]);
+      azims.push_back(relpos[row * 2 + 1]);
+    }
+  }
+  RelPosStats stats;
+  stats.distance = ComputeMeanStd(dists);
+  stats.azimuth = ComputeMeanStd(azims);
+  return stats;
+}
+
+Tensor StandardizeRelPos(const Tensor& relpos, const RelPosStats& stats) {
+  Tensor out = relpos;
+  const int64_t rows = out.dim(0);
+  for (int64_t r = 0; r < rows; ++r) {
+    out[r * 2] = (out[r * 2] - stats.distance.mean) / stats.distance.std;
+    out[r * 2 + 1] = (out[r * 2 + 1] - stats.azimuth.mean) / stats.azimuth.std;
+  }
+  return out;
+}
+
+}  // namespace ssin

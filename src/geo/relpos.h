@@ -1,0 +1,40 @@
+#ifndef SSIN_GEO_RELPOS_H_
+#define SSIN_GEO_RELPOS_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/stats.h"
+#include "geo/coords.h"
+#include "tensor/tensor.h"
+
+namespace ssin {
+
+/// Global standardization statistics for relative positions (paper §3.2:
+/// positions are static, so distances and azimuths are standardized with
+/// the statistics of the known training locations).
+struct RelPosStats {
+  MeanStd distance;
+  MeanStd azimuth;
+};
+
+/// Builds the raw relative-position tensor r for a node sequence:
+/// shape [L*L, 2]; row i*L+j holds [distance(p_i,p_j), azimuth(p_i->p_j)].
+/// The self-pair azimuth is 0 by convention (distance is 0).
+Tensor BuildRelPos(const std::vector<PointKm>& points);
+
+/// Same, but with an externally supplied symmetric distance matrix (e.g.
+/// road travel distances for traffic interpolation, paper §4.3); azimuths
+/// still come from the planar coordinates.
+Tensor BuildRelPos(const std::vector<PointKm>& points,
+                   const Matrix& distance);
+
+/// Statistics over the off-diagonal pairs of a raw relpos tensor.
+RelPosStats ComputeRelPosStats(const Tensor& relpos);
+
+/// Column-wise standardization of a raw relpos tensor with given stats.
+Tensor StandardizeRelPos(const Tensor& relpos, const RelPosStats& stats);
+
+}  // namespace ssin
+
+#endif  // SSIN_GEO_RELPOS_H_

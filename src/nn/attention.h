@@ -1,0 +1,50 @@
+#ifndef SSIN_NN_ATTENTION_H_
+#define SSIN_NN_ATTENTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/attention_kernels.h"
+#include "tensor/ops.h"
+
+namespace ssin {
+
+/// Multi-head shielded self-attention with spatial relative position
+/// embeddings (paper §3.3.3, Eq. 4-7).
+///
+/// Each head h computes z^(h) via the packed shielded-attention kernel from
+/// its own Q/K/V projections (all without bias, as in the original
+/// Transformer); head outputs are concatenated and projected by W^O back to
+/// the model dimension.
+class MultiHeadSpaAttention : public Module {
+ public:
+  /// d_model: input embedding dimension d_e. d_k: per-head dimension.
+  /// The SRPE tensor passed to Forward must have column width d_k.
+  MultiHeadSpaAttention(int d_model, int num_heads, int d_k,
+                        const AttentionConfig& config, Rng* rng);
+
+  /// e: [L, d_model] node embeddings. srpe: [L*L, d_k] relative position
+  /// embeddings shared by all heads (pass an invalid Var when the config
+  /// has use_srpe=false). observed: per-node observation flags.
+  Var Forward(Var e, Var srpe, const std::vector<uint8_t>& observed);
+
+  const AttentionConfig& config() const { return config_; }
+  int num_heads() const { return static_cast<int>(heads_.size()); }
+
+ private:
+  struct Head {
+    std::unique_ptr<Linear> wq;
+    std::unique_ptr<Linear> wk;
+    std::unique_ptr<Linear> wv;
+  };
+
+  AttentionConfig config_;
+  std::vector<Head> heads_;
+  std::unique_ptr<Linear> output_proj_;
+};
+
+}  // namespace ssin
+
+#endif  // SSIN_NN_ATTENTION_H_

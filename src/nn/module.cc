@@ -1,0 +1,53 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+namespace ssin {
+
+std::vector<Parameter*> Module::Parameters() {
+  std::vector<Parameter*> out;
+  CollectParameters("", &out);
+  return out;
+}
+
+void Module::CollectParameters(const std::string& prefix,
+                               std::vector<Parameter*>* out) {
+  for (auto& p : params_) {
+    // Refresh the fully qualified name so save/load sees stable paths even
+    // when a module is reused inside different parents.
+    if (!prefix.empty() && p->name.rfind(prefix, 0) != 0) {
+      p->name = prefix + p->name;
+    }
+    out->push_back(p.get());
+  }
+  for (auto& [name, child] : children_) {
+    child->CollectParameters(prefix + name + ".", out);
+  }
+}
+
+int64_t Module::ParameterCount() {
+  int64_t total = 0;
+  for (Parameter* p : Parameters()) total += p->numel();
+  return total;
+}
+
+void Module::ZeroGrad() {
+  for (Parameter* p : Parameters()) p->grad.Fill(0.0);
+}
+
+Parameter* Module::RegisterParameter(const std::string& name, Tensor init) {
+  params_.push_back(std::make_unique<Parameter>(name, std::move(init)));
+  return params_.back().get();
+}
+
+void Module::RegisterSubmodule(const std::string& name, Module* child) {
+  SSIN_CHECK(child != nullptr);
+  children_.emplace_back(name, child);
+}
+
+Tensor GlorotUniform(int fan_in, int fan_out, Rng* rng) {
+  const double limit = std::sqrt(6.0 / (fan_in + fan_out));
+  return Tensor::RandUniform({fan_in, fan_out}, rng, -limit, limit);
+}
+
+}  // namespace ssin

@@ -1,0 +1,76 @@
+#ifndef SSIN_NN_MODULE_H_
+#define SSIN_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/graph.h"
+#include "tensor/tensor.h"
+
+namespace ssin {
+
+/// A trainable tensor with its gradient accumulator.
+///
+/// Parameters live outside any autograd Graph. A forward pass binds them in
+/// with Parameter::Bind(), which creates a graph leaf whose backward
+/// accumulates into `grad`; an optimizer then consumes `grad` and zeroes it.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  /// Creates a differentiable leaf for this parameter on `graph`.
+  Var Bind(Graph* graph) { return graph->Leaf(value, &grad); }
+
+  int64_t numel() const { return value.numel(); }
+};
+
+/// Base class for trainable components. Owns its parameters and knows its
+/// submodules, so Parameters() can walk the whole tree (used by optimizers
+/// and (de)serialization). Modules are neither copyable nor movable —
+/// submodule registration stores stable pointers.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its registered submodules, in
+  /// registration order (a deterministic, architecture-defined order).
+  std::vector<Parameter*> Parameters();
+
+  /// Total number of scalar parameters (the paper's #Param column).
+  int64_t ParameterCount();
+
+  /// Sets every gradient accumulator to zero.
+  void ZeroGrad();
+
+ protected:
+  /// Creates and owns a parameter. `name` should be unique within the
+  /// module; full names are path-qualified by Parameters().
+  Parameter* RegisterParameter(const std::string& name, Tensor init);
+
+  /// Registers a child; the child must outlive this module (typically a
+  /// data member).
+  void RegisterSubmodule(const std::string& name, Module* child);
+
+ private:
+  void CollectParameters(const std::string& prefix,
+                         std::vector<Parameter*>* out);
+
+  std::vector<std::unique_ptr<Parameter>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+/// Xavier/Glorot uniform initialization for a [fan_in, fan_out] weight.
+Tensor GlorotUniform(int fan_in, int fan_out, Rng* rng);
+
+}  // namespace ssin
+
+#endif  // SSIN_NN_MODULE_H_

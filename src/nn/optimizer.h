@@ -1,0 +1,91 @@
+#ifndef SSIN_NN_OPTIMIZER_H_
+#define SSIN_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace ssin {
+
+/// Optimizer interface over a fixed parameter list. Gradients are expected
+/// to be accumulated into Parameter::grad (see Graph::Backward); Step()
+/// consumes them and zeroes them.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update with the current learning rate and clears grads.
+  virtual void Step() = 0;
+
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+  double learning_rate() const { return learning_rate_; }
+
+  void ZeroGrad() {
+    for (Parameter* p : params_) p->grad.Fill(0.0);
+  }
+
+ protected:
+  std::vector<Parameter*> params_;
+  double learning_rate_ = 1e-3;
+};
+
+/// Plain stochastic gradient descent with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(std::vector<Parameter*> params, double weight_decay = 0.0)
+      : Optimizer(std::move(params)), weight_decay_(weight_decay) {}
+
+  void Step() override;
+
+ private:
+  double weight_decay_;
+};
+
+/// Adam (Kingma & Ba, 2015). Paper settings: beta1=0.9, beta2=0.98,
+/// eps=1e-9.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(std::vector<Parameter*> params, double beta1 = 0.9,
+                double beta2 = 0.98, double eps = 1e-9,
+                double weight_decay = 0.0);
+
+  void Step() override;
+
+  int64_t step_count() const { return step_; }
+
+ private:
+  double beta1_;
+  double beta2_;
+  double eps_;
+  double weight_decay_;
+  int64_t step_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// The original Transformer's warmup schedule ("Noam"):
+///   lr(step) = factor * d_model^-0.5 * min(step^-0.5, step * warmup^-1.5)
+/// Paper §4.1.4 uses warmup_steps = 1200.
+class NoamSchedule {
+ public:
+  NoamSchedule(int d_model, int warmup_steps, double factor = 1.0);
+
+  /// Learning rate for a 1-based step index.
+  double LearningRate(int64_t step) const;
+
+  /// Advances the internal step and applies the new rate to `opt`.
+  void Step(Optimizer* opt);
+
+  int64_t step() const { return step_; }
+
+ private:
+  double scale_;
+  double warmup_;
+  int64_t step_ = 0;
+};
+
+}  // namespace ssin
+
+#endif  // SSIN_NN_OPTIMIZER_H_

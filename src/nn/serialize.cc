@@ -1,0 +1,81 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+namespace ssin {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x5353494e4d4f4431ull;  // "SSINMOD1"
+
+void WriteU64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(std::istream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+}  // namespace
+
+bool SaveModule(Module* module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  std::vector<Parameter*> params = module->Parameters();
+  WriteU64(out, kMagic);
+  WriteU64(out, params.size());
+  for (Parameter* p : params) {
+    WriteU64(out, p->name.size());
+    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    WriteU64(out, p->value.shape().size());
+    for (int d : p->value.shape()) WriteU64(out, static_cast<uint64_t>(d));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.numel() *
+                                           sizeof(double)));
+  }
+  return out.good();
+}
+
+bool LoadModule(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  uint64_t magic = 0, count = 0;
+  if (!ReadU64(in, &magic) || magic != kMagic) return false;
+  if (!ReadU64(in, &count)) return false;
+
+  std::map<std::string, Tensor> records;
+  for (uint64_t r = 0; r < count; ++r) {
+    uint64_t name_len = 0;
+    if (!ReadU64(in, &name_len)) return false;
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    uint64_t rank = 0;
+    if (!ReadU64(in, &rank)) return false;
+    std::vector<int> shape(rank);
+    for (uint64_t d = 0; d < rank; ++d) {
+      uint64_t dim = 0;
+      if (!ReadU64(in, &dim)) return false;
+      shape[d] = static_cast<int>(dim);
+    }
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(double)));
+    if (!in.good()) return false;
+    records.emplace(std::move(name), std::move(t));
+  }
+
+  std::vector<Parameter*> params = module->Parameters();
+  if (params.size() != records.size()) return false;
+  for (Parameter* p : params) {
+    auto it = records.find(p->name);
+    if (it == records.end()) return false;
+    if (!it->second.SameShape(p->value)) return false;
+    p->value = it->second;
+  }
+  return true;
+}
+
+}  // namespace ssin

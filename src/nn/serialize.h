@@ -1,0 +1,24 @@
+#ifndef SSIN_NN_SERIALIZE_H_
+#define SSIN_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace ssin {
+
+/// Saves all parameters of `module` to a binary checkpoint. The format is a
+/// little-endian stream of (name, shape, doubles) records with a magic
+/// header; names are the path-qualified names from Module::Parameters().
+/// Returns false on IO failure.
+bool SaveModule(Module* module, const std::string& path);
+
+/// Restores parameter values by name. Every parameter of `module` must be
+/// present in the checkpoint with an identical shape; extra records in the
+/// file are an error too (checkpoints are exact snapshots). Returns false
+/// on IO failure or any mismatch.
+bool LoadModule(Module* module, const std::string& path);
+
+}  // namespace ssin
+
+#endif  // SSIN_NN_SERIALIZE_H_

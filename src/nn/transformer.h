@@ -1,0 +1,47 @@
+#ifndef SSIN_NN_TRANSFORMER_H_
+#define SSIN_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace ssin {
+
+/// One Interpolation Transformer Module layer (paper §3.3.3): shielded
+/// self-attention with SRPE followed by a position-wise feed-forward
+/// network, each wrapped in residual + post-LayerNorm
+/// (x = LayerNorm(x + Sublayer(x))).
+class EncoderLayer : public Module {
+ public:
+  EncoderLayer(int d_model, int num_heads, int d_k, int d_ff,
+               const AttentionConfig& config, Rng* rng);
+
+  Var Forward(Var x, Var srpe, const std::vector<uint8_t>& observed);
+
+ private:
+  MultiHeadSpaAttention attention_;
+  Fcn2 ffn_;
+  LayerNormLayer norm1_;
+  LayerNormLayer norm2_;
+};
+
+/// Stack of T identical encoder layers.
+class Encoder : public Module {
+ public:
+  Encoder(int num_layers, int d_model, int num_heads, int d_k, int d_ff,
+          const AttentionConfig& config, Rng* rng);
+
+  Var Forward(Var x, Var srpe, const std::vector<uint8_t>& observed);
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<EncoderLayer>> layers_;
+};
+
+}  // namespace ssin
+
+#endif  // SSIN_NN_TRANSFORMER_H_

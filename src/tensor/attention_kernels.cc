@@ -1,0 +1,264 @@
+#include "tensor/attention_kernels.h"
+
+#include <cmath>
+#include <limits>
+
+namespace ssin {
+
+void BuildKeyLists(const std::vector<uint8_t>& observed, bool shielded,
+                   AttentionContext* ctx) {
+  const int length = static_cast<int>(observed.size());
+  ctx->key_index.clear();
+  ctx->offset.assign(length + 1, 0);
+
+  std::vector<int> observed_ids;
+  observed_ids.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    if (observed[i]) observed_ids.push_back(i);
+  }
+
+  if (!shielded) {
+    ctx->key_index.reserve(static_cast<size_t>(length) * length);
+    for (int i = 0; i < length; ++i) {
+      for (int j = 0; j < length; ++j) ctx->key_index.push_back(j);
+      ctx->offset[i + 1] = ctx->key_index.size();
+    }
+  } else {
+    for (int i = 0; i < length; ++i) {
+      // Observed nodes attend to all observed nodes (self included).
+      // Unobserved nodes attend to themselves plus all observed nodes.
+      if (!observed[i]) ctx->key_index.push_back(i);
+      for (int j : observed_ids) ctx->key_index.push_back(j);
+      ctx->offset[i + 1] = ctx->key_index.size();
+    }
+  }
+  ctx->alpha.assign(ctx->key_index.size(), 0.0);
+}
+
+namespace {
+
+// Score of pair (i, j): sum_d(q_i ⊙ k_j ⊙ c_ij)/sqrt(d) or q_i·k_j/sqrt(d).
+inline double PairScore(const double* q_row, const double* k_row,
+                        const double* c_row, int d, double inv_sqrt_d) {
+  double score = 0.0;
+  if (c_row != nullptr) {
+    for (int t = 0; t < d; ++t) score += q_row[t] * k_row[t] * c_row[t];
+  } else {
+    for (int t = 0; t < d; ++t) score += q_row[t] * k_row[t];
+  }
+  return score * inv_sqrt_d;
+}
+
+}  // namespace
+
+Tensor PackedAttentionForward(const Tensor& q, const Tensor& k,
+                              const Tensor& v, const Tensor* c,
+                              const std::vector<uint8_t>& observed,
+                              const AttentionConfig& cfg,
+                              AttentionContext* ctx) {
+  SSIN_CHECK_EQ(q.rank(), 2);
+  SSIN_CHECK(q.SameShape(k) && q.SameShape(v));
+  const int length = q.dim(0);
+  const int d = q.dim(1);
+  SSIN_CHECK_EQ(static_cast<size_t>(length), observed.size());
+  if (cfg.use_srpe) {
+    SSIN_CHECK(c != nullptr);
+    SSIN_CHECK_EQ(c->dim(0), length * length);
+    SSIN_CHECK_EQ(c->dim(1), d);
+  }
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(d));
+
+  BuildKeyLists(observed, cfg.shielded, ctx);
+
+  Tensor z({length, d});
+  std::vector<double> scores;
+  for (int i = 0; i < length; ++i) {
+    const int64_t begin = ctx->offset[i];
+    const int64_t end = ctx->offset[i + 1];
+    const int64_t count = end - begin;
+    SSIN_CHECK_GT(count, 0) << "query " << i << " has no legal keys";
+    scores.resize(static_cast<size_t>(count));
+
+    const double* q_row = q.data() + static_cast<int64_t>(i) * d;
+    double max_score = -std::numeric_limits<double>::infinity();
+    for (int64_t t = 0; t < count; ++t) {
+      const int j = ctx->key_index[begin + t];
+      const double* k_row = k.data() + static_cast<int64_t>(j) * d;
+      const double* c_row =
+          cfg.use_srpe
+              ? c->data() + (static_cast<int64_t>(i) * length + j) * d
+              : nullptr;
+      scores[t] = PairScore(q_row, k_row, c_row, d, inv_sqrt_d);
+      if (scores[t] > max_score) max_score = scores[t];
+    }
+
+    double denom = 0.0;
+    for (int64_t t = 0; t < count; ++t) {
+      scores[t] = std::exp(scores[t] - max_score);
+      denom += scores[t];
+    }
+    double* z_row = z.data() + static_cast<int64_t>(i) * d;
+    for (int64_t t = 0; t < count; ++t) {
+      const double alpha = scores[t] / denom;
+      ctx->alpha[begin + t] = alpha;
+      const int j = ctx->key_index[begin + t];
+      const double* v_row = v.data() + static_cast<int64_t>(j) * d;
+      for (int e = 0; e < d; ++e) z_row[e] += alpha * v_row[e];
+    }
+  }
+  return z;
+}
+
+void PackedAttentionBackward(const Tensor& q, const Tensor& k,
+                             const Tensor& v, const Tensor* c,
+                             const AttentionConfig& cfg,
+                             const AttentionContext& ctx, const Tensor& dz,
+                             Tensor* dq, Tensor* dk, Tensor* dv, Tensor* dc) {
+  const int length = q.dim(0);
+  const int d = q.dim(1);
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(d));
+
+  std::vector<double> dalpha;
+  for (int i = 0; i < length; ++i) {
+    const int64_t begin = ctx.offset[i];
+    const int64_t end = ctx.offset[i + 1];
+    const int64_t count = end - begin;
+    dalpha.resize(static_cast<size_t>(count));
+
+    const double* dz_row = dz.data() + static_cast<int64_t>(i) * d;
+
+    // dalpha_t = dz_i · v_j ; dv_j += alpha_t dz_i.
+    double alpha_dot = 0.0;  // sum_t alpha_t * dalpha_t (softmax backward)
+    for (int64_t t = 0; t < count; ++t) {
+      const int j = ctx.key_index[begin + t];
+      const double alpha = ctx.alpha[begin + t];
+      const double* v_row = v.data() + static_cast<int64_t>(j) * d;
+      double* dv_row = dv->data() + static_cast<int64_t>(j) * d;
+      double dot = 0.0;
+      for (int e = 0; e < d; ++e) {
+        dot += dz_row[e] * v_row[e];
+        dv_row[e] += alpha * dz_row[e];
+      }
+      dalpha[t] = dot;
+      alpha_dot += alpha * dot;
+    }
+
+    // de_t = alpha_t (dalpha_t - sum_s alpha_s dalpha_s), then distribute
+    // through the (q ⊙ k ⊙ c) score.
+    const double* q_row = q.data() + static_cast<int64_t>(i) * d;
+    double* dq_row = dq->data() + static_cast<int64_t>(i) * d;
+    for (int64_t t = 0; t < count; ++t) {
+      const int j = ctx.key_index[begin + t];
+      const double de = ctx.alpha[begin + t] * (dalpha[t] - alpha_dot) *
+                        inv_sqrt_d;
+      if (de == 0.0) continue;
+      const double* k_row = k.data() + static_cast<int64_t>(j) * d;
+      double* dk_row = dk->data() + static_cast<int64_t>(j) * d;
+      if (cfg.use_srpe) {
+        const int64_t c_base = (static_cast<int64_t>(i) * length + j) * d;
+        const double* c_row = c->data() + c_base;
+        for (int e = 0; e < d; ++e) {
+          dq_row[e] += de * k_row[e] * c_row[e];
+          dk_row[e] += de * q_row[e] * c_row[e];
+        }
+        if (dc != nullptr) {
+          double* dc_row = dc->data() + c_base;
+          for (int e = 0; e < d; ++e) {
+            dc_row[e] += de * q_row[e] * k_row[e];
+          }
+        }
+      } else {
+        for (int e = 0; e < d; ++e) {
+          dq_row[e] += de * k_row[e];
+          dk_row[e] += de * q_row[e];
+        }
+      }
+    }
+  }
+}
+
+Tensor NaiveAttentionForward(const Tensor& q, const Tensor& k,
+                             const Tensor& v, const Tensor* c,
+                             const std::vector<uint8_t>& observed,
+                             const AttentionConfig& cfg) {
+  const int length = q.dim(0);
+  const int d = q.dim(1);
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(d));
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+
+  // Dimension extension, as in the paper's complexity analysis: an
+  // [L, L, d] buffer of elementwise products q_i ⊙ k_j (⊙ c_ij).
+  Tensor product({length * length, d});
+  for (int i = 0; i < length; ++i) {
+    const double* q_row = q.data() + static_cast<int64_t>(i) * d;
+    for (int j = 0; j < length; ++j) {
+      const double* k_row = k.data() + static_cast<int64_t>(j) * d;
+      const int64_t base = (static_cast<int64_t>(i) * length + j) * d;
+      double* out = product.data() + base;
+      if (cfg.use_srpe) {
+        const double* c_row = c->data() + base;
+        for (int e = 0; e < d; ++e) out[e] = q_row[e] * k_row[e] * c_row[e];
+      } else {
+        for (int e = 0; e < d; ++e) out[e] = q_row[e] * k_row[e];
+      }
+    }
+  }
+
+  // Full [L, L] score matrix, with illegal connections masked afterwards.
+  Tensor scores({length, length});
+  for (int i = 0; i < length; ++i) {
+    for (int j = 0; j < length; ++j) {
+      const double* row =
+          product.data() + (static_cast<int64_t>(i) * length + j) * d;
+      double s = 0.0;
+      for (int e = 0; e < d; ++e) s += row[e];
+      const bool legal = !cfg.shielded || observed[j] || i == j;
+      scores.At(i, j) = legal ? s * inv_sqrt_d : neg_inf;
+    }
+  }
+
+  Tensor z({length, d});
+  for (int i = 0; i < length; ++i) {
+    double max_score = neg_inf;
+    for (int j = 0; j < length; ++j) {
+      max_score = std::max(max_score, scores.At(i, j));
+    }
+    double denom = 0.0;
+    for (int j = 0; j < length; ++j) {
+      const double s = scores.At(i, j);
+      const double e = s == neg_inf ? 0.0 : std::exp(s - max_score);
+      scores.At(i, j) = e;
+      denom += e;
+    }
+    double* z_row = z.data() + static_cast<int64_t>(i) * d;
+    for (int j = 0; j < length; ++j) {
+      const double alpha = scores.At(i, j) / denom;
+      if (alpha == 0.0) continue;
+      const double* v_row = v.data() + static_cast<int64_t>(j) * d;
+      for (int e = 0; e < d; ++e) z_row[e] += alpha * v_row[e];
+    }
+  }
+  return z;
+}
+
+int64_t NaiveAttentionWorkspaceBytes(int length, int d_k, bool use_srpe) {
+  const int64_t l = length;
+  // [L,L,d] extended product + [L,L] scores (+ the [L,L,d] SRPE table that
+  // must be resident for the broadcast multiply).
+  int64_t doubles = l * l * d_k + l * l;
+  if (use_srpe) doubles += l * l * d_k;
+  return doubles * static_cast<int64_t>(sizeof(double));
+}
+
+int64_t PackedAttentionWorkspaceBytes(int length, int num_observed, int d_k) {
+  const int64_t pairs = static_cast<int64_t>(length) * (num_observed + 1);
+  // Packed alpha + key index + offsets; SRPE rows are read in place, and
+  // only the c_ij rows of legal pairs are ever touched.
+  int64_t bytes = pairs * static_cast<int64_t>(sizeof(double));   // alpha
+  bytes += pairs * static_cast<int64_t>(sizeof(int));             // keys
+  bytes += (length + 1) * static_cast<int64_t>(sizeof(int64_t));  // offsets
+  bytes += pairs * d_k * static_cast<int64_t>(sizeof(double));    // c rows
+  return bytes;
+}
+
+}  // namespace ssin

@@ -1,0 +1,84 @@
+#ifndef SSIN_TENSOR_ATTENTION_KERNELS_H_
+#define SSIN_TENSOR_ATTENTION_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ssin {
+
+/// Configuration of the SpaFormer attention score/aggregation kernel.
+///
+/// The four paper variants map to flag combinations:
+///   SpaFormer:          use_srpe=true,  shielded=true
+///   "attn: w/o shield": use_srpe=true,  shielded=false
+///   "attn: with SAPE":  use_srpe=false, shielded=true (positions added to
+///                       the input embeddings upstream instead)
+///   "naive trans":      use_srpe=false, shielded=false
+struct AttentionConfig {
+  /// Insert the spatial relative position embedding c_ij into the score:
+  /// e_ij = sum_d(q_i ⊙ k_j ⊙ c_ij)/sqrt(d). When false the score is the
+  /// ordinary scaled dot product q_i · k_j / sqrt(d).
+  bool use_srpe = true;
+  /// Shielded attention (paper §3.3.3): observed nodes attend to all
+  /// observed nodes; unobserved nodes attend to themselves plus all
+  /// observed nodes. When false every node attends to every node.
+  bool shielded = true;
+};
+
+/// Saved state from the attention forward pass, in packed (CSR-like) form.
+/// Entry t in [offset[i], offset[i+1]) is query i's t-th legal key:
+/// key id key_index[t] with softmax weight alpha[t].
+struct AttentionContext {
+  std::vector<int> key_index;
+  std::vector<int64_t> offset;  ///< size L+1
+  std::vector<double> alpha;
+};
+
+/// Builds the packed legal-key lists for a sequence. `observed[i]` marks
+/// nodes whose input value is a real observation (not masked/queried).
+/// Exposed for tests and for the Figure 7 kernel benchmark.
+void BuildKeyLists(const std::vector<uint8_t>& observed, bool shielded,
+                   AttentionContext* ctx);
+
+/// Packed shielded attention with SRPE — the CPU analog of the paper's TVM
+/// CUDA kernel (§3.4.2). Visits only the O(mL) legal query-key pairs and
+/// never materializes an [L,L,d] intermediate.
+///
+/// q,k,v: [L,d]. c: optional [L*L,d] relative-position embeddings, row
+/// i*L+j = c_ij; must be non-null when cfg.use_srpe. Writes the packed
+/// softmax weights into *ctx for the backward pass. Returns z: [L,d].
+Tensor PackedAttentionForward(const Tensor& q, const Tensor& k,
+                              const Tensor& v, const Tensor* c,
+                              const std::vector<uint8_t>& observed,
+                              const AttentionConfig& cfg,
+                              AttentionContext* ctx);
+
+/// Backward of PackedAttentionForward. dz: [L,d] upstream gradient.
+/// Accumulates into dq/dk/dv (and dc when non-null and cfg.use_srpe);
+/// output tensors must be pre-sized and may already hold partial sums.
+void PackedAttentionBackward(const Tensor& q, const Tensor& k,
+                             const Tensor& v, const Tensor* c,
+                             const AttentionConfig& cfg,
+                             const AttentionContext& ctx, const Tensor& dz,
+                             Tensor* dq, Tensor* dk, Tensor* dv, Tensor* dc);
+
+/// Reference "naive" implementation mirroring the paper's baseline: it
+/// materializes the full [L,L,d] elementwise product (the dimension
+/// extension of §3.4.2) and an [L,L] score matrix, then masks out illegal
+/// connections. Produces outputs identical to the packed kernel; exists for
+/// differential testing and the Figure 7 time/memory comparison.
+Tensor NaiveAttentionForward(const Tensor& q, const Tensor& k,
+                             const Tensor& v, const Tensor* c,
+                             const std::vector<uint8_t>& observed,
+                             const AttentionConfig& cfg);
+
+/// Bytes of transient workspace each implementation needs for one forward
+/// pass (the quantity plotted in Figure 7's memory panel).
+int64_t NaiveAttentionWorkspaceBytes(int length, int d_k, bool use_srpe);
+int64_t PackedAttentionWorkspaceBytes(int length, int num_observed, int d_k);
+
+}  // namespace ssin
+
+#endif  // SSIN_TENSOR_ATTENTION_KERNELS_H_

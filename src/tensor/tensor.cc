@@ -1,0 +1,31 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace ssin {
+
+Tensor Tensor::Randn(std::vector<int> shape, Rng* rng, double stddev) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = rng->Normal(0.0, stddev);
+  return t;
+}
+
+Tensor Tensor::RandUniform(std::vector<int> shape, Rng* rng, double lo,
+                           double hi) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = rng->Uniform(lo, hi);
+  return t;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream out;
+  out << '[';
+  for (int i = 0; i < rank(); ++i) {
+    if (i > 0) out << 'x';
+    out << shape_[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace ssin

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/csv_loader.h"
+#include "data/rainfall_generator.h"
+
+namespace ssin {
+namespace {
+
+class CsvLoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "ssin_loader_test";
+    std::filesystem::create_directories(dir_);
+    stations_path_ = (dir_ / "stations.csv").string();
+    values_path_ = (dir_ / "values.csv").string();
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+  std::string stations_path_;
+  std::string values_path_;
+};
+
+TEST_F(CsvLoaderTest, LoadsWellFormedFiles) {
+  WriteFile(stations_path_,
+            "id,lat,lon\nG1,22.30,114.10\nG2,22.35,114.20\nG3,22.28,114.15\n");
+  WriteFile(values_path_,
+            "timestamp,G1,G2,G3\n"
+            "2008-06-07T01:00,0.5,1.2,0.0\n"
+            "2008-06-07T02:00,2.0,,3.5\n");
+  SpatialDataset data;
+  std::string error;
+  ASSERT_TRUE(LoadDatasetCsv(stations_path_, values_path_, &data, &error))
+      << error;
+  EXPECT_EQ(data.num_stations(), 3);
+  EXPECT_EQ(data.num_timestamps(), 2);
+  EXPECT_DOUBLE_EQ(data.Value(0, 1), 1.2);
+  EXPECT_DOUBLE_EQ(data.Value(1, 1), 0.0);  // Empty cell -> 0.
+  EXPECT_DOUBLE_EQ(data.Value(1, 2), 3.5);
+  // Projection: stations are within a few km of each other.
+  EXPECT_LT(DistanceKm(data.station(0).position, data.station(1).position),
+            20.0);
+  EXPECT_GT(DistanceKm(data.station(0).position, data.station(1).position),
+            1.0);
+}
+
+TEST_F(CsvLoaderTest, ValueColumnsMatchedById) {
+  // Column order in values.csv differs from station order.
+  WriteFile(stations_path_, "id,lat,lon\nA,22.0,114.0\nB,22.1,114.1\n");
+  WriteFile(values_path_, "timestamp,B,A\n0,9.0,1.0\n");
+  SpatialDataset data;
+  std::string error;
+  ASSERT_TRUE(LoadDatasetCsv(stations_path_, values_path_, &data, &error));
+  EXPECT_DOUBLE_EQ(data.Value(0, 0), 1.0);  // Station A.
+  EXPECT_DOUBLE_EQ(data.Value(0, 1), 9.0);  // Station B.
+}
+
+TEST_F(CsvLoaderTest, MissingColumnsRejected) {
+  WriteFile(stations_path_, "id,lat\nA,22.0\n");
+  WriteFile(values_path_, "timestamp,A\n0,1.0\n");
+  SpatialDataset data;
+  std::string error;
+  EXPECT_FALSE(LoadDatasetCsv(stations_path_, values_path_, &data, &error));
+  EXPECT_NE(error.find("lat"), std::string::npos);
+}
+
+TEST_F(CsvLoaderTest, MissingStationColumnRejected) {
+  WriteFile(stations_path_, "id,lat,lon\nA,22.0,114.0\nB,22.1,114.1\n");
+  WriteFile(values_path_, "timestamp,A\n0,1.0\n");  // No column for B.
+  SpatialDataset data;
+  std::string error;
+  EXPECT_FALSE(LoadDatasetCsv(stations_path_, values_path_, &data, &error));
+}
+
+TEST_F(CsvLoaderTest, BadNumberRejected) {
+  WriteFile(stations_path_, "id,lat,lon\nA,22.0,114.0\n");
+  WriteFile(values_path_, "timestamp,A\n0,wet\n");
+  SpatialDataset data;
+  std::string error;
+  EXPECT_FALSE(LoadDatasetCsv(stations_path_, values_path_, &data, &error));
+}
+
+TEST_F(CsvLoaderTest, RoundTripThroughSave) {
+  RainfallRegionConfig region = HkRegionConfig();
+  region.num_gauges = 12;
+  RainfallGenerator gen(region);
+  SpatialDataset original = gen.GenerateHours(5, 3);
+
+  ASSERT_TRUE(SaveDatasetCsv(original, stations_path_, values_path_));
+  SpatialDataset loaded;
+  std::string error;
+  ASSERT_TRUE(
+      LoadDatasetCsv(stations_path_, values_path_, &loaded, &error))
+      << error;
+  ASSERT_EQ(loaded.num_stations(), original.num_stations());
+  ASSERT_EQ(loaded.num_timestamps(), original.num_timestamps());
+  for (int t = 0; t < original.num_timestamps(); ++t) {
+    for (int s = 0; s < original.num_stations(); ++s) {
+      EXPECT_NEAR(loaded.Value(t, s), original.Value(t, s), 1e-5);
+    }
+  }
+  // Positions survive the lat/lon -> projection roundtrip to within
+  // meters (different projection origin, so compare pair distances).
+  const double original_d = DistanceKm(original.station(0).position,
+                                       original.station(5).position);
+  const double loaded_d =
+      DistanceKm(loaded.station(0).position, loaded.station(5).position);
+  EXPECT_NEAR(original_d, loaded_d, 0.05);
+}
+
+TEST_F(CsvLoaderTest, NonexistentFilesFail) {
+  SpatialDataset data;
+  std::string error;
+  EXPECT_FALSE(LoadDatasetCsv("/no/such/stations.csv", values_path_, &data,
+                              &error));
+}
+
+}  // namespace
+}  // namespace ssin

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/csv.h"
+
+namespace ssin {
+namespace {
+
+TEST(CsvParseTest, PlainFields) {
+  const auto cells = ParseCsvLine("a,b,c");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[2], "c");
+}
+
+TEST(CsvParseTest, EmptyFieldsPreserved) {
+  const auto cells = ParseCsvLine("a,,c,");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[1], "");
+  EXPECT_EQ(cells[3], "");
+}
+
+TEST(CsvParseTest, QuotedCommaAndEscapedQuote) {
+  const auto cells = ParseCsvLine("\"x,y\",\"he said \"\"hi\"\"\",plain");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "x,y");
+  EXPECT_EQ(cells[1], "he said \"hi\"");
+  EXPECT_EQ(cells[2], "plain");
+}
+
+TEST(CsvParseTest, ToleratesCarriageReturn) {
+  const auto cells = ParseCsvLine("a,b\r");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[1], "b");
+}
+
+TEST(CsvFileTest, RoundTrip) {
+  CsvTable table;
+  table.header = {"station", "lat", "note"};
+  table.rows = {{"HK_1", "22.31", "hill, top"},
+                {"HK_2", "22.28", "says \"wet\""}};
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ssin_csv_test.csv").string();
+  ASSERT_TRUE(WriteCsv(path, table));
+  CsvTable loaded;
+  ASSERT_TRUE(ReadCsv(path, &loaded));
+  EXPECT_EQ(loaded.header, table.header);
+  ASSERT_EQ(loaded.rows.size(), 2u);
+  EXPECT_EQ(loaded.rows[0][2], "hill, top");
+  EXPECT_EQ(loaded.rows[1][2], "says \"wet\"");
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, ColumnIndex) {
+  CsvTable table;
+  table.header = {"a", "b", "c"};
+  EXPECT_EQ(table.ColumnIndex("b"), 1);
+  EXPECT_EQ(table.ColumnIndex("z"), -1);
+}
+
+TEST(CsvFileTest, MissingFileFails) {
+  CsvTable table;
+  EXPECT_FALSE(ReadCsv("/nonexistent/path/file.csv", &table));
+}
+
+}  // namespace
+}  // namespace ssin

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/idw.h"
+#include "data/rainfall_generator.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+
+namespace ssin {
+namespace {
+
+TEST(MetricsTest, HandComputedValues) {
+  const Metrics m = ComputeMetrics({1, 2, 3, 4}, {1, 2, 3, 8});
+  EXPECT_NEAR(m.rmse, 2.0, 1e-12);         // sqrt(16/4).
+  EXPECT_NEAR(m.mae, 1.0, 1e-12);          // 4/4.
+  // NSE = 1 - 16 / sum((y - 2.5)^2) = 1 - 16/5.
+  EXPECT_NEAR(m.nse, 1.0 - 16.0 / 5.0, 1e-12);
+  EXPECT_EQ(m.count, 4);
+}
+
+TEST(MetricsTest, PerfectPredictorHasNseOne) {
+  const Metrics m = ComputeMetrics({1, 5, 9}, {1, 5, 9});
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_DOUBLE_EQ(m.nse, 1.0);
+}
+
+TEST(MetricsTest, MeanPredictorHasNseZero) {
+  const Metrics m = ComputeMetrics({1, 2, 3}, {2, 2, 2});
+  EXPECT_NEAR(m.nse, 0.0, 1e-12);
+}
+
+TEST(MetricsTest, EmptyIsSafe) {
+  MetricsAccumulator acc;
+  const Metrics m = acc.Compute();
+  EXPECT_EQ(m.count, 0);
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+}
+
+TEST(MetricsTest, MergeEqualsJointComputation) {
+  MetricsAccumulator a, b, joint;
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const double truth = rng.Normal();
+    const double pred = truth + rng.Normal(0, 0.3);
+    (i % 2 == 0 ? a : b).Add(truth, pred);
+    joint.Add(truth, pred);
+  }
+  a.Merge(b);
+  EXPECT_NEAR(a.Compute().rmse, joint.Compute().rmse, 1e-12);
+  EXPECT_NEAR(a.Compute().nse, joint.Compute().nse, 1e-12);
+}
+
+TEST(MetricsTest, NseNeverExceedsOne) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> truth, pred;
+    for (int i = 0; i < 30; ++i) {
+      truth.push_back(rng.Normal());
+      pred.push_back(rng.Normal());
+    }
+    EXPECT_LE(ComputeMetrics(truth, pred).nse, 1.0);
+  }
+}
+
+/// Trivial interpolator predicting the mean of observed values.
+class MeanInterpolator : public SpatialInterpolator {
+ public:
+  std::string Name() const override { return "Mean"; }
+  void Fit(const SpatialDataset&, const std::vector<int>&) override {}
+  std::vector<double> InterpolateTimestamp(
+      const std::vector<double>& all_values,
+      const std::vector<int>& observed_ids,
+      const std::vector<int>& query_ids) override {
+    double mean = 0.0;
+    for (int o : observed_ids) mean += all_values[o];
+    mean /= observed_ids.size();
+    return std::vector<double>(query_ids.size(), mean);
+  }
+};
+
+TEST(RunnerTest, EvaluatesProtocolCorrectly) {
+  RainfallRegionConfig config = HkRegionConfig();
+  config.num_gauges = 25;
+  RainfallGenerator gen(config);
+  SpatialDataset data = gen.GenerateHours(30, 1);
+  Rng rng(10);
+  const NodeSplit split = RandomNodeSplit(25, 0.2, &rng);
+
+  MeanInterpolator mean;
+  const EvalResult result = EvaluateInterpolator(&mean, data, split);
+  EXPECT_EQ(result.method, "Mean");
+  EXPECT_EQ(result.timestamps_evaluated, 30);
+  EXPECT_EQ(result.metrics.count,
+            30 * static_cast<int64_t>(split.test_ids.size()));
+  EXPECT_GT(result.metrics.rmse, 0.0);
+}
+
+TEST(RunnerTest, StrideAndRangeRespected) {
+  RainfallRegionConfig config = HkRegionConfig();
+  config.num_gauges = 20;
+  RainfallGenerator gen(config);
+  SpatialDataset data = gen.GenerateHours(20, 2);
+  Rng rng(11);
+  const NodeSplit split = RandomNodeSplit(20, 0.2, &rng);
+
+  MeanInterpolator mean;
+  EvalOptions options;
+  options.begin = 4;
+  options.end = 16;
+  options.stride = 3;
+  const EvalResult result =
+      EvaluateInterpolator(&mean, data, split, options);
+  EXPECT_EQ(result.timestamps_evaluated, 4);  // t = 4, 7, 10, 13.
+}
+
+TEST(RunnerTest, IdwBeatsMeanOnRainfall) {
+  RainfallRegionConfig config = HkRegionConfig();
+  config.num_gauges = 50;
+  RainfallGenerator gen(config);
+  SpatialDataset data = gen.GenerateHours(40, 3);
+  Rng rng(12);
+  const NodeSplit split = RandomNodeSplit(50, 0.2, &rng);
+
+  MeanInterpolator mean;
+  IdwInterpolator idw;
+  const EvalResult mean_result = EvaluateInterpolator(&mean, data, split);
+  const EvalResult idw_result = EvaluateInterpolator(&idw, data, split);
+  EXPECT_LT(idw_result.metrics.rmse, mean_result.metrics.rmse);
+  EXPECT_GT(idw_result.metrics.nse, mean_result.metrics.nse);
+}
+
+}  // namespace
+}  // namespace ssin

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/coords.h"
+#include "geo/relpos.h"
+#include "geo/road_graph.h"
+
+namespace ssin {
+namespace {
+
+TEST(HaversineTest, KnownDistances) {
+  // One degree of latitude is ~111.2 km.
+  const LatLon a{22.0, 114.0};
+  const LatLon b{23.0, 114.0};
+  EXPECT_NEAR(HaversineKm(a, b), 111.2, 0.5);
+  EXPECT_DOUBLE_EQ(HaversineKm(a, a), 0.0);
+}
+
+TEST(HaversineTest, Symmetry) {
+  const LatLon a{22.3, 114.2}, b{22.5, 113.9};
+  EXPECT_DOUBLE_EQ(HaversineKm(a, b), HaversineKm(b, a));
+}
+
+TEST(AzimuthTest, CardinalDirections) {
+  const LatLon origin{22.0, 114.0};
+  EXPECT_NEAR(AzimuthRad(origin, LatLon{23.0, 114.0}), 0.0, 1e-6);  // North.
+  EXPECT_NEAR(AzimuthRad(origin, LatLon{22.0, 115.0}), kPi / 2.0,
+              0.01);  // East.
+  EXPECT_NEAR(AzimuthRad(origin, LatLon{21.0, 114.0}), kPi, 1e-6);  // South.
+  EXPECT_NEAR(AzimuthRad(origin, LatLon{22.0, 113.0}), 3.0 * kPi / 2.0,
+              0.01);  // West.
+}
+
+TEST(AzimuthTest, PlanarCardinals) {
+  const PointKm origin{0, 0};
+  EXPECT_NEAR(AzimuthRad(origin, PointKm{0, 5}), 0.0, 1e-12);
+  EXPECT_NEAR(AzimuthRad(origin, PointKm{5, 0}), kPi / 2.0, 1e-12);
+  EXPECT_NEAR(AzimuthRad(origin, PointKm{0, -5}), kPi, 1e-12);
+  EXPECT_NEAR(AzimuthRad(origin, PointKm{-5, 0}), 1.5 * kPi, 1e-12);
+  EXPECT_NEAR(AzimuthRad(origin, PointKm{3, 3}), kPi / 4.0, 1e-12);
+}
+
+TEST(ProjectionTest, ConsistentWithHaversine) {
+  const LatLon origin{22.0, 114.0};
+  const LatLon p{22.3, 114.4};
+  const PointKm projected = ProjectEquirectangular(p, origin);
+  const double planar =
+      DistanceKm(ProjectEquirectangular(origin, origin), projected);
+  EXPECT_NEAR(planar, HaversineKm(origin, p), 0.2);  // City scale: < 200 m.
+}
+
+TEST(RelPosTest, StructureAndConventions) {
+  std::vector<PointKm> pts = {{0, 0}, {3, 4}, {-1, 2}};
+  Tensor r = BuildRelPos(pts);
+  ASSERT_EQ(r.dim(0), 9);
+  ASSERT_EQ(r.dim(1), 2);
+  // Self pairs: zero distance, zero azimuth.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(r[(i * 3 + i) * 2], 0.0);
+    EXPECT_DOUBLE_EQ(r[(i * 3 + i) * 2 + 1], 0.0);
+  }
+  // Pair (0,1): distance 5.
+  EXPECT_NEAR(r[(0 * 3 + 1) * 2], 5.0, 1e-12);
+  // Distances symmetric.
+  EXPECT_DOUBLE_EQ(r[(0 * 3 + 1) * 2], r[(1 * 3 + 0) * 2]);
+  // Opposite azimuths differ by pi (mod 2 pi) — Figure 4 of the paper.
+  const double a01 = r[(0 * 3 + 1) * 2 + 1];
+  const double a10 = r[(1 * 3 + 0) * 2 + 1];
+  EXPECT_NEAR(std::fmod(std::fabs(a01 - a10), 2.0 * kPi), kPi, 1e-9);
+}
+
+TEST(RelPosTest, CustomDistanceMatrixOverridesEuclid) {
+  std::vector<PointKm> pts = {{0, 0}, {1, 0}};
+  Matrix travel(2, 2);
+  travel(0, 1) = travel(1, 0) = 9.0;  // Long way around on the road.
+  Tensor r = BuildRelPos(pts, travel);
+  EXPECT_DOUBLE_EQ(r[(0 * 2 + 1) * 2], 9.0);
+  // Azimuth still from coordinates.
+  EXPECT_NEAR(r[(0 * 2 + 1) * 2 + 1], kPi / 2.0, 1e-12);
+}
+
+TEST(RelPosTest, StandardizationNormalizesOffDiagonal) {
+  Rng rng(31);
+  std::vector<PointKm> pts;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back({rng.Uniform(0, 50), rng.Uniform(0, 40)});
+  }
+  Tensor raw = BuildRelPos(pts);
+  RelPosStats stats = ComputeRelPosStats(raw);
+  Tensor standardized = StandardizeRelPos(raw, stats);
+  double dist_sum = 0.0, dist_sq = 0.0;
+  int count = 0;
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double d = standardized[(static_cast<int64_t>(i) * n + j) * 2];
+      dist_sum += d;
+      dist_sq += d * d;
+      ++count;
+    }
+  }
+  const double mean = dist_sum / count;
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+  EXPECT_NEAR(dist_sq / count - mean * mean, 1.0, 1e-6);
+}
+
+TEST(RoadGraphTest, DijkstraOnLine) {
+  RoadGraph g;
+  for (int i = 0; i < 5; ++i) g.AddNode({static_cast<double>(i), 0.0});
+  for (int i = 0; i + 1 < 5; ++i) g.AddEdge(i, i + 1);
+  std::vector<double> dist = g.ShortestPathsFrom(0);
+  for (int i = 0; i < 5; ++i) EXPECT_NEAR(dist[i], i, 1e-12);
+}
+
+TEST(RoadGraphTest, PrefersShorterPath) {
+  RoadGraph g;
+  g.AddNode({0, 0});
+  g.AddNode({1, 0});
+  g.AddNode({2, 0});
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(0, 2, 5.0);  // Direct but longer.
+  std::vector<double> dist = g.ShortestPathsFrom(0);
+  EXPECT_NEAR(dist[2], 2.0, 1e-12);
+}
+
+TEST(RoadGraphTest, DisconnectedIsUnreachable) {
+  RoadGraph g;
+  g.AddNode({0, 0});
+  g.AddNode({100, 100});
+  std::vector<double> dist = g.ShortestPathsFrom(0);
+  EXPECT_EQ(dist[1], RoadGraph::kUnreachable);
+}
+
+TEST(RoadGraphTest, AllPairsSymmetricAndTriangle) {
+  Rng rng(32);
+  RoadGraph g;
+  const int n = 12;
+  for (int i = 0; i < n; ++i) {
+    g.AddNode({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  for (int i = 0; i < n; ++i) {
+    g.AddEdge(i, (i + 1) % n);  // Ring.
+    if (i % 3 == 0) g.AddEdge(i, (i + 5) % n);  // Chords.
+  }
+  Matrix d = g.AllPairsTravelDistance();
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(d(i, i), 0.0);
+    for (int j = 0; j < n; ++j) {
+      EXPECT_DOUBLE_EQ(d(i, j), d(j, i));
+      // Travel distance is at least the straight-line distance.
+      EXPECT_GE(d(i, j) + 1e-9, DistanceKm(g.position(i), g.position(j)));
+      for (int k = 0; k < n; ++k) {
+        EXPECT_LE(d(i, j), d(i, k) + d(k, j) + 1e-9);  // Triangle.
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssin

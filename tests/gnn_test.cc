@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/ignnk.h"
+#include "baselines/kcn.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+
+namespace ssin {
+namespace {
+
+/// Smooth spatial fields over random stations with per-timestamp phase, so
+/// a learned interpolator has real structure to pick up.
+SpatialDataset SmoothFieldDataset(int num_stations, int num_timestamps,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Station> stations(num_stations);
+  for (auto& s : stations) {
+    s.position = {rng.Uniform(0, 25), rng.Uniform(0, 25)};
+  }
+  SpatialDataset data(std::move(stations));
+  for (int t = 0; t < num_timestamps; ++t) {
+    const double phase_x = rng.Uniform(0, 6.28);
+    const double phase_y = rng.Uniform(0, 6.28);
+    const double amp = rng.Uniform(0.5, 2.0);
+    std::vector<double> values(num_stations);
+    for (int i = 0; i < num_stations; ++i) {
+      const PointKm& p = data.station(i).position;
+      values[i] = amp * (std::sin(p.x / 6.0 + phase_x) +
+                         std::cos(p.y / 5.0 + phase_y)) +
+                  3.0;
+    }
+    data.AddTimestamp(values);
+  }
+  return data;
+}
+
+std::vector<int> Range(int begin, int end) {
+  std::vector<int> out;
+  for (int i = begin; i < end; ++i) out.push_back(i);
+  return out;
+}
+
+double MeanBaselineRmse(const SpatialDataset& data,
+                        const std::vector<int>& train_ids,
+                        const std::vector<int>& test_ids) {
+  MetricsAccumulator acc;
+  for (int t = 0; t < data.num_timestamps(); ++t) {
+    double mean = 0.0;
+    for (int id : train_ids) mean += data.Value(t, id);
+    mean /= train_ids.size();
+    for (int id : test_ids) acc.Add(data.Value(t, id), mean);
+  }
+  return acc.Compute().rmse;
+}
+
+TEST(KcnTest, TrainsAndBeatsMeanBaseline) {
+  SpatialDataset data = SmoothFieldDataset(40, 30, 1);
+  const std::vector<int> train_ids = Range(0, 32);
+  const std::vector<int> test_ids = Range(32, 40);
+
+  KcnConfig config;
+  config.epochs = 4;
+  KcnInterpolator kcn(config);
+  kcn.Fit(data, train_ids);
+
+  MetricsAccumulator acc;
+  for (int t = 0; t < data.num_timestamps(); ++t) {
+    const auto pred =
+        kcn.InterpolateTimestamp(data.Values(t), train_ids, test_ids);
+    for (size_t q = 0; q < test_ids.size(); ++q) {
+      ASSERT_TRUE(std::isfinite(pred[q]));
+      acc.Add(data.Value(t, test_ids[q]), pred[q]);
+    }
+  }
+  EXPECT_LT(acc.Compute().rmse,
+            MeanBaselineRmse(data, train_ids, test_ids));
+}
+
+TEST(KcnTest, RespectsNeighborCountWithFewStations) {
+  SpatialDataset data = SmoothFieldDataset(6, 5, 2);
+  KcnConfig config;
+  config.num_neighbors = 10;  // More than available: must clamp, not die.
+  config.epochs = 1;
+  KcnInterpolator kcn(config);
+  kcn.Fit(data, Range(0, 5));
+  const auto pred =
+      kcn.InterpolateTimestamp(data.Values(0), Range(0, 5), {5});
+  EXPECT_TRUE(std::isfinite(pred[0]));
+}
+
+TEST(KcnTest, ExplicitKernelLengthHonored) {
+  SpatialDataset data = SmoothFieldDataset(20, 5, 3);
+  KcnConfig config;
+  config.kernel_length = 2.5;
+  config.epochs = 1;
+  KcnInterpolator kcn(config);
+  kcn.Fit(data, Range(0, 16));
+  const auto pred =
+      kcn.InterpolateTimestamp(data.Values(0), Range(0, 16), Range(16, 20));
+  for (double p : pred) EXPECT_TRUE(std::isfinite(p));
+}
+
+TEST(IgnnkTest, TrainsAndBeatsMeanBaseline) {
+  SpatialDataset data = SmoothFieldDataset(40, 30, 4);
+  const std::vector<int> train_ids = Range(0, 32);
+  const std::vector<int> test_ids = Range(32, 40);
+
+  IgnnkConfig config;
+  config.training_steps = 250;
+  config.subgraph_size = 24;
+  IgnnkInterpolator ignnk(config);
+  ignnk.Fit(data, train_ids);
+
+  MetricsAccumulator acc;
+  for (int t = 0; t < data.num_timestamps(); ++t) {
+    const auto pred =
+        ignnk.InterpolateTimestamp(data.Values(t), train_ids, test_ids);
+    for (size_t q = 0; q < test_ids.size(); ++q) {
+      ASSERT_TRUE(std::isfinite(pred[q]));
+      acc.Add(data.Value(t, test_ids[q]), pred[q]);
+    }
+  }
+  EXPECT_LT(acc.Compute().rmse,
+            MeanBaselineRmse(data, train_ids, test_ids));
+}
+
+TEST(IgnnkTest, SubgraphLargerThanPoolClamps) {
+  SpatialDataset data = SmoothFieldDataset(10, 5, 5);
+  IgnnkConfig config;
+  config.subgraph_size = 50;
+  config.training_steps = 5;
+  IgnnkInterpolator ignnk(config);
+  ignnk.Fit(data, Range(0, 8));
+  const auto pred =
+      ignnk.InterpolateTimestamp(data.Values(0), Range(0, 8), {8, 9});
+  for (double p : pred) EXPECT_TRUE(std::isfinite(p));
+}
+
+TEST(GnnTest, BothUseTravelDistanceWhenPresent) {
+  // Give the dataset a travel-distance matrix wildly different from the
+  // Euclidean one; predictions must change, proving the matrix is used.
+  SpatialDataset data = SmoothFieldDataset(15, 8, 6);
+  SpatialDataset with_travel = data;
+  Matrix travel(15, 15);
+  Rng rng(7);
+  for (int i = 0; i < 15; ++i) {
+    for (int j = i + 1; j < 15; ++j) {
+      travel(i, j) = travel(j, i) =
+          DistanceKm(data.station(i).position, data.station(j).position) *
+          rng.Uniform(1.0, 8.0);
+    }
+  }
+  with_travel.SetTravelDistance(travel);
+
+  KcnConfig config;
+  config.epochs = 1;
+  KcnInterpolator plain(config), traveled(config);
+  plain.Fit(data, Range(0, 12));
+  traveled.Fit(with_travel, Range(0, 12));
+  const auto a =
+      plain.InterpolateTimestamp(data.Values(0), Range(0, 12), {13});
+  const auto b =
+      traveled.InterpolateTimestamp(data.Values(0), Range(0, 12), {13});
+  EXPECT_NE(a[0], b[0]);
+}
+
+}  // namespace
+}  // namespace ssin

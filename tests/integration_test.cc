@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "baselines/idw.h"
+#include "baselines/kriging.h"
+#include "baselines/tin.h"
+#include "baselines/tps.h"
+#include "core/ssin_interpolator.h"
+#include "data/rainfall_generator.h"
+#include "data/traffic_generator.h"
+#include "eval/runner.h"
+#include "nn/serialize.h"
+
+namespace ssin {
+namespace {
+
+/// Reduced-scale HK-like setup shared by the integration tests.
+struct MiniPipeline {
+  MiniPipeline() {
+    RainfallRegionConfig region = HkRegionConfig();
+    region.num_gauges = 45;
+    region.width_km = 35.0;
+    region.height_km = 28.0;
+    RainfallGenerator gen(region);
+    data = gen.GenerateHours(80, 21);
+    Rng rng(22);
+    split = RandomNodeSplit(45, 0.2, &rng);
+  }
+
+  static SpaFormerConfig Model() {
+    SpaFormerConfig config;
+    config.num_layers = 2;
+    config.num_heads = 2;
+    config.d_model = 12;
+    config.d_k = 12;
+    config.d_ff = 48;
+    return config;
+  }
+
+  static TrainConfig Training() {
+    TrainConfig config;
+    config.epochs = 6;
+    config.masks_per_sequence = 2;
+    config.batch_size = 16;
+    config.warmup_steps = 60;
+    // Short warmups need a smaller Noam factor: keep peak lr ~0.01.
+    config.lr_factor = 0.25;
+    config.seed = 23;
+    return config;
+  }
+
+  SpatialDataset data;
+  NodeSplit split;
+};
+
+TEST(IntegrationTest, SsinCompetitiveWithClassicalBaselines) {
+  MiniPipeline pipeline;
+
+  SsinInterpolator ssin(MiniPipeline::Model(), MiniPipeline::Training());
+  IdwInterpolator idw;
+  TinInterpolator tin;
+
+  const EvalResult ssin_result =
+      EvaluateInterpolator(&ssin, pipeline.data, pipeline.split);
+  const EvalResult idw_result =
+      EvaluateInterpolator(&idw, pipeline.data, pipeline.split);
+  const EvalResult tin_result =
+      EvaluateInterpolator(&tin, pipeline.data, pipeline.split);
+
+  EXPECT_TRUE(std::isfinite(ssin_result.metrics.rmse));
+  EXPECT_GT(ssin_result.metrics.nse, 0.0);
+  // With a tiny model and a short run we only require SpaFormer to be in
+  // the same league as the classical methods (full-scale comparisons are
+  // the Table 4 bench's job).
+  EXPECT_LT(ssin_result.metrics.rmse,
+            1.5 * std::min(idw_result.metrics.rmse,
+                           tin_result.metrics.rmse));
+}
+
+TEST(IntegrationTest, CheckpointRoundTripPreservesPredictions) {
+  MiniPipeline pipeline;
+  TrainConfig fast = MiniPipeline::Training();
+  fast.epochs = 2;
+  SsinInterpolator ssin(MiniPipeline::Model(), fast);
+  ssin.Fit(pipeline.data, pipeline.split.train_ids);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ssin_ckpt.bin").string();
+  ASSERT_TRUE(SaveModule(ssin.model(), path));
+
+  SsinInterpolator restored(MiniPipeline::Model(), fast);
+  restored.Prepare(pipeline.data, pipeline.split.train_ids);
+  ASSERT_TRUE(LoadModule(restored.model(), path));
+
+  const auto a = ssin.InterpolateTimestamp(
+      pipeline.data.Values(0), pipeline.split.train_ids,
+      pipeline.split.test_ids);
+  const auto b = restored.InterpolateTimestamp(
+      pipeline.data.Values(0), pipeline.split.train_ids,
+      pipeline.split.test_ids);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, TransferAcrossRegionsProducesFiniteErrors) {
+  // HK-trained model applied to a BW-like region (Table 8's protocol).
+  MiniPipeline hk;
+  TrainConfig fast = MiniPipeline::Training();
+  fast.epochs = 3;
+  SsinInterpolator source(MiniPipeline::Model(), fast);
+  source.Fit(hk.data, hk.split.train_ids);
+
+  RainfallRegionConfig bw_region = BwRegionConfig();
+  bw_region.num_gauges = 40;
+  RainfallGenerator bw_gen(bw_region);
+  SpatialDataset bw_data = bw_gen.GenerateHours(30, 31);
+  Rng rng(32);
+  NodeSplit bw_split = RandomNodeSplit(40, 0.2, &rng);
+
+  SsinInterpolator target(MiniPipeline::Model(), fast);
+  target.Prepare(bw_data, bw_split.train_ids);
+  target.CopyParametersFrom(source);
+  const EvalResult result = EvaluateWithoutFit(&target, bw_data, bw_split);
+  EXPECT_TRUE(std::isfinite(result.metrics.rmse));
+  EXPECT_GT(result.metrics.rmse, 0.0);
+  // Transfer should do clearly better than predicting zero rain.
+  MetricsAccumulator zero_acc;
+  for (int t = 0; t < bw_data.num_timestamps(); ++t) {
+    for (int id : bw_split.test_ids) {
+      zero_acc.Add(bw_data.Value(t, id), 0.0);
+    }
+  }
+  EXPECT_LT(result.metrics.rmse, zero_acc.Compute().rmse * 1.2);
+}
+
+TEST(IntegrationTest, TrafficPipelineWithTravelDistance) {
+  TrafficNetworkConfig network;
+  network.corridors_ew = 3;
+  network.corridors_ns = 3;
+  network.extent_km = 24.0;
+  network.num_sensors = 50;
+  TrafficGenerator gen(network);
+  SpatialDataset data = gen.Generate(60, 41);
+  Rng rng(42);
+  const NodeSplit split = RandomNodeSplit(50, 0.2, &rng);
+
+  SpaFormerConfig model = MiniPipeline::Model();
+  TrainConfig training = MiniPipeline::Training();
+  training.epochs = 3;
+  SsinInterpolator ssin(model, training);
+  const EvalResult ssin_result =
+      EvaluateInterpolator(&ssin, data, split);
+  EXPECT_TRUE(std::isfinite(ssin_result.metrics.rmse));
+  // Speeds are ~60 mph; any sane interpolator lands far below that error.
+  EXPECT_LT(ssin_result.metrics.rmse, 20.0);
+
+  IdwInterpolator idw;
+  const EvalResult idw_result = EvaluateInterpolator(&idw, data, split);
+  EXPECT_TRUE(std::isfinite(idw_result.metrics.rmse));
+}
+
+TEST(IntegrationTest, AllBaselinesRunOnOneProtocol) {
+  MiniPipeline pipeline;
+  EvalOptions quick;
+  quick.end = 10;
+
+  IdwInterpolator idw;
+  TinInterpolator tin;
+  TpsInterpolator tps;
+  KrigingInterpolator ok;
+  for (SpatialInterpolator* method :
+       std::initializer_list<SpatialInterpolator*>{&idw, &tin, &tps, &ok}) {
+    const EvalResult r =
+        EvaluateInterpolator(method, pipeline.data, pipeline.split, quick);
+    EXPECT_TRUE(std::isfinite(r.metrics.rmse)) << r.method;
+    EXPECT_GT(r.metrics.nse, -5.0) << r.method;
+  }
+}
+
+}  // namespace
+}  // namespace ssin

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/masking.h"
+
+namespace ssin {
+namespace {
+
+TEST(SampleMaskTest, CountAndBounds) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> mask = SampleMask(20, 0.2, &rng);
+    EXPECT_EQ(mask.size(), 4u);
+    std::set<int> unique(mask.begin(), mask.end());
+    EXPECT_EQ(unique.size(), mask.size());
+    for (int m : mask) {
+      EXPECT_GE(m, 0);
+      EXPECT_LT(m, 20);
+    }
+  }
+}
+
+TEST(SampleMaskTest, ExtremeRatiosClamped) {
+  Rng rng(2);
+  EXPECT_EQ(SampleMask(10, 0.0, &rng).size(), 1u);   // At least one.
+  EXPECT_EQ(SampleMask(10, 0.99, &rng).size(), 9u);  // At most L-1.
+  EXPECT_EQ(SampleMask(2, 0.5, &rng).size(), 1u);
+}
+
+TEST(MaskedSequenceTest, TrainingStandardizationUsesFullSequence) {
+  // During training every gauge is a known observation, so the instance
+  // statistics cover the whole sequence: mean of 1..6 is 3.5.
+  std::vector<double> values = {1, 2, 3, 4, 5, 6};
+  MaskingOptions options;
+  MaskedSequence seq = BuildMaskedSequence(values, {4, 5}, options);
+  EXPECT_NEAR(seq.stats.mean, 3.5, 1e-12);
+}
+
+TEST(MaskedSequenceTest, InferenceStandardizationUsesObservedOnly) {
+  // At inference the query values are unknown; stats come from the
+  // observed nodes alone.
+  MaskedSequence seq =
+      BuildInferenceSequence({1.0, 2.0, 3.0, 4.0}, 2, MaskingOptions());
+  EXPECT_NEAR(seq.stats.mean, 2.5, 1e-12);
+  double sum = 0.0;
+  for (int i = 0; i < 4; ++i) sum += seq.input[i];
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(MaskedSequenceTest, MeanFillIsZeroInStandardizedSpace) {
+  std::vector<double> values = {1, 2, 3, 4, 10, 20};
+  MaskingOptions options;
+  options.mean_fill = true;
+  MaskedSequence seq = BuildMaskedSequence(values, {4, 5}, options);
+  EXPECT_DOUBLE_EQ(seq.input[4], 0.0);
+  EXPECT_DOUBLE_EQ(seq.input[5], 0.0);
+}
+
+TEST(MaskedSequenceTest, ZeroFillStandardizesRawZero) {
+  std::vector<double> values = {1, 2, 3, 4, 10, 20};
+  MaskingOptions options;
+  options.mean_fill = false;
+  MaskedSequence seq = BuildMaskedSequence(values, {4, 5}, options);
+  const double expected = (0.0 - seq.stats.mean) / seq.stats.std;
+  EXPECT_DOUBLE_EQ(seq.input[4], expected);
+  EXPECT_NE(seq.input[4], 0.0);
+}
+
+TEST(MaskedSequenceTest, TargetsAreStandardizedTruths) {
+  std::vector<double> values = {1, 2, 3, 4, 10, 20};
+  MaskingOptions options;
+  MaskedSequence seq = BuildMaskedSequence(values, {4, 5}, options);
+  ASSERT_EQ(seq.target_positions.size(), 2u);
+  EXPECT_EQ(seq.target_positions[0], 4);
+  EXPECT_NEAR(Destandardize(seq.targets[0], seq.stats), 10.0, 1e-9);
+  EXPECT_NEAR(Destandardize(seq.targets[1], seq.stats), 20.0, 1e-9);
+}
+
+TEST(MaskedSequenceTest, ObservedFlags) {
+  std::vector<double> values = {5, 6, 7, 8};
+  MaskedSequence seq = BuildMaskedSequence(values, {1}, MaskingOptions());
+  EXPECT_EQ(seq.observed, (std::vector<uint8_t>{1, 0, 1, 1}));
+}
+
+TEST(MaskedSequenceTest, ConstantSequenceIsSafe) {
+  std::vector<double> values = {2.0, 2.0, 2.0, 2.0};
+  MaskedSequence seq = BuildMaskedSequence(values, {3}, MaskingOptions());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(std::isfinite(seq.input[i]));
+  EXPECT_TRUE(std::isfinite(seq.targets[0]));
+  EXPECT_NEAR(Destandardize(seq.targets[0], seq.stats), 2.0, 1e-9);
+}
+
+TEST(InferenceSequenceTest, LayoutAndFlags) {
+  std::vector<double> observed = {1.0, 3.0, 5.0};
+  MaskedSequence seq = BuildInferenceSequence(observed, 2, MaskingOptions());
+  ASSERT_EQ(seq.observed.size(), 5u);
+  EXPECT_EQ(seq.observed, (std::vector<uint8_t>{1, 1, 1, 0, 0}));
+  EXPECT_EQ(seq.target_positions, (std::vector<int>{3, 4}));
+  EXPECT_NEAR(seq.stats.mean, 3.0, 1e-12);
+  // Query nodes are mean-filled.
+  EXPECT_DOUBLE_EQ(seq.input[3], 0.0);
+}
+
+TEST(InferenceSequenceTest, NoQueries) {
+  MaskedSequence seq =
+      BuildInferenceSequence({1.0, 2.0}, 0, MaskingOptions());
+  EXPECT_TRUE(seq.target_positions.empty());
+  EXPECT_EQ(seq.input.dim(0), 2);
+}
+
+TEST(DestandardizeTest, RoundTrip) {
+  MeanStd stats{4.5, 2.5};
+  const double raw = 7.25;
+  const double z = (raw - stats.mean) / stats.std;
+  EXPECT_NEAR(Destandardize(z, stats), raw, 1e-12);
+}
+
+}  // namespace
+}  // namespace ssin

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace ssin {
+namespace {
+
+TEST(MatrixTest, BasicOps) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+
+  Matrix product = a * t;  // 2x2
+  EXPECT_DOUBLE_EQ(product(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(product(0, 1), 32.0);
+  EXPECT_DOUBLE_EQ(product(1, 1), 77.0);
+
+  Matrix sum = a + a;
+  EXPECT_DOUBLE_EQ(sum(1, 2), 12.0);
+  Matrix diff = sum - a;
+  EXPECT_DOUBLE_EQ(diff(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(a.ScaledBy(2.0)(0, 2), 6.0);
+}
+
+TEST(MatrixTest, IdentityAndNorm) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  EXPECT_NEAR(id.Norm(), std::sqrt(3.0), 1e-12);
+}
+
+TEST(SolveTest, KnownSystem) {
+  // x + 2y = 5; 3x + 4y = 11  ->  x = 1, y = 2.
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem(a, {5.0, 11.0}, &x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveTest, SingularReturnsFalse) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  std::vector<double> x;
+  EXPECT_FALSE(SolveLinearSystem(a, {1.0, 2.0}, &x));
+}
+
+TEST(SolveTest, NeedsPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem(a, {3.0, 7.0}, &x));
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+class RandomSystemTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSystemTest, SolveRecoversSolution) {
+  const int n = GetParam();
+  Rng rng(1000 + n);
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) a(i, j) = rng.Normal();
+    a(i, i) += n;  // Diagonally dominant -> well conditioned.
+  }
+  std::vector<double> truth(n);
+  for (double& v : truth) v = rng.Normal();
+  std::vector<double> b(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) b[i] += a(i, j) * truth[j];
+  }
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem(a, b, &x));
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], truth[i], 1e-8);
+}
+
+TEST_P(RandomSystemTest, InverseTimesMatrixIsIdentity) {
+  const int n = GetParam();
+  Rng rng(2000 + n);
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) a(i, j) = rng.Normal();
+    a(i, i) += n;
+  }
+  Matrix inv;
+  ASSERT_TRUE(Invert(a, &inv));
+  const Matrix residual = a * inv - Matrix::Identity(n);
+  EXPECT_LT(residual.Norm(), 1e-8);
+}
+
+TEST_P(RandomSystemTest, CholeskyFactorsSpdMatrix) {
+  const int n = GetParam();
+  Rng rng(3000 + n);
+  Matrix b(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) b(i, j) = rng.Normal();
+  }
+  Matrix spd = b * b.Transposed();
+  for (int i = 0; i < n; ++i) spd(i, i) += 0.5;
+  Matrix l;
+  ASSERT_TRUE(Cholesky(spd, &l));
+  const Matrix residual = l * l.Transposed() - spd;
+  EXPECT_LT(residual.Norm(), 1e-8);
+  // Upper triangle of L must be zero.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomSystemTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64));
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // Eigenvalues 3 and -1.
+  Matrix l;
+  EXPECT_FALSE(Cholesky(a, &l));
+}
+
+TEST(LeastSquaresTest, OverdeterminedLine) {
+  // Fit y = 2x + 1 from noisy-free samples; exact recovery expected.
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = i;
+    a(i, 1) = 1.0;
+    b[i] = 2.0 * i + 1.0;
+  }
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLeastSquares(a, b, &x));
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 1.0, 1e-10);
+}
+
+TEST(LeastSquaresTest, RidgeShrinksSolution) {
+  Matrix a(3, 1);
+  a(0, 0) = 1;
+  a(1, 0) = 1;
+  a(2, 0) = 1;
+  std::vector<double> x_plain, x_ridge;
+  ASSERT_TRUE(SolveLeastSquares(a, {3.0, 3.0, 3.0}, &x_plain, 0.0));
+  ASSERT_TRUE(SolveLeastSquares(a, {3.0, 3.0, 3.0}, &x_ridge, 3.0));
+  EXPECT_NEAR(x_plain[0], 3.0, 1e-10);
+  EXPECT_NEAR(x_ridge[0], 1.5, 1e-10);  // 3*3 / (3 + 3).
+}
+
+}  // namespace
+}  // namespace ssin

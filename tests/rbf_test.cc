@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/rbf.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace ssin {
+namespace {
+
+SpatialDataset SmoothDataset(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Station> stations(n);
+  for (auto& s : stations) {
+    s.position = {rng.Uniform(0, 25), rng.Uniform(0, 25)};
+  }
+  SpatialDataset data(std::move(stations));
+  std::vector<double> values(n);
+  for (int i = 0; i < n; ++i) {
+    const PointKm& p = data.station(i).position;
+    values[i] = 2.0 + std::sin(p.x / 5.0) * std::cos(p.y / 6.0);
+  }
+  data.AddTimestamp(values);
+  return data;
+}
+
+std::vector<int> Range(int begin, int end) {
+  std::vector<int> out;
+  for (int i = begin; i < end; ++i) out.push_back(i);
+  return out;
+}
+
+TEST(RbfProfileTest, KnownValues) {
+  using K = RbfInterpolator::Kernel;
+  EXPECT_DOUBLE_EQ(RbfInterpolator::Profile(K::kGaussian, 0.0), 1.0);
+  EXPECT_NEAR(RbfInterpolator::Profile(K::kGaussian, 1.0),
+              std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(RbfInterpolator::Profile(K::kMultiquadric, 0.0), 1.0);
+  EXPECT_NEAR(RbfInterpolator::Profile(K::kMultiquadric, 1.0),
+              std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(
+      RbfInterpolator::Profile(K::kInverseMultiquadric, 1.0),
+      1.0 / std::sqrt(2.0), 1e-12);
+}
+
+class RbfKernelTest
+    : public ::testing::TestWithParam<RbfInterpolator::Kernel> {};
+
+TEST_P(RbfKernelTest, NearInterpolatesObservations) {
+  SpatialDataset data = SmoothDataset(40, 1);
+  RbfInterpolator rbf(GetParam());
+  rbf.Fit(data, Range(0, 30));
+  // Query an observed station: with tiny ridge, nearly exact.
+  const auto out =
+      rbf.InterpolateTimestamp(data.Values(0), Range(0, 30), {5, 12});
+  EXPECT_NEAR(out[0], data.Value(0, 5), 1e-4);
+  EXPECT_NEAR(out[1], data.Value(0, 12), 1e-4);
+}
+
+TEST_P(RbfKernelTest, RecoverSmoothFieldAtHeldOut) {
+  SpatialDataset data = SmoothDataset(60, 2);
+  RbfInterpolator rbf(GetParam());
+  rbf.Fit(data, Range(0, 50));
+  const auto out =
+      rbf.InterpolateTimestamp(data.Values(0), Range(0, 50), Range(50, 60));
+  for (int q = 0; q < 10; ++q) {
+    EXPECT_NEAR(out[q], data.Value(0, 50 + q), 0.2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, RbfKernelTest,
+    ::testing::Values(RbfInterpolator::Kernel::kGaussian,
+                      RbfInterpolator::Kernel::kMultiquadric,
+                      RbfInterpolator::Kernel::kInverseMultiquadric));
+
+TEST(RbfTest, AutoShapeIsMedianDistance) {
+  SpatialDataset data = SmoothDataset(20, 3);
+  RbfInterpolator rbf;
+  rbf.Fit(data, Range(0, 20));
+  EXPECT_GT(rbf.shape_km(), 1.0);
+  EXPECT_LT(rbf.shape_km(), 40.0);
+}
+
+TEST(RbfTest, ExplicitShapeHonored) {
+  SpatialDataset data = SmoothDataset(20, 4);
+  RbfInterpolator rbf(RbfInterpolator::Kernel::kGaussian, 7.5);
+  rbf.Fit(data, Range(0, 20));
+  EXPECT_DOUBLE_EQ(rbf.shape_km(), 7.5);
+}
+
+TEST(RbfTest, NamesDistinguishKernels) {
+  EXPECT_EQ(RbfInterpolator(RbfInterpolator::Kernel::kGaussian).Name(),
+            "RBF-gauss");
+  EXPECT_EQ(RbfInterpolator(RbfInterpolator::Kernel::kMultiquadric).Name(),
+            "RBF-mq");
+}
+
+}  // namespace
+}  // namespace ssin

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ssin_interpolator.h"
+#include "data/rainfall_generator.h"
+#include "eval/metrics.h"
+
+namespace ssin {
+namespace {
+
+/// A small, fast region for training tests.
+RainfallRegionConfig TinyRegion() {
+  RainfallRegionConfig config = HkRegionConfig();
+  config.num_gauges = 30;
+  config.width_km = 30.0;
+  config.height_km = 24.0;
+  return config;
+}
+
+SpaFormerConfig TinyModel() {
+  SpaFormerConfig config;
+  config.num_layers = 2;
+  config.num_heads = 1;
+  config.d_model = 8;
+  config.d_k = 8;
+  config.d_ff = 32;
+  return config;
+}
+
+TrainConfig FastTraining() {
+  TrainConfig config;
+  config.epochs = 3;
+  config.masks_per_sequence = 2;
+  config.batch_size = 16;
+  config.warmup_steps = 30;
+  // Short warmups need a smaller Noam factor: keep peak lr ~0.01.
+  config.lr_factor = 0.2;
+  config.seed = 7;
+  return config;
+}
+
+TEST(TrainerTest, LossDecreases) {
+  RainfallGenerator gen(TinyRegion());
+  SpatialDataset data = gen.GenerateHours(40, 1);
+  std::vector<int> train_ids;
+  for (int i = 0; i < 24; ++i) train_ids.push_back(i);
+
+  SsinInterpolator ssin(TinyModel(), FastTraining());
+  ssin.Fit(data, train_ids);
+  const TrainStats& stats = ssin.train_stats();
+  ASSERT_EQ(stats.epoch_loss.size(), 3u);
+  EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+  EXPECT_GT(stats.steps, 0);
+}
+
+TEST(TrainerTest, OversizedWarmupIsClampedToRunLength) {
+  // With the paper's 1200-step warmup but only ~tens of steps available,
+  // the schedule must still traverse warmup and decay (regression test:
+  // an unclamped warmup left the model effectively untrained).
+  RainfallGenerator gen(TinyRegion());
+  SpatialDataset data = gen.GenerateHours(40, 9);
+  std::vector<int> train_ids;
+  for (int i = 0; i < 24; ++i) train_ids.push_back(i);
+
+  TrainConfig config = FastTraining();
+  config.epochs = 6;
+  config.lr_factor = 0.15;
+  config.warmup_steps = 10000;  // Absurdly large on purpose.
+  SsinInterpolator ssin(TinyModel(), config);
+  ssin.Fit(data, train_ids);
+  const TrainStats& stats = ssin.train_stats();
+  EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+}
+
+TEST(TrainerTest, DeterministicWithSameSeed) {
+  RainfallGenerator gen(TinyRegion());
+  SpatialDataset data = gen.GenerateHours(15, 2);
+  std::vector<int> train_ids;
+  for (int i = 0; i < 20; ++i) train_ids.push_back(i);
+  std::vector<int> test_ids = {20, 25, 29};
+
+  auto run = [&]() {
+    SsinInterpolator ssin(TinyModel(), FastTraining());
+    ssin.Fit(data, train_ids);
+    return ssin.InterpolateTimestamp(data.Values(0), train_ids, test_ids);
+  };
+  const std::vector<double> a = run();
+  const std::vector<double> b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(TrainerTest, InterpolationBeatsGlobalMeanAfterTraining) {
+  RainfallGenerator gen(TinyRegion());
+  SpatialDataset data = gen.GenerateHours(60, 3);
+  std::vector<int> train_ids, test_ids;
+  for (int i = 0; i < 30; ++i) {
+    (i % 5 == 4 ? test_ids : train_ids).push_back(i);
+  }
+
+  TrainConfig train_config = FastTraining();
+  train_config.epochs = 6;
+  SsinInterpolator ssin(TinyModel(), train_config);
+  ssin.Fit(data, train_ids);
+
+  MetricsAccumulator model_acc, mean_acc;
+  for (int t = 0; t < data.num_timestamps(); ++t) {
+    const std::vector<double> pred =
+        ssin.InterpolateTimestamp(data.Values(t), train_ids, test_ids);
+    double mean = 0.0;
+    for (int id : train_ids) mean += data.Value(t, id);
+    mean /= train_ids.size();
+    for (size_t q = 0; q < test_ids.size(); ++q) {
+      model_acc.Add(data.Value(t, test_ids[q]), pred[q]);
+      mean_acc.Add(data.Value(t, test_ids[q]), mean);
+    }
+  }
+  EXPECT_LT(model_acc.Compute().rmse, mean_acc.Compute().rmse);
+}
+
+TEST(TrainerTest, StaticMaskingAndZeroFillVariantsRun) {
+  RainfallGenerator gen(TinyRegion());
+  SpatialDataset data = gen.GenerateHours(12, 4);
+  std::vector<int> train_ids;
+  for (int i = 0; i < 20; ++i) train_ids.push_back(i);
+
+  TrainConfig variant = FastTraining();
+  variant.epochs = 2;
+  variant.dynamic_masking = false;
+  variant.mean_fill = false;
+  SsinInterpolator ssin(TinyModel(), variant);
+  ssin.Fit(data, train_ids);
+  const std::vector<double> pred =
+      ssin.InterpolateTimestamp(data.Values(0), train_ids, {25, 29});
+  for (double p : pred) EXPECT_TRUE(std::isfinite(p));
+}
+
+TEST(TrainerTest, ContinueTrainingExtendsStats) {
+  RainfallGenerator gen(TinyRegion());
+  SpatialDataset data = gen.GenerateHours(10, 5);
+  std::vector<int> train_ids;
+  for (int i = 0; i < 18; ++i) train_ids.push_back(i);
+
+  TrainConfig config = FastTraining();
+  config.epochs = 2;
+  SsinInterpolator ssin(TinyModel(), config);
+  ssin.Fit(data, train_ids);
+  EXPECT_EQ(ssin.train_stats().epoch_loss.size(), 2u);
+
+  SpatialDataset more = data.ConcatTimestamps(gen.GenerateHours(10, 6));
+  ssin.ContinueTraining(more, train_ids);
+  EXPECT_EQ(ssin.train_stats().epoch_loss.size(), 4u);
+}
+
+TEST(TrainerTest, CopyParametersTransfersBehavior) {
+  RainfallGenerator gen(TinyRegion());
+  SpatialDataset data = gen.GenerateHours(20, 7);
+  std::vector<int> train_ids;
+  for (int i = 0; i < 20; ++i) train_ids.push_back(i);
+  std::vector<int> test_ids = {22, 27};
+
+  SsinInterpolator source(TinyModel(), FastTraining());
+  source.Fit(data, train_ids);
+
+  SsinInterpolator target(TinyModel(), FastTraining());
+  target.Prepare(data, train_ids);  // Same context; no training.
+  target.CopyParametersFrom(source);
+
+  const std::vector<double> a =
+      source.InterpolateTimestamp(data.Values(0), train_ids, test_ids);
+  const std::vector<double> b =
+      target.InterpolateTimestamp(data.Values(0), train_ids, test_ids);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(TrainerTest, QueryIndependenceAtSystemLevel) {
+  // End-to-end version of the shielded consistency property: the answer
+  // for station q is identical whether it is queried alone or with others.
+  RainfallGenerator gen(TinyRegion());
+  SpatialDataset data = gen.GenerateHours(10, 8);
+  std::vector<int> train_ids;
+  for (int i = 0; i < 20; ++i) train_ids.push_back(i);
+
+  SsinInterpolator ssin(TinyModel(), FastTraining());
+  ssin.Fit(data, train_ids);
+
+  const std::vector<double> alone =
+      ssin.InterpolateTimestamp(data.Values(0), train_ids, {25});
+  const std::vector<double> with_others = ssin.InterpolateTimestamp(
+      data.Values(0), train_ids, {21, 25, 28});
+  EXPECT_DOUBLE_EQ(alone[0], with_others[1]);
+}
+
+}  // namespace
+}  // namespace ssin
