@@ -6,6 +6,8 @@
 /// small model trains in seconds per epoch and infers in milliseconds per
 /// sequence.
 
+#include <thread>
+
 #include "bench/bench_util.h"
 #include "common/timer.h"
 
@@ -43,6 +45,28 @@ int main() {
                 static_cast<long long>(ssin.model()->ParameterCount()),
                 setup.data.num_timestamps(), setup.data.num_stations(),
                 ssin.train_stats().mean_epoch_seconds(), infer_ms);
+    std::fflush(stdout);
+  }
+
+  // Thread scaling of data-parallel training (the CPU analog of the
+  // paper's batched GPU training): same model, data and seed at every
+  // thread count — only the wall time changes.
+  std::printf("\n--- training thread scaling (HK, %u hardware threads) ---\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-8s %18s %10s\n", "Threads", "TrainTime/epoch(s)", "Speedup");
+  RainfallSetup setup(HkRegionConfig(), /*hours=*/Scaled(120), 21);
+  double serial_epoch_seconds = 0.0;
+  for (int threads : {1, 2, 4}) {
+    TrainConfig training = ReducedTraining();
+    training.epochs = 2;
+    training.num_threads = threads;
+    SsinInterpolator ssin(SpaFormerConfig::Paper(), training);
+    ssin.Fit(setup.data, setup.split.train_ids);
+    const double epoch_seconds = ssin.train_stats().mean_epoch_seconds();
+    if (threads == 1) serial_epoch_seconds = epoch_seconds;
+    std::printf("%-8d %18.2f %9.2fx\n", threads, epoch_seconds,
+                epoch_seconds > 0.0 ? serial_epoch_seconds / epoch_seconds
+                                    : 0.0);
     std::fflush(stdout);
   }
 

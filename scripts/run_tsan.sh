@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the threading-sensitive tests under ThreadSanitizer and runs them.
+#
+#   scripts/run_tsan.sh [build-dir]
+#
+# Uses a dedicated build tree (default build-tsan/) so the instrumented
+# objects never mix with the regular build/ tree.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "${BUILD_DIR}" -S . -DSSIN_THREAD_SANITIZER=ON
+cmake --build "${BUILD_DIR}" -j --target thread_pool_test \
+  parallel_equivalence_test
+
+echo "== thread_pool_test (TSan) =="
+"${BUILD_DIR}/tests/thread_pool_test"
+
+echo "== parallel_equivalence_test (TSan) =="
+"${BUILD_DIR}/tests/parallel_equivalence_test"
+
+echo "TSan run clean."

@@ -1,0 +1,131 @@
+#include "common/thread_pool.h"
+
+#include <exception>
+
+#include "common/check.h"
+
+namespace ssin {
+
+namespace {
+
+// Set while a thread is executing pool work; nested ParallelFor calls on
+// any pool detect it and degrade to an inline serial loop instead of
+// waiting on a queue their own worker is blocking.
+thread_local bool t_inside_pool_task = false;
+
+}  // namespace
+
+/// Shared state of one ParallelFor call. Lives on the caller's stack; the
+/// caller blocks until `pending` drains, so pointers into it stay valid.
+struct ThreadPool::ForState {
+  int64_t n = 0;
+  int chunks = 0;
+  const std::function<void(int64_t, int)>* fn = nullptr;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int pending = 0;           // Chunks not yet finished (guarded by mu).
+  bool cancelled = false;    // Set on first exception (guarded by mu).
+  std::exception_ptr error;  // First exception thrown (guarded by mu).
+};
+
+int ThreadPool::ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(ResolveThreadCount(num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    t_inside_pool_task = true;
+    task();
+    t_inside_pool_task = false;
+  }
+}
+
+void ThreadPool::RunChunk(ForState* state, int chunk) {
+  bool cancelled;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    cancelled = state->cancelled;
+  }
+  if (!cancelled) {
+    const int64_t lo = state->n * chunk / state->chunks;
+    const int64_t hi = state->n * (chunk + 1) / state->chunks;
+    try {
+      for (int64_t i = lo; i < hi; ++i) (*state->fn)(i, chunk);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->error) state->error = std::current_exception();
+      state->cancelled = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (--state->pending == 0) state->done_cv.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t, int)>& fn) {
+  SSIN_CHECK_GE(n, 0);
+  if (n == 0) return;
+
+  ForState state;
+  state.n = n;
+  state.chunks = num_threads_;
+  state.fn = &fn;
+
+  if (num_threads_ == 1 || t_inside_pool_task) {
+    // Serial (or nested) execution, same index->slot assignment as the
+    // parallel path. Exceptions propagate directly.
+    for (int chunk = 0; chunk < state.chunks; ++chunk) {
+      const int64_t lo = n * chunk / state.chunks;
+      const int64_t hi = n * (chunk + 1) / state.chunks;
+      for (int64_t i = lo; i < hi; ++i) fn(i, chunk);
+    }
+    return;
+  }
+
+  state.pending = state.chunks;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (int chunk = 1; chunk < state.chunks; ++chunk) {
+      queue_.push_back([&state, chunk] { RunChunk(&state, chunk); });
+    }
+  }
+  queue_cv_.notify_all();
+
+  RunChunk(&state, 0);  // The caller contributes slot 0.
+
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done_cv.wait(lock, [&state] { return state.pending == 0; });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace ssin

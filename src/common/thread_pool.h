@@ -1,0 +1,65 @@
+#ifndef SSIN_COMMON_THREAD_POOL_H_
+#define SSIN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ssin {
+
+/// A fixed-size worker pool with a deterministic parallel-for.
+///
+/// ParallelFor(n, fn) splits [0, n) into exactly num_threads() contiguous
+/// chunks ("slots") and runs fn(index, slot) for every index, each chunk in
+/// ascending index order. The index->slot assignment depends only on
+/// (n, num_threads()), never on scheduling, which is what lets callers keep
+/// per-slot accumulators (e.g. gradient buffers) and reduce them in slot
+/// order for run-to-run reproducible results.
+///
+/// The calling thread executes slot 0 itself and then blocks until all
+/// slots finish, so a pool with num_threads() == 1 never touches a worker
+/// thread. The first exception thrown by any fn is rethrown on the caller
+/// after the loop drains (remaining chunks are skipped). Calling
+/// ParallelFor from inside a worker (nested parallelism) is safe: the
+/// nested loop runs inline on that worker with the same slot assignment.
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(i, slot) for every i in [0, n); see the class comment for the
+  /// determinism and exception contract.
+  void ParallelFor(int64_t n, const std::function<void(int64_t, int)>& fn);
+
+  /// Maps a requested thread count to an effective one: values <= 0 mean
+  /// "one per hardware thread" (the num_threads = 0 config convention).
+  static int ResolveThreadCount(int requested);
+
+ private:
+  struct ForState;
+
+  void WorkerLoop();
+  static void RunChunk(ForState* state, int chunk);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace ssin
+
+#endif  // SSIN_COMMON_THREAD_POOL_H_

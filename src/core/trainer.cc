@@ -4,10 +4,38 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "tensor/ops.h"
 
 namespace ssin {
+
+/// Data-parallel training state, allocated once per Train() call when
+/// config.num_threads != 1: the worker pool, the flat parameter list, one
+/// gradient buffer per (slot, parameter), and per-item scratch for the
+/// current batch. Masks are pre-drawn into `item_masks` on the main thread
+/// (in item order, from the trainer's rng_) so the item->mask assignment is
+/// identical to the serial run; workers only read them.
+struct ParallelTrainState {
+  ThreadPool pool;
+  std::vector<Parameter*> params;
+  /// slot_grads[slot][pi] accumulates worker `slot`'s gradient for
+  /// parameter pi; reduced into params[pi]->grad in slot order after the
+  /// batch joins, then re-zeroed.
+  std::vector<std::vector<Tensor>> slot_grads;
+  std::vector<double> item_losses;
+  std::vector<const std::vector<int>*> item_masks;
+  std::vector<std::vector<int>> drawn_masks;  ///< Dynamic-mask storage.
+
+  ParallelTrainState(int num_threads, SpaFormer* model)
+      : pool(num_threads), params(model->Parameters()) {
+    slot_grads.resize(pool.num_threads());
+    for (auto& slot : slot_grads) {
+      slot.reserve(params.size());
+      for (const Parameter* p : params) slot.emplace_back(p->value.shape());
+    }
+  }
+};
 
 double TrainStats::mean_epoch_seconds() const {
   if (epoch_seconds.empty()) return 0.0;
@@ -77,6 +105,13 @@ TrainStats SsinTrainer::Train(const SpatialDataset& data,
                                                warmup, config_.lr_factor);
   }
 
+  // Data-parallel worker state; null selects the exact serial code path.
+  const int num_threads = ThreadPool::ResolveThreadCount(config_.num_threads);
+  std::unique_ptr<ParallelTrainState> parallel;
+  if (num_threads > 1) {
+    parallel = std::make_unique<ParallelTrainState>(num_threads, model_);
+  }
+
   TrainStats stats;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     Timer epoch_timer;
@@ -88,28 +123,9 @@ TrainStats SsinTrainer::Train(const SpatialDataset& data,
          start += config_.batch_size) {
       const size_t end =
           std::min(items.size(), start + config_.batch_size);
-      const double inv_batch = 1.0 / static_cast<double>(end - start);
       model_->ZeroGrad();
-      for (size_t it = start; it < end; ++it) {
-        const int item = items[it];
-        const int t = item % num_sequences;
-        const std::vector<int> mask =
-            config_.dynamic_masking
-                ? SampleMask(length, config_.mask_ratio, &rng_)
-                : static_masks[item];
-        MaskedSequence seq =
-            BuildMaskedSequence(sequences[t], mask, mask_options);
-
-        Graph graph;
-        Var pred = model_->Forward(&graph, seq.input, relpos, abspos,
-                                   seq.observed);
-        Var masked_pred = GatherRows(pred, seq.target_positions);
-        Var loss = MseLoss(masked_pred, seq.targets);
-        loss_sum += loss.value()[0];
-        ++loss_count;
-        // Average gradients over the batch.
-        graph.Backward(Scale(loss, inv_batch));
-      }
+      RunBatch(items, start, end, sequences, static_masks, relpos, abspos,
+               mask_options, parallel.get(), &loss_sum, &loss_count);
       schedule_->Step(&optimizer_);
       optimizer_.Step();
       ++stats.steps;
@@ -126,6 +142,100 @@ TrainStats SsinTrainer::Train(const SpatialDataset& data,
     }
   }
   return stats;
+}
+
+void SsinTrainer::RunBatch(const std::vector<int>& items, size_t start,
+                           size_t end,
+                           const std::vector<std::vector<double>>& sequences,
+                           const std::vector<std::vector<int>>& static_masks,
+                           const Tensor& relpos, const Tensor& abspos,
+                           const MaskingOptions& mask_options,
+                           ParallelTrainState* parallel, double* loss_sum,
+                           int64_t* loss_count) {
+  const int num_sequences = static_cast<int>(sequences.size());
+  const int length = static_cast<int>(sequences[0].size());
+  // Per-batch gradient averaging: the seed of every item's backward pass is
+  // scaled by 1/|batch|, the *actual* batch size — for a partial final
+  // batch that is the number of items it really holds, so each optimizer
+  // step consumes the mean gradient of the items it saw (the reported
+  // epoch loss is separately the mean over all items of the epoch).
+  const double inv_batch = 1.0 / static_cast<double>(end - start);
+
+  if (parallel == nullptr) {
+    for (size_t it = start; it < end; ++it) {
+      const int item = items[it];
+      const int t = item % num_sequences;
+      const std::vector<int> mask =
+          config_.dynamic_masking
+              ? SampleMask(length, config_.mask_ratio, &rng_)
+              : static_masks[item];
+      MaskedSequence seq =
+          BuildMaskedSequence(sequences[t], mask, mask_options);
+
+      Graph graph;
+      Var pred = model_->Forward(&graph, seq.input, relpos, abspos,
+                                 seq.observed);
+      Var masked_pred = GatherRows(pred, seq.target_positions);
+      Var loss = MseLoss(masked_pred, seq.targets);
+      *loss_sum += loss.value()[0];
+      ++*loss_count;
+      // Average gradients over the batch.
+      graph.Backward(Scale(loss, inv_batch));
+    }
+    return;
+  }
+
+  // Parallel path. Draw every item's mask on the main thread first, in item
+  // order, so rng_ advances exactly as in the serial loop.
+  const size_t batch_items = end - start;
+  parallel->item_losses.assign(batch_items, 0.0);
+  parallel->item_masks.resize(batch_items);
+  parallel->drawn_masks.resize(batch_items);
+  for (size_t bi = 0; bi < batch_items; ++bi) {
+    if (config_.dynamic_masking) {
+      parallel->drawn_masks[bi] =
+          SampleMask(length, config_.mask_ratio, &rng_);
+      parallel->item_masks[bi] = &parallel->drawn_masks[bi];
+    } else {
+      parallel->item_masks[bi] = &static_masks[items[start + bi]];
+    }
+  }
+
+  parallel->pool.ParallelFor(
+      static_cast<int64_t>(batch_items), [&](int64_t bi, int slot) {
+        const int item = items[start + bi];
+        const int t = item % num_sequences;
+        MaskedSequence seq = BuildMaskedSequence(
+            sequences[t], *parallel->item_masks[bi], mask_options);
+
+        // A private graph whose parameter leaves accumulate into this
+        // slot's buffers instead of the shared Parameter::grad.
+        Graph graph;
+        std::vector<Tensor>& grads = parallel->slot_grads[slot];
+        for (size_t pi = 0; pi < parallel->params.size(); ++pi) {
+          graph.RedirectGradient(&parallel->params[pi]->grad, &grads[pi]);
+        }
+        Var pred = model_->Forward(&graph, seq.input, relpos, abspos,
+                                   seq.observed);
+        Var masked_pred = GatherRows(pred, seq.target_positions);
+        Var loss = MseLoss(masked_pred, seq.targets);
+        parallel->item_losses[bi] = loss.value()[0];
+        graph.Backward(Scale(loss, inv_batch));
+      });
+
+  // Deterministic reductions: losses in item order (bit-identical to the
+  // serial loop), gradients in slot order (equal up to fp associativity —
+  // each slot covers a contiguous item range accumulated in item order).
+  for (size_t bi = 0; bi < batch_items; ++bi) {
+    *loss_sum += parallel->item_losses[bi];
+    ++*loss_count;
+  }
+  for (auto& slot : parallel->slot_grads) {
+    for (size_t pi = 0; pi < parallel->params.size(); ++pi) {
+      parallel->params[pi]->grad.Accumulate(slot[pi]);
+      slot[pi].Fill(0.0);
+    }
+  }
 }
 
 }  // namespace ssin

@@ -12,6 +12,8 @@
 
 namespace ssin {
 
+struct ParallelTrainState;  // Worker pool + per-slot buffers (trainer.cc).
+
 /// SSIN training hyperparameters (paper §4.1.4 defaults, scaled down by the
 /// bench harnesses for CPU budgets).
 struct TrainConfig {
@@ -31,6 +33,15 @@ struct TrainConfig {
   bool dynamic_masking = true;
   /// Mean fill of hidden inputs (paper default) vs. the zero-fill ablation.
   bool mean_fill = true;
+
+  /// Worker threads for data-parallel training (0 = one per hardware
+  /// thread). Each batch item's forward/backward runs on a worker with a
+  /// private graph and per-thread gradient buffers that are reduced into
+  /// the model before the optimizer step; masks are pre-drawn on the main
+  /// thread, so any thread count reproduces the serial run's item->mask
+  /// assignment (equal results up to floating-point reduction order).
+  /// 1 = the exact serial code path.
+  int num_threads = 1;
 
   uint64_t seed = 17;
   bool verbose = false;
@@ -63,7 +74,20 @@ class SsinTrainer {
   TrainStats Train(const SpatialDataset& data,
                    const std::vector<int>& train_ids);
 
+  /// The learning-rate schedule in effect — created (and warmup-clamped)
+  /// by the first Train() call; null before that.
+  const NoamSchedule* schedule() const { return schedule_.get(); }
+
  private:
+  /// The per-batch loop body shared by the serial and parallel paths; adds
+  /// each item's loss to `*loss_sum`/`*loss_count` and leaves the batch's
+  /// mean gradient accumulated in the model's parameters.
+  void RunBatch(const std::vector<int>& items, size_t start, size_t end,
+                const std::vector<std::vector<double>>& sequences,
+                const std::vector<std::vector<int>>& static_masks,
+                const Tensor& relpos, const Tensor& abspos,
+                const MaskingOptions& mask_options, ParallelTrainState* state,
+                double* loss_sum, int64_t* loss_count);
   SpaFormer* model_;
   const SpatialContext* context_;
   TrainConfig config_;

@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace ssin {
+
+namespace {
+
+NodeSplit SplitForFold(const std::vector<std::vector<int>>& folds,
+                       int fold) {
+  NodeSplit split;
+  split.test_ids = folds[fold];
+  for (int other = 0; other < static_cast<int>(folds.size()); ++other) {
+    if (other == fold) continue;
+    split.train_ids.insert(split.train_ids.end(), folds[other].begin(),
+                           folds[other].end());
+  }
+  std::sort(split.train_ids.begin(), split.train_ids.end());
+  return split;
+}
+
+}  // namespace
 
 std::vector<std::vector<int>> MakeFolds(int num_stations, int k, Rng* rng) {
   SSIN_CHECK_GE(k, 2);
@@ -25,30 +44,63 @@ CrossValidationResult CrossValidate(
 
   CrossValidationResult result;
   MetricsAccumulator pooled;
-  for (int fold = 0; fold < k; ++fold) {
-    NodeSplit split;
-    split.test_ids = folds[fold];
-    for (int other = 0; other < k; ++other) {
-      if (other == fold) continue;
-      split.train_ids.insert(split.train_ids.end(), folds[other].begin(),
-                             folds[other].end());
-    }
-    std::sort(split.train_ids.begin(), split.train_ids.end());
+  const int end = options.end < 0 ? data.num_timestamps() : options.end;
+  const int num_threads = ThreadPool::ResolveThreadCount(options.num_threads);
 
-    std::unique_ptr<SpatialInterpolator> method = factory();
-    EvalResult eval = EvaluateInterpolator(method.get(), data, split,
-                                           options);
-    // Re-accumulate into the pooled metrics.
-    const int end =
-        options.end < 0 ? data.num_timestamps() : options.end;
+  if (num_threads == 1) {
+    for (int fold = 0; fold < k; ++fold) {
+      const NodeSplit split = SplitForFold(folds, fold);
+      std::unique_ptr<SpatialInterpolator> method = factory();
+      EvalResult eval = EvaluateInterpolator(method.get(), data, split,
+                                             options);
+      // Re-accumulate into the pooled metrics.
+      for (int t = options.begin; t < end; t += options.stride) {
+        const std::vector<double> predictions = method->InterpolateTimestamp(
+            data.Values(t), split.train_ids, split.test_ids);
+        for (size_t q = 0; q < split.test_ids.size(); ++q) {
+          pooled.Add(data.Value(t, split.test_ids[q]), predictions[q]);
+        }
+      }
+      result.folds.push_back(std::move(eval));
+    }
+    result.pooled = pooled.Compute();
+    return result;
+  }
+
+  // Parallel path: every interpolator is created serially on the calling
+  // thread (factories may share an Rng or other mutable state), then folds
+  // fit and evaluate concurrently; each fold's timestamps run serially
+  // inside its worker. Pooled metrics are reduced on the calling thread in
+  // (fold, timestamp) order, matching the serial run exactly.
+  std::vector<NodeSplit> splits(k);
+  std::vector<std::unique_ptr<SpatialInterpolator>> methods;
+  for (int fold = 0; fold < k; ++fold) {
+    splits[fold] = SplitForFold(folds, fold);
+    methods.push_back(factory());
+  }
+  std::vector<EvalResult> fold_evals(k);
+  std::vector<std::vector<std::vector<double>>> fold_predictions(k);
+  EvalOptions fold_options = options;
+  fold_options.num_threads = 1;  // Parallelism lives at the fold level.
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(k, [&](int64_t fold, int /*slot*/) {
+    const NodeSplit& split = splits[fold];
+    fold_evals[fold] = EvaluateInterpolator(methods[fold].get(), data, split,
+                                            fold_options);
     for (int t = options.begin; t < end; t += options.stride) {
-      const std::vector<double> predictions = method->InterpolateTimestamp(
-          data.Values(t), split.train_ids, split.test_ids);
-      for (size_t q = 0; q < split.test_ids.size(); ++q) {
-        pooled.Add(data.Value(t, split.test_ids[q]), predictions[q]);
+      fold_predictions[fold].push_back(methods[fold]->InterpolateTimestamp(
+          data.Values(t), split.train_ids, split.test_ids));
+    }
+  });
+  for (int fold = 0; fold < k; ++fold) {
+    size_t i = 0;
+    for (int t = options.begin; t < end; t += options.stride, ++i) {
+      const std::vector<double>& predictions = fold_predictions[fold][i];
+      for (size_t q = 0; q < splits[fold].test_ids.size(); ++q) {
+        pooled.Add(data.Value(t, splits[fold].test_ids[q]), predictions[q]);
       }
     }
-    result.folds.push_back(std::move(eval));
+    result.folds.push_back(std::move(fold_evals[fold]));
   }
   result.pooled = pooled.Compute();
   return result;

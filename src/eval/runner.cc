@@ -2,11 +2,25 @@
 
 #include <cstdio>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace ssin {
 
 namespace {
+
+/// The timestamps an EvalOptions selects, in evaluation order.
+std::vector<int> SelectedTimestamps(const SpatialDataset& data,
+                                    const EvalOptions& options) {
+  const int end = options.end < 0 ? data.num_timestamps() : options.end;
+  SSIN_CHECK_LE(end, data.num_timestamps());
+  SSIN_CHECK_GE(options.stride, 1);
+  std::vector<int> timestamps;
+  for (int t = options.begin; t < end; t += options.stride) {
+    timestamps.push_back(t);
+  }
+  return timestamps;
+}
 
 EvalResult RunEvaluation(SpatialInterpolator* method,
                          const SpatialDataset& data, const NodeSplit& split,
@@ -20,20 +34,42 @@ EvalResult RunEvaluation(SpatialInterpolator* method,
     result.fit_seconds = fit_timer.Seconds();
   }
 
-  const int end = options.end < 0 ? data.num_timestamps() : options.end;
-  SSIN_CHECK_LE(end, data.num_timestamps());
-  SSIN_CHECK_GE(options.stride, 1);
-
   MetricsAccumulator acc;
   Timer interp_timer;
-  for (int t = options.begin; t < end; t += options.stride) {
-    const std::vector<double> predictions = method->InterpolateTimestamp(
-        data.Values(t), split.train_ids, split.test_ids);
-    SSIN_CHECK_EQ(predictions.size(), split.test_ids.size());
-    for (size_t q = 0; q < split.test_ids.size(); ++q) {
-      acc.Add(data.Value(t, split.test_ids[q]), predictions[q]);
+  const int num_threads = ThreadPool::ResolveThreadCount(options.num_threads);
+  if (num_threads == 1) {
+    const int end = options.end < 0 ? data.num_timestamps() : options.end;
+    SSIN_CHECK_LE(end, data.num_timestamps());
+    SSIN_CHECK_GE(options.stride, 1);
+    for (int t = options.begin; t < end; t += options.stride) {
+      const std::vector<double> predictions = method->InterpolateTimestamp(
+          data.Values(t), split.train_ids, split.test_ids);
+      SSIN_CHECK_EQ(predictions.size(), split.test_ids.size());
+      for (size_t q = 0; q < split.test_ids.size(); ++q) {
+        acc.Add(data.Value(t, split.test_ids[q]), predictions[q]);
+      }
+      ++result.timestamps_evaluated;
     }
-    ++result.timestamps_evaluated;
+  } else {
+    // Fan timestamps across the pool, then accumulate metrics on the main
+    // thread in timestamp order — bit-identical to the serial loop.
+    const std::vector<int> timestamps = SelectedTimestamps(data, options);
+    std::vector<std::vector<double>> predictions(timestamps.size());
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(static_cast<int64_t>(timestamps.size()),
+                     [&](int64_t i, int /*slot*/) {
+                       predictions[i] = method->InterpolateTimestamp(
+                           data.Values(timestamps[i]), split.train_ids,
+                           split.test_ids);
+                     });
+    for (size_t i = 0; i < timestamps.size(); ++i) {
+      SSIN_CHECK_EQ(predictions[i].size(), split.test_ids.size());
+      for (size_t q = 0; q < split.test_ids.size(); ++q) {
+        acc.Add(data.Value(timestamps[i], split.test_ids[q]),
+                predictions[i][q]);
+      }
+      ++result.timestamps_evaluated;
+    }
   }
   result.interpolate_seconds = interp_timer.Seconds();
   result.metrics = acc.Compute();

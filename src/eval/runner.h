@@ -14,6 +14,14 @@ struct EvalOptions {
   int begin = 0;
   int end = -1;    ///< Exclusive; -1 = all timestamps.
   int stride = 1;  ///< Evaluate every stride-th timestamp.
+  /// Worker threads fanning timestamps (and cross-validation folds) across
+  /// a pool; 0 = one per hardware thread, 1 = the exact serial code path.
+  /// Values > 1 require the interpolator's InterpolateTimestamp to be
+  /// safe to call concurrently (true of every method in this repo after
+  /// Fit(); predictions and metrics are reduced in timestamp order, so
+  /// results are identical to a serial run). Fit() itself always runs on
+  /// the calling thread.
+  int num_threads = 1;
 };
 
 /// Result of evaluating one method on one dataset.

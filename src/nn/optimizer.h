@@ -80,6 +80,9 @@ class NoamSchedule {
 
   int64_t step() const { return step_; }
 
+  /// The warmup length actually in effect (after any caller-side clamping).
+  int warmup_steps() const { return static_cast<int>(warmup_); }
+
  private:
   double scale_;
   double warmup_;

@@ -14,7 +14,19 @@ const Tensor& Var::grad() const {
   return graph->grad(id);
 }
 
+void Graph::RedirectGradient(Tensor* from, Tensor* to) {
+  SSIN_CHECK(from != nullptr && to != nullptr);
+  SSIN_CHECK(from->SameShape(*to))
+      << "redirect shape " << from->ShapeString() << " vs "
+      << to->ShapeString();
+  grad_redirects_[from] = to;
+}
+
 Var Graph::Leaf(const Tensor& value, Tensor* external_grad) {
+  if (external_grad != nullptr && !grad_redirects_.empty()) {
+    auto it = grad_redirects_.find(external_grad);
+    if (it != grad_redirects_.end()) external_grad = it->second;
+  }
   if (external_grad != nullptr) {
     SSIN_CHECK(external_grad->SameShape(value))
         << "external grad shape " << external_grad->ShapeString()

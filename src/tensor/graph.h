@@ -2,6 +2,7 @@
 #define SSIN_TENSOR_GRAPH_H_
 
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -41,7 +42,17 @@ class Graph {
 
   /// A differentiable leaf. If `external_grad` is non-null it must outlive
   /// the graph and match `value`'s shape; Backward() accumulates into it.
+  /// Honors any redirect installed with RedirectGradient() beforehand.
   Var Leaf(const Tensor& value, Tensor* external_grad = nullptr);
+
+  /// Registers a gradient redirect: a Leaf subsequently created with
+  /// external accumulator `from` accumulates into `to` (same shape)
+  /// instead. This is how data-parallel training points the shared
+  /// parameters of a model at per-thread gradient buffers: each worker's
+  /// graph redirects every Parameter::grad to its slot's buffer, and the
+  /// buffers are reduced into the real grads after the workers join.
+  /// Must be called before the affected leaves are created.
+  void RedirectGradient(Tensor* from, Tensor* to);
 
   /// A non-differentiable input (no gradient is tracked or propagated).
   Var Constant(const Tensor& value);
@@ -78,6 +89,7 @@ class Graph {
   };
 
   std::vector<Node> nodes_;
+  std::unordered_map<Tensor*, Tensor*> grad_redirects_;
 };
 
 }  // namespace ssin

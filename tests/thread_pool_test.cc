@@ -1,0 +1,123 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ssin {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1);
+  EXPECT_GE(ThreadPool::ResolveThreadCount(-3), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7);
+}
+
+TEST(ThreadPoolTest, ConstructAndTearDownRepeatedly) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+  }
+  // Hardware default resolves to something usable.
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+  // Destruction with no work ever submitted must not hang (checked by the
+  // scopes above exiting).
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    for (int64_t n : {0, 1, 3, 4, 1000}) {
+      // Distinct indices touch distinct slots of the vector, so plain ints
+      // are race-free; any double visit shows up as a count of 2.
+      std::vector<int> visits(static_cast<size_t>(n), 0);
+      pool.ParallelFor(n, [&](int64_t i, int slot) {
+        ASSERT_GE(slot, 0);
+        ASSERT_LT(slot, pool.num_threads());
+        ++visits[static_cast<size_t>(i)];
+      });
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(visits[static_cast<size_t>(i)], 1)
+            << "threads=" << threads << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SlotAssignmentIsContiguousAndDeterministic) {
+  ThreadPool pool(4);
+  const int64_t n = 103;
+  std::vector<int> slot_of(n, -1);
+  pool.ParallelFor(n, [&](int64_t i, int slot) {
+    slot_of[static_cast<size_t>(i)] = slot;
+  });
+  // Slots are contiguous, ascending chunks of [0, n): the determinism
+  // contract per-slot accumulators rely on.
+  for (int64_t i = 1; i < n; ++i) {
+    EXPECT_LE(slot_of[i - 1], slot_of[i]);
+  }
+  // Re-running with the same n yields the identical assignment.
+  std::vector<int> again(n, -1);
+  pool.ParallelFor(n, [&](int64_t i, int slot) {
+    again[static_cast<size_t>(i)] = slot;
+  });
+  EXPECT_EQ(slot_of, again);
+  // And every slot of a 4-thread pool gets work when n >> threads.
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_NE(std::count(slot_of.begin(), slot_of.end(), s), 0);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  const int64_t outer = 8;
+  const int64_t inner = 16;
+  std::vector<std::vector<int>> visits(outer,
+                                       std::vector<int>(inner, 0));
+  pool.ParallelFor(outer, [&](int64_t o, int /*slot*/) {
+    // A nested loop on the same pool must not deadlock waiting for the
+    // worker it is running on; it degrades to an inline serial loop.
+    pool.ParallelFor(inner, [&](int64_t i, int /*inner_slot*/) {
+      ++visits[static_cast<size_t>(o)][static_cast<size_t>(i)];
+    });
+  });
+  for (const auto& row : visits) {
+    for (int v : row) EXPECT_EQ(v, 1);
+  }
+}
+
+TEST(ThreadPoolTest, WorkerExceptionSurfacesOnCaller) {
+  ThreadPool pool(4);
+  auto throwing = [](int64_t i, int /*slot*/) {
+    if (i == 37) throw std::runtime_error("boom at 37");
+  };
+  EXPECT_THROW(pool.ParallelFor(100, throwing), std::runtime_error);
+  try {
+    pool.ParallelFor(100, throwing);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 37");
+  }
+  // The pool stays usable after an exception.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(10, [&](int64_t i, int /*slot*/) { sum += i; });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsWorkOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(5, [&](int64_t /*i*/, int slot) {
+    EXPECT_EQ(slot, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+}  // namespace
+}  // namespace ssin
