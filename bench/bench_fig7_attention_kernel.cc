@@ -9,13 +9,27 @@
 /// absolute numbers (38.6ms / 16.4GB vs 9.2ms / 5.2GB at L=7000 on a
 /// V100) differ from CPU numbers; the crossover shape is the target.
 ///
-/// The naive benchmark is capped at L=3000: beyond that its [L,L,d]
-/// dimension extension alone exceeds several GB, which is exactly the
-/// paper's point.
+/// The naive benchmark is capped at L=3000: beyond that its dense
+/// [L*L, d] SRPE table alone exceeds a GB, which is exactly the paper's
+/// point.
+///
+/// Beyond the kernel-only sweep, BM_SpaFormerSeq_* measures the cost of a
+/// whole training sequence (embeddings + T*H attention invocations,
+/// forward AND backward) at the paper configuration L=123, T=3, H=2,
+/// d_k=16: the `Baseline` variant runs the historical pipeline (dense
+/// [L*L, d_k] SRPE embedding, reference matmul kernels), the `Optimized`
+/// variant the current one (legal-pair-packed SRPE, cache-blocked
+/// matmuls). scripts/run_bench.sh drives this binary and records
+/// BENCH_attention.json.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <memory>
+
+#include "core/spaformer.h"
 #include "tensor/attention_kernels.h"
+#include "tensor/ops.h"
 
 namespace {
 
@@ -24,39 +38,52 @@ using namespace ssin;
 constexpr int kDk = 16;
 constexpr int kObserved = 123;  // HK station count, as in the paper.
 
-struct Inputs {
-  Tensor q, k, v, c;
-  std::vector<uint8_t> observed;
-
-  explicit Inputs(int length)
-      : q({length, kDk}),
-        k({length, kDk}),
-        v({length, kDk}),
-        c({length * length, kDk}),
-        observed(length, 0) {
-    // Deterministic cheap fill (Randn over L^2 * d entries would dominate
-    // setup time at L=7000).
-    auto fill = [](Tensor* t, double salt) {
-      for (int64_t i = 0; i < t->numel(); ++i) {
-        (*t)[i] = 0.01 * ((i * 37 + static_cast<int64_t>(salt)) % 101) -
-                  0.5;
-      }
-    };
-    fill(&q, 1);
-    fill(&k, 2);
-    fill(&v, 3);
-    fill(&c, 4);
-    for (int i = 0; i < kObserved && i < length; ++i) observed[i] = 1;
+// Deterministic cheap fill (Randn over L^2 * d entries would dominate
+// setup time at L=7000).
+void Fill(Tensor* t, double salt) {
+  for (int64_t i = 0; i < t->numel(); ++i) {
+    (*t)[i] = 0.01 * ((i * 37 + static_cast<int64_t>(salt)) % 101) - 0.5;
   }
-};
+}
+
+std::vector<uint8_t> MakeObserved(int length) {
+  std::vector<uint8_t> observed(length, 0);
+  for (int i = 0; i < kObserved && i < length; ++i) observed[i] = 1;
+  return observed;
+}
+
+// ns per legal attention pair, from a per-iteration pair count.
+benchmark::Counter NsPerPair(int64_t pairs_per_iteration) {
+  return benchmark::Counter(
+      static_cast<double>(pairs_per_iteration) / 1e9,
+      benchmark::Counter::kIsIterationInvariantRate |
+          benchmark::Counter::kInvert);
+}
+
+void BM_BuildPlan(benchmark::State& state) {
+  const int length = static_cast<int>(state.range(0));
+  const std::vector<uint8_t> observed = MakeObserved(length);
+  AttentionPlan plan;
+  for (auto _ : state) {
+    BuildAttentionPlan(observed, /*shielded=*/true, &plan);
+    benchmark::DoNotOptimize(plan.key_index.data());
+  }
+  state.counters["pairs"] =
+      benchmark::Counter(static_cast<double>(plan.num_pairs()));
+}
 
 void BM_FullAttentionNaive(benchmark::State& state) {
   const int length = static_cast<int>(state.range(0));
-  Inputs in(length);
+  Tensor q({length, kDk}), k({length, kDk}), v({length, kDk});
+  Tensor c({length * length, kDk});
+  Fill(&q, 1);
+  Fill(&k, 2);
+  Fill(&v, 3);
+  Fill(&c, 4);
+  const std::vector<uint8_t> observed = MakeObserved(length);
   AttentionConfig cfg;  // SRPE + shielded (mask applied after scoring).
   for (auto _ : state) {
-    Tensor z = NaiveAttentionForward(in.q, in.k, in.v, &in.c, in.observed,
-                                     cfg);
+    Tensor z = NaiveAttentionForward(q, k, v, &c, observed, cfg);
     benchmark::DoNotOptimize(z.data());
   }
   state.counters["workspace_MB"] = benchmark::Counter(
@@ -65,19 +92,99 @@ void BM_FullAttentionNaive(benchmark::State& state) {
 
 void BM_PackedShielded(benchmark::State& state) {
   const int length = static_cast<int>(state.range(0));
-  Inputs in(length);
+  AttentionPlan plan;
+  BuildAttentionPlan(MakeObserved(length), /*shielded=*/true, &plan);
+  const int pairs = static_cast<int>(plan.num_pairs());
+  Tensor q({length, kDk}), k({length, kDk}), v({length, kDk});
+  Tensor c({pairs, kDk});  // Packed SRPE: one row per legal pair.
+  Fill(&q, 1);
+  Fill(&k, 2);
+  Fill(&v, 3);
+  Fill(&c, 4);
   AttentionConfig cfg;
+  cfg.packed_srpe = true;
   AttentionContext ctx;
   for (auto _ : state) {
-    Tensor z = PackedAttentionForward(in.q, in.k, in.v, &in.c, in.observed,
-                                      cfg, &ctx);
+    Tensor z = PackedAttentionForward(q, k, v, &c, plan, cfg, &ctx);
     benchmark::DoNotOptimize(z.data());
   }
   state.counters["workspace_MB"] = benchmark::Counter(
-      PackedAttentionWorkspaceBytes(length, kObserved, kDk) / 1e6);
+      PackedAttentionWorkspaceBytes(length, std::min(kObserved, length),
+                                    kDk) /
+      1e6);
+  state.counters["ns_per_pair"] = NsPerPair(pairs);
+}
+
+// ------------------------------------------------- full-sequence training
+
+/// One training step's compute for a single sequence (no optimizer):
+/// forward through value/SRPE embeddings, T encoder layers, prediction
+/// head, then full backward. Half the stations are masked, the paper's
+/// representative self-supervised masking level.
+void RunSequence(benchmark::State& state, bool packed_srpe,
+                 const MatMulConfig& matmul) {
+  const MatMulConfig saved = GetMatMulConfig();
+  SetMatMulConfig(matmul);
+
+  SpaFormerConfig config;  // L=123 inputs, T=3, H=2, d_k=16 defaults.
+  config.packed_srpe = packed_srpe;
+  Rng rng(7);
+  SpaFormer model(config, &rng);
+
+  const int length = kObserved;
+  Tensor x({length, 1}), relpos({length * length, 2});
+  Tensor abspos({length, 2}), target({length, 1});
+  Fill(&x, 1);
+  Fill(&relpos, 2);
+  Fill(&abspos, 3);
+  Fill(&target, 4);
+  std::vector<uint8_t> observed(length, 1);
+  for (int i = 0; i < length; i += 2) observed[i] = 0;
+
+  AttentionPlan plan;
+  BuildAttentionPlan(observed, config.shielded, &plan);
+
+  for (auto _ : state) {
+    model.ZeroGrad();
+    Graph graph;
+    Var pred = model.Forward(&graph, x, relpos, abspos, observed);
+    Var loss = MseLoss(pred, target);
+    graph.Backward(loss);
+    benchmark::DoNotOptimize(loss.value()[0]);
+  }
+  // Legal pairs actually scored per step: every layer and head reuses the
+  // same per-sequence plan.
+  state.counters["ns_per_pair"] = NsPerPair(
+      plan.num_pairs() * config.num_layers * config.num_heads);
+
+  SetMatMulConfig(saved);
+}
+
+void BM_SpaFormerSeq_Baseline(benchmark::State& state) {
+  // Historical pipeline: dense [L*L, d_k] SRPE embedding + reference
+  // (branchy, non-blocked) matmul kernels.
+  RunSequence(state, /*packed_srpe=*/false,
+              MatMulConfig{/*blocked=*/false, /*num_threads=*/1});
+}
+
+void BM_SpaFormerSeq_Optimized(benchmark::State& state) {
+  RunSequence(state, /*packed_srpe=*/true,
+              MatMulConfig{/*blocked=*/true, /*num_threads=*/1});
+}
+
+void BM_SpaFormerSeq_OptimizedMT(benchmark::State& state) {
+  RunSequence(state, /*packed_srpe=*/true,
+              MatMulConfig{/*blocked=*/true,
+                           /*num_threads=*/static_cast<int>(state.range(0))});
 }
 
 }  // namespace
+
+BENCHMARK(BM_BuildPlan)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(123)
+    ->Arg(1000)
+    ->Arg(7000);
 
 BENCHMARK(BM_FullAttentionNaive)
     ->Unit(benchmark::kMillisecond)
@@ -98,5 +205,12 @@ BENCHMARK(BM_PackedShielded)
     ->Arg(5000)
     ->Arg(7000)
     ->Iterations(5);
+
+BENCHMARK(BM_SpaFormerSeq_Baseline)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SpaFormerSeq_Optimized)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SpaFormerSeq_OptimizedMT)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(2)
+    ->Arg(4);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the attention benchmark suite (paper Figure 7 kernel sweep plus the
+# full-sequence packed-vs-dense SRPE pipeline comparison at the paper
+# configuration L=123, T=3, H=2, d_k=16) and records the JSON report at
+# BENCH_attention.json in the repo root.
+#
+#   scripts/run_bench.sh [build-dir] [extra benchmark flags...]
+#
+# Pass a benchmark filter to restrict the run, e.g.
+#   scripts/run_bench.sh build --benchmark_filter=SpaFormerSeq
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build}
+shift || true
+
+cmake --build "$BUILD" -j --target bench_fig7_attention_kernel
+
+"$BUILD"/bench/bench_fig7_attention_kernel \
+  --benchmark_out=BENCH_attention.json \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1 \
+  "$@"
+
+echo "Wrote BENCH_attention.json"

@@ -49,6 +49,7 @@ AttentionConfig MakeAttentionConfig(const SpaFormerConfig& config) {
   attn.use_srpe =
       config.position_mode == SpaFormerConfig::PositionMode::kSrpe;
   attn.shielded = config.shielded;
+  attn.packed_srpe = attn.use_srpe && config.packed_srpe;
   return attn;
 }
 
@@ -105,12 +106,34 @@ Var SpaFormer::Forward(Graph* graph, const Tensor& x, const Tensor& relpos,
   // Input Embedding Module.
   Var e = ApplyEmbedding(value_linear_, value_fcn_, graph->Constant(x));
 
+  // One legal-pair plan per sequence, shared by every layer/head kernel
+  // invocation and kept alive by the backward closures that capture it.
+  auto plan = std::make_shared<AttentionPlan>();
+  BuildAttentionPlan(observed, config_.shielded, plan.get());
+
   Var srpe;  // Stays invalid in SAPE mode.
   if (config_.position_mode == SpaFormerConfig::PositionMode::kSrpe) {
     SSIN_CHECK_EQ(relpos.dim(0), length * length);
     SSIN_CHECK_EQ(relpos.dim(1), 2);
-    srpe = ApplyEmbedding(position_linear_, position_fcn_,
-                          graph->Constant(relpos));
+    if (config_.packed_srpe) {
+      // Embed only the legal pairs: gather their relpos rows so the
+      // position embedding (and its backward) runs on num_pairs rows
+      // instead of L*L.
+      const int num_pairs = static_cast<int>(plan->num_pairs());
+      Tensor packed_relpos({num_pairs, 2});
+      const double* src = relpos.data();
+      double* dst = packed_relpos.data();
+      for (int t = 0; t < num_pairs; ++t) {
+        const double* row = src + static_cast<int64_t>(plan->pair_rows[t]) * 2;
+        dst[2 * t] = row[0];
+        dst[2 * t + 1] = row[1];
+      }
+      srpe = ApplyEmbedding(position_linear_, position_fcn_,
+                            graph->Constant(packed_relpos));
+    } else {
+      srpe = ApplyEmbedding(position_linear_, position_fcn_,
+                            graph->Constant(relpos));
+    }
   } else {
     SSIN_CHECK_EQ(abspos.dim(0), length);
     SSIN_CHECK_EQ(abspos.dim(1), 2);
@@ -119,7 +142,7 @@ Var SpaFormer::Forward(Graph* graph, const Tensor& x, const Tensor& relpos,
     e = Add(e, sape);  // APE-style addition, the paper's SAPE ablation.
   }
 
-  Var h = encoder_.Forward(e, srpe, observed);
+  Var h = encoder_.Forward(e, srpe, std::move(plan));
   return prediction_.Forward(h);  // [L, 1]
 }
 

@@ -37,6 +37,13 @@ struct SpaFormerConfig {
   /// Shielded attention (paper) vs. full self-attention (ablation).
   bool shielded = true;
 
+  /// Legal-pair-sparse SRPE pipeline (default): only the relative
+  /// positions of the sequence's legal attention pairs are embedded, and
+  /// the attention kernels index the packed [num_pairs, d_k] SRPE tensor
+  /// by pair. false restores the historical dense pipeline that embeds
+  /// all [L*L, 2] rows — kept as the equivalence/benchmark reference.
+  bool packed_srpe = true;
+
   /// Named constructors for the paper's ablation variants (Table 6).
   static SpaFormerConfig Paper() { return SpaFormerConfig(); }
   static SpaFormerConfig EmbPosLinear();

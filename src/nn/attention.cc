@@ -26,14 +26,14 @@ MultiHeadSpaAttention::MultiHeadSpaAttention(int d_model, int num_heads,
 }
 
 Var MultiHeadSpaAttention::Forward(Var e, Var srpe,
-                                   const std::vector<uint8_t>& observed) {
+                                   std::shared_ptr<const AttentionPlan> plan) {
   std::vector<Var> head_outputs;
   head_outputs.reserve(heads_.size());
   for (auto& head : heads_) {
     Var q = head.wq->Forward(e);
     Var k = head.wk->Forward(e);
     Var v = head.wv->Forward(e);
-    head_outputs.push_back(SpaAttention(q, k, v, srpe, observed, config_));
+    head_outputs.push_back(SpaAttention(q, k, v, srpe, plan, config_));
   }
   Var concat = head_outputs.size() == 1 ? head_outputs[0]
                                         : ConcatCols(head_outputs);

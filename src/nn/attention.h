@@ -25,10 +25,12 @@ class MultiHeadSpaAttention : public Module {
   MultiHeadSpaAttention(int d_model, int num_heads, int d_k,
                         const AttentionConfig& config, Rng* rng);
 
-  /// e: [L, d_model] node embeddings. srpe: [L*L, d_k] relative position
-  /// embeddings shared by all heads (pass an invalid Var when the config
-  /// has use_srpe=false). observed: per-node observation flags.
-  Var Forward(Var e, Var srpe, const std::vector<uint8_t>& observed);
+  /// e: [L, d_model] node embeddings. srpe: relative position embeddings
+  /// shared by all heads — packed [num_pairs, d_k] when the config has
+  /// packed_srpe, dense [L*L, d_k] otherwise (pass an invalid Var when
+  /// use_srpe=false). plan: the sequence's legal-pair plan, built once
+  /// upstream (SpaFormer::Forward) and shared by every layer and head.
+  Var Forward(Var e, Var srpe, std::shared_ptr<const AttentionPlan> plan);
 
   const AttentionConfig& config() const { return config_; }
   int num_heads() const { return static_cast<int>(heads_.size()); }

@@ -17,8 +17,8 @@ EncoderLayer::EncoderLayer(int d_model, int num_heads, int d_k, int d_ff,
 }
 
 Var EncoderLayer::Forward(Var x, Var srpe,
-                          const std::vector<uint8_t>& observed) {
-  Var attn = attention_.Forward(x, srpe, observed);
+                          std::shared_ptr<const AttentionPlan> plan) {
+  Var attn = attention_.Forward(x, srpe, std::move(plan));
   x = norm1_.Forward(Add(x, attn));
   Var ff = ffn_.Forward(x);
   return norm2_.Forward(Add(x, ff));
@@ -36,9 +36,9 @@ Encoder::Encoder(int num_layers, int d_model, int num_heads, int d_k,
 }
 
 Var Encoder::Forward(Var x, Var srpe,
-                     const std::vector<uint8_t>& observed) {
+                     std::shared_ptr<const AttentionPlan> plan) {
   for (auto& layer : layers_) {
-    x = layer->Forward(x, srpe, observed);
+    x = layer->Forward(x, srpe, plan);
   }
   return x;
 }

@@ -19,7 +19,7 @@ class EncoderLayer : public Module {
   EncoderLayer(int d_model, int num_heads, int d_k, int d_ff,
                const AttentionConfig& config, Rng* rng);
 
-  Var Forward(Var x, Var srpe, const std::vector<uint8_t>& observed);
+  Var Forward(Var x, Var srpe, std::shared_ptr<const AttentionPlan> plan);
 
  private:
   MultiHeadSpaAttention attention_;
@@ -34,7 +34,8 @@ class Encoder : public Module {
   Encoder(int num_layers, int d_model, int num_heads, int d_k, int d_ff,
           const AttentionConfig& config, Rng* rng);
 
-  Var Forward(Var x, Var srpe, const std::vector<uint8_t>& observed);
+  /// `plan` is shared (not rebuilt) across all layers of the stack.
+  Var Forward(Var x, Var srpe, std::shared_ptr<const AttentionPlan> plan);
 
   int num_layers() const { return static_cast<int>(layers_.size()); }
 

@@ -1,38 +1,71 @@
 #include "tensor/attention_kernels.h"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 namespace ssin {
 
-void BuildKeyLists(const std::vector<uint8_t>& observed, bool shielded,
-                   AttentionContext* ctx) {
+namespace {
+
+std::atomic<int64_t> g_plan_builds{0};
+
+}  // namespace
+
+int64_t AttentionPlanBuildCount() {
+  return g_plan_builds.load(std::memory_order_relaxed);
+}
+
+void BuildAttentionPlan(const std::vector<uint8_t>& observed, bool shielded,
+                        AttentionPlan* plan) {
+  g_plan_builds.fetch_add(1, std::memory_order_relaxed);
   const int length = static_cast<int>(observed.size());
-  ctx->key_index.clear();
-  ctx->offset.assign(length + 1, 0);
+  plan->length = length;
+  plan->shielded = shielded;
+  plan->key_index.clear();
+  plan->pair_rows.clear();
+  plan->offset.assign(length + 1, 0);
 
   std::vector<int> observed_ids;
   observed_ids.reserve(length);
   for (int i = 0; i < length; ++i) {
     if (observed[i]) observed_ids.push_back(i);
   }
+  plan->num_observed = static_cast<int>(observed_ids.size());
 
   if (!shielded) {
-    ctx->key_index.reserve(static_cast<size_t>(length) * length);
+    const size_t pairs = static_cast<size_t>(length) * length;
+    plan->key_index.reserve(pairs);
+    plan->pair_rows.reserve(pairs);
     for (int i = 0; i < length; ++i) {
-      for (int j = 0; j < length; ++j) ctx->key_index.push_back(j);
-      ctx->offset[i + 1] = ctx->key_index.size();
+      const int64_t row_base = static_cast<int64_t>(i) * length;
+      for (int j = 0; j < length; ++j) {
+        plan->key_index.push_back(j);
+        plan->pair_rows.push_back(static_cast<int>(row_base + j));
+      }
+      plan->offset[i + 1] = plan->key_index.size();
     }
   } else {
+    // At most m+1 keys per query (m observed plus self for unobserved).
+    const size_t pairs =
+        static_cast<size_t>(plan->num_observed + 1) * length;
+    plan->key_index.reserve(pairs);
+    plan->pair_rows.reserve(pairs);
     for (int i = 0; i < length; ++i) {
+      const int64_t row_base = static_cast<int64_t>(i) * length;
       // Observed nodes attend to all observed nodes (self included).
       // Unobserved nodes attend to themselves plus all observed nodes.
-      if (!observed[i]) ctx->key_index.push_back(i);
-      for (int j : observed_ids) ctx->key_index.push_back(j);
-      ctx->offset[i + 1] = ctx->key_index.size();
+      if (!observed[i]) {
+        plan->key_index.push_back(i);
+        plan->pair_rows.push_back(static_cast<int>(row_base + i));
+      }
+      for (int j : observed_ids) {
+        plan->key_index.push_back(j);
+        plan->pair_rows.push_back(static_cast<int>(row_base + j));
+      }
+      plan->offset[i + 1] = plan->key_index.size();
     }
   }
-  ctx->alpha.assign(ctx->key_index.size(), 0.0);
 }
 
 namespace {
@@ -49,32 +82,41 @@ inline double PairScore(const double* q_row, const double* k_row,
   return score * inv_sqrt_d;
 }
 
+// Row of c read by legal pair `t_global` (query i, key j): the packed
+// layout indexes by pair, the dense layout by i*L+j.
+inline int64_t SrpeRow(const AttentionPlan& plan, const AttentionConfig& cfg,
+                       int64_t t_global) {
+  return cfg.packed_srpe ? t_global : plan.pair_rows[t_global];
+}
+
 }  // namespace
 
 Tensor PackedAttentionForward(const Tensor& q, const Tensor& k,
                               const Tensor& v, const Tensor* c,
-                              const std::vector<uint8_t>& observed,
+                              const AttentionPlan& plan,
                               const AttentionConfig& cfg,
                               AttentionContext* ctx) {
   SSIN_CHECK_EQ(q.rank(), 2);
   SSIN_CHECK(q.SameShape(k) && q.SameShape(v));
   const int length = q.dim(0);
   const int d = q.dim(1);
-  SSIN_CHECK_EQ(static_cast<size_t>(length), observed.size());
+  SSIN_CHECK_EQ(plan.length, length);
   if (cfg.use_srpe) {
     SSIN_CHECK(c != nullptr);
-    SSIN_CHECK_EQ(c->dim(0), length * length);
+    SSIN_CHECK_EQ(c->dim(0), cfg.packed_srpe
+                                 ? plan.num_pairs()
+                                 : static_cast<int64_t>(length) * length);
     SSIN_CHECK_EQ(c->dim(1), d);
   }
   const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(d));
 
-  BuildKeyLists(observed, cfg.shielded, ctx);
+  ctx->alpha.assign(static_cast<size_t>(plan.num_pairs()), 0.0);
 
   Tensor z({length, d});
   std::vector<double> scores;
   for (int i = 0; i < length; ++i) {
-    const int64_t begin = ctx->offset[i];
-    const int64_t end = ctx->offset[i + 1];
+    const int64_t begin = plan.offset[i];
+    const int64_t end = plan.offset[i + 1];
     const int64_t count = end - begin;
     SSIN_CHECK_GT(count, 0) << "query " << i << " has no legal keys";
     scores.resize(static_cast<size_t>(count));
@@ -82,12 +124,11 @@ Tensor PackedAttentionForward(const Tensor& q, const Tensor& k,
     const double* q_row = q.data() + static_cast<int64_t>(i) * d;
     double max_score = -std::numeric_limits<double>::infinity();
     for (int64_t t = 0; t < count; ++t) {
-      const int j = ctx->key_index[begin + t];
+      const int j = plan.key_index[begin + t];
       const double* k_row = k.data() + static_cast<int64_t>(j) * d;
       const double* c_row =
-          cfg.use_srpe
-              ? c->data() + (static_cast<int64_t>(i) * length + j) * d
-              : nullptr;
+          cfg.use_srpe ? c->data() + SrpeRow(plan, cfg, begin + t) * d
+                       : nullptr;
       scores[t] = PairScore(q_row, k_row, c_row, d, inv_sqrt_d);
       if (scores[t] > max_score) max_score = scores[t];
     }
@@ -101,7 +142,7 @@ Tensor PackedAttentionForward(const Tensor& q, const Tensor& k,
     for (int64_t t = 0; t < count; ++t) {
       const double alpha = scores[t] / denom;
       ctx->alpha[begin + t] = alpha;
-      const int j = ctx->key_index[begin + t];
+      const int j = plan.key_index[begin + t];
       const double* v_row = v.data() + static_cast<int64_t>(j) * d;
       for (int e = 0; e < d; ++e) z_row[e] += alpha * v_row[e];
     }
@@ -111,6 +152,7 @@ Tensor PackedAttentionForward(const Tensor& q, const Tensor& k,
 
 void PackedAttentionBackward(const Tensor& q, const Tensor& k,
                              const Tensor& v, const Tensor* c,
+                             const AttentionPlan& plan,
                              const AttentionConfig& cfg,
                              const AttentionContext& ctx, const Tensor& dz,
                              Tensor* dq, Tensor* dk, Tensor* dv, Tensor* dc) {
@@ -120,8 +162,8 @@ void PackedAttentionBackward(const Tensor& q, const Tensor& k,
 
   std::vector<double> dalpha;
   for (int i = 0; i < length; ++i) {
-    const int64_t begin = ctx.offset[i];
-    const int64_t end = ctx.offset[i + 1];
+    const int64_t begin = plan.offset[i];
+    const int64_t end = plan.offset[i + 1];
     const int64_t count = end - begin;
     dalpha.resize(static_cast<size_t>(count));
 
@@ -130,7 +172,7 @@ void PackedAttentionBackward(const Tensor& q, const Tensor& k,
     // dalpha_t = dz_i · v_j ; dv_j += alpha_t dz_i.
     double alpha_dot = 0.0;  // sum_t alpha_t * dalpha_t (softmax backward)
     for (int64_t t = 0; t < count; ++t) {
-      const int j = ctx.key_index[begin + t];
+      const int j = plan.key_index[begin + t];
       const double alpha = ctx.alpha[begin + t];
       const double* v_row = v.data() + static_cast<int64_t>(j) * d;
       double* dv_row = dv->data() + static_cast<int64_t>(j) * d;
@@ -148,14 +190,14 @@ void PackedAttentionBackward(const Tensor& q, const Tensor& k,
     const double* q_row = q.data() + static_cast<int64_t>(i) * d;
     double* dq_row = dq->data() + static_cast<int64_t>(i) * d;
     for (int64_t t = 0; t < count; ++t) {
-      const int j = ctx.key_index[begin + t];
+      const int j = plan.key_index[begin + t];
       const double de = ctx.alpha[begin + t] * (dalpha[t] - alpha_dot) *
                         inv_sqrt_d;
       if (de == 0.0) continue;
       const double* k_row = k.data() + static_cast<int64_t>(j) * d;
       double* dk_row = dk->data() + static_cast<int64_t>(j) * d;
       if (cfg.use_srpe) {
-        const int64_t c_base = (static_cast<int64_t>(i) * length + j) * d;
+        const int64_t c_base = SrpeRow(plan, cfg, begin + t) * d;
         const double* c_row = c->data() + c_base;
         for (int e = 0; e < d; ++e) {
           dq_row[e] += de * k_row[e] * c_row[e];
@@ -250,14 +292,20 @@ int64_t NaiveAttentionWorkspaceBytes(int length, int d_k, bool use_srpe) {
   return doubles * static_cast<int64_t>(sizeof(double));
 }
 
-int64_t PackedAttentionWorkspaceBytes(int length, int num_observed, int d_k) {
-  const int64_t pairs = static_cast<int64_t>(length) * (num_observed + 1);
-  // Packed alpha + key index + offsets; SRPE rows are read in place, and
-  // only the c_ij rows of legal pairs are ever touched.
-  int64_t bytes = pairs * static_cast<int64_t>(sizeof(double));   // alpha
-  bytes += pairs * static_cast<int64_t>(sizeof(int));             // keys
-  bytes += (length + 1) * static_cast<int64_t>(sizeof(int64_t));  // offsets
-  bytes += pairs * d_k * static_cast<int64_t>(sizeof(double));    // c rows
+int64_t PackedAttentionWorkspaceBytes(int length, int num_observed, int d_k,
+                                      bool shielded) {
+  const int64_t l = length;
+  const int64_t m = num_observed;
+  // Exact legal-pair count: every query sees the m observed nodes, and
+  // each of the l-m unobserved queries additionally sees itself.
+  const int64_t pairs = shielded ? l * m + (l - m) : l * l;
+  // Plan (key indices + pair rows + offsets) + packed alpha + the packed
+  // [pairs, d_k] SRPE rows — only the c_ij of legal pairs exist at all.
+  int64_t bytes = pairs * static_cast<int64_t>(sizeof(int));       // keys
+  bytes += pairs * static_cast<int64_t>(sizeof(int));              // rows
+  bytes += (l + 1) * static_cast<int64_t>(sizeof(int64_t));        // offsets
+  bytes += pairs * static_cast<int64_t>(sizeof(double));           // alpha
+  bytes += pairs * d_k * static_cast<int64_t>(sizeof(double));     // c rows
   return bytes;
 }
 

@@ -25,41 +25,76 @@ struct AttentionConfig {
   /// observed nodes; unobserved nodes attend to themselves plus all
   /// observed nodes. When false every node attends to every node.
   bool shielded = true;
+  /// Layout of the SRPE tensor `c` handed to the packed kernel. false:
+  /// dense [L*L, d] with row i*L+j = c_ij (the historical layout, still
+  /// used by the naive reference kernel). true: packed [num_pairs, d]
+  /// with row t = c for the t-th legal pair of the AttentionPlan, so only
+  /// legal pairs are ever embedded or materialized.
+  bool packed_srpe = false;
 };
 
-/// Saved state from the attention forward pass, in packed (CSR-like) form.
-/// Entry t in [offset[i], offset[i+1]) is query i's t-th legal key:
-/// key id key_index[t] with softmax weight alpha[t].
-struct AttentionContext {
+/// The per-sequence legal-pair structure of shielded attention, in packed
+/// (CSR-like) form. Entry t in [offset[i], offset[i+1]) is query i's t-th
+/// legal key: key id key_index[t]; pair_rows[t] = i*length + key_index[t]
+/// is the row of the dense [L*L, ...] relative-position table that pair
+/// reads, which is what lets the SRPE embedding run over legal rows only.
+///
+/// A plan depends only on (observed, shielded) — not on values or
+/// parameters — so it is built once per sequence and shared by every
+/// layer/head kernel invocation of that sequence (and is the cacheable
+/// artifact a server can reuse across timestamps with the same gauge
+/// outage pattern).
+struct AttentionPlan {
+  int length = 0;
+  int num_observed = 0;
+  bool shielded = true;
   std::vector<int> key_index;
-  std::vector<int64_t> offset;  ///< size L+1
+  std::vector<int64_t> offset;  ///< size length+1
+  std::vector<int> pair_rows;   ///< size num_pairs()
+
+  int64_t num_pairs() const {
+    return static_cast<int64_t>(key_index.size());
+  }
+};
+
+/// Builds the packed legal-pair plan for a sequence. `observed[i]` marks
+/// nodes whose input value is a real observation (not masked/queried).
+void BuildAttentionPlan(const std::vector<uint8_t>& observed, bool shielded,
+                        AttentionPlan* plan);
+
+/// Number of BuildAttentionPlan calls since process start. Test hook for
+/// the once-per-sequence contract (a SpaFormer forward must build exactly
+/// one plan, not one per layer/head).
+int64_t AttentionPlanBuildCount();
+
+/// Saved state from one attention forward invocation: the packed softmax
+/// weights, aligned with the plan's pair indexing (alpha[t] is the weight
+/// of legal pair t). Unlike the plan, a context is per (layer, head).
+struct AttentionContext {
   std::vector<double> alpha;
 };
 
-/// Builds the packed legal-key lists for a sequence. `observed[i]` marks
-/// nodes whose input value is a real observation (not masked/queried).
-/// Exposed for tests and for the Figure 7 kernel benchmark.
-void BuildKeyLists(const std::vector<uint8_t>& observed, bool shielded,
-                   AttentionContext* ctx);
-
 /// Packed shielded attention with SRPE — the CPU analog of the paper's TVM
-/// CUDA kernel (§3.4.2). Visits only the O(mL) legal query-key pairs and
-/// never materializes an [L,L,d] intermediate.
+/// CUDA kernel (§3.4.2). Visits only the O(mL) legal query-key pairs of
+/// `plan` and never materializes an [L,L,d] intermediate.
 ///
-/// q,k,v: [L,d]. c: optional [L*L,d] relative-position embeddings, row
-/// i*L+j = c_ij; must be non-null when cfg.use_srpe. Writes the packed
-/// softmax weights into *ctx for the backward pass. Returns z: [L,d].
+/// q,k,v: [L,d]. c: optional relative-position embeddings — packed
+/// [num_pairs,d] when cfg.packed_srpe, dense [L*L,d] otherwise; must be
+/// non-null when cfg.use_srpe. Writes the packed softmax weights into *ctx
+/// for the backward pass. Returns z: [L,d].
 Tensor PackedAttentionForward(const Tensor& q, const Tensor& k,
                               const Tensor& v, const Tensor* c,
-                              const std::vector<uint8_t>& observed,
+                              const AttentionPlan& plan,
                               const AttentionConfig& cfg,
                               AttentionContext* ctx);
 
 /// Backward of PackedAttentionForward. dz: [L,d] upstream gradient.
-/// Accumulates into dq/dk/dv (and dc when non-null and cfg.use_srpe);
-/// output tensors must be pre-sized and may already hold partial sums.
+/// Accumulates into dq/dk/dv (and dc when non-null and cfg.use_srpe; dc
+/// uses the same layout as c); output tensors must be pre-sized and may
+/// already hold partial sums.
 void PackedAttentionBackward(const Tensor& q, const Tensor& k,
                              const Tensor& v, const Tensor* c,
+                             const AttentionPlan& plan,
                              const AttentionConfig& cfg,
                              const AttentionContext& ctx, const Tensor& dz,
                              Tensor* dq, Tensor* dk, Tensor* dv, Tensor* dc);
@@ -67,7 +102,8 @@ void PackedAttentionBackward(const Tensor& q, const Tensor& k,
 /// Reference "naive" implementation mirroring the paper's baseline: it
 /// materializes the full [L,L,d] elementwise product (the dimension
 /// extension of §3.4.2) and an [L,L] score matrix, then masks out illegal
-/// connections. Produces outputs identical to the packed kernel; exists for
+/// connections. c is always dense [L*L,d] here (cfg.packed_srpe is
+/// ignored). Produces outputs identical to the packed kernel; exists for
 /// differential testing and the Figure 7 time/memory comparison.
 Tensor NaiveAttentionForward(const Tensor& q, const Tensor& k,
                              const Tensor& v, const Tensor* c,
@@ -77,7 +113,14 @@ Tensor NaiveAttentionForward(const Tensor& q, const Tensor& k,
 /// Bytes of transient workspace each implementation needs for one forward
 /// pass (the quantity plotted in Figure 7's memory panel).
 int64_t NaiveAttentionWorkspaceBytes(int length, int d_k, bool use_srpe);
-int64_t PackedAttentionWorkspaceBytes(int length, int num_observed, int d_k);
+
+/// Exact per-sequence footprint of the packed pipeline: the plan (key
+/// indices, offsets, pair rows), the packed softmax weights, and the
+/// packed [num_pairs, d_k] SRPE rows — with cfg.packed_srpe only the c_ij
+/// rows of legal pairs are ever materialized, so this is the whole SRPE
+/// working set. `shielded=false` counts the full L*L pair set.
+int64_t PackedAttentionWorkspaceBytes(int length, int num_observed, int d_k,
+                                      bool shielded = true);
 
 }  // namespace ssin
 

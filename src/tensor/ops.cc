@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "common/thread_pool.h"
+
 namespace ssin {
 
 namespace {
@@ -14,8 +16,25 @@ Graph* CommonGraph(Var a, Var b) {
   return a.graph;
 }
 
-// out[m,n] += a[m,k] * b[k,n]
-void MatMulAcc(const Tensor& a, const Tensor& b, Tensor* out) {
+// ------------------------------------------------------------------ matmul
+//
+// Three accumulate-kernels back MatMul: the forward product and the two
+// backward products. Each has a branchy serial reference implementation
+// (the historical kernels, kept for differential testing) and a
+// cache-blocked unrolled implementation selected by MatMulConfig. The
+// blocked kernels additionally support row-block parallelism on a shared
+// pool; every output element is always produced by exactly one thread with
+// a fixed inner order, so results are bit-identical across thread counts.
+
+MatMulConfig g_matmul_config;                       // Set at startup only.
+std::unique_ptr<ThreadPool> g_matmul_pool;          // Non-null iff threads>1.
+
+// Work (in multiply-adds) below which fanning out to the pool costs more
+// than it saves.
+constexpr int64_t kMinParallelMadds = 1 << 15;
+
+// out[m,n] += a[m,k] * b[k,n], reference: skips zero a entries.
+void MatMulAccRef(const Tensor& a, const Tensor& b, Tensor* out) {
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   for (int i = 0; i < m; ++i) {
     const double* a_row = a.data() + static_cast<int64_t>(i) * k;
@@ -29,8 +48,38 @@ void MatMulAcc(const Tensor& a, const Tensor& b, Tensor* out) {
   }
 }
 
-// out[m,k] += dC[m,n] * B^T  (i.e. dA for C = A*B)
-void MatMulAccBt(const Tensor& dc, const Tensor& b, Tensor* out) {
+// Blocked MatMulAcc over rows [i_lo, i_hi): the inner-product dimension is
+// unrolled by 4 so each pass streams four resident b rows through out_row
+// with no data-dependent branch.
+void MatMulAccRows(const Tensor& a, const Tensor& b, Tensor* out, int i_lo,
+                   int i_hi) {
+  const int k = a.dim(1), n = b.dim(1);
+  const double* bd = b.data();
+  for (int i = i_lo; i < i_hi; ++i) {
+    const double* a_row = a.data() + static_cast<int64_t>(i) * k;
+    double* out_row = out->data() + static_cast<int64_t>(i) * n;
+    int p = 0;
+    for (; p + 4 <= k; p += 4) {
+      const double a0 = a_row[p], a1 = a_row[p + 1];
+      const double a2 = a_row[p + 2], a3 = a_row[p + 3];
+      const double* b0 = bd + static_cast<int64_t>(p) * n;
+      const double* b1 = b0 + n;
+      const double* b2 = b1 + n;
+      const double* b3 = b2 + n;
+      for (int j = 0; j < n; ++j) {
+        out_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+      }
+    }
+    for (; p < k; ++p) {
+      const double aip = a_row[p];
+      const double* b_row = bd + static_cast<int64_t>(p) * n;
+      for (int j = 0; j < n; ++j) out_row[j] += aip * b_row[j];
+    }
+  }
+}
+
+// out[m,k] += dC[m,n] * B^T (dA for C = A*B), reference.
+void MatMulAccBtRef(const Tensor& dc, const Tensor& b, Tensor* out) {
   const int m = dc.dim(0), n = dc.dim(1), k = b.dim(0);
   for (int i = 0; i < m; ++i) {
     const double* dc_row = dc.data() + static_cast<int64_t>(i) * n;
@@ -44,8 +93,33 @@ void MatMulAccBt(const Tensor& dc, const Tensor& b, Tensor* out) {
   }
 }
 
-// out[k,n] += A^T[k,m] * dC[m,n]  (i.e. dB for C = A*B)
-void MatMulAccAt(const Tensor& a, const Tensor& dc, Tensor* out) {
+// Blocked MatMulAccBt over rows [i_lo, i_hi): each out element is a dot
+// product, computed with four independent accumulators for ILP.
+void MatMulAccBtRows(const Tensor& dc, const Tensor& b, Tensor* out,
+                     int i_lo, int i_hi) {
+  const int n = dc.dim(1), k = b.dim(0);
+  for (int i = i_lo; i < i_hi; ++i) {
+    const double* dc_row = dc.data() + static_cast<int64_t>(i) * n;
+    double* out_row = out->data() + static_cast<int64_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const double* b_row = b.data() + static_cast<int64_t>(p) * n;
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      int j = 0;
+      for (; j + 4 <= n; j += 4) {
+        s0 += dc_row[j] * b_row[j];
+        s1 += dc_row[j + 1] * b_row[j + 1];
+        s2 += dc_row[j + 2] * b_row[j + 2];
+        s3 += dc_row[j + 3] * b_row[j + 3];
+      }
+      double sum = (s0 + s1) + (s2 + s3);
+      for (; j < n; ++j) sum += dc_row[j] * b_row[j];
+      out_row[p] += sum;
+    }
+  }
+}
+
+// out[k,n] += A^T[k,m] * dC[m,n] (dB for C = A*B), reference.
+void MatMulAccAtRef(const Tensor& a, const Tensor& dc, Tensor* out) {
   const int m = a.dim(0), k = a.dim(1), n = dc.dim(1);
   for (int i = 0; i < m; ++i) {
     const double* a_row = a.data() + static_cast<int64_t>(i) * k;
@@ -59,7 +133,114 @@ void MatMulAccAt(const Tensor& a, const Tensor& dc, Tensor* out) {
   }
 }
 
+// Blocked MatMulAccAt over *output* rows [p_lo, p_hi): the reduction
+// dimension m is tiled by 4, so four a/dc rows stay resident per pass and
+// each out row is written once per tile instead of once per i.
+void MatMulAccAtCols(const Tensor& a, const Tensor& dc, Tensor* out,
+                     int p_lo, int p_hi) {
+  const int m = a.dim(0), k = a.dim(1), n = dc.dim(1);
+  const double* ad = a.data();
+  const double* dd = dc.data();
+  int i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const double* a0 = ad + static_cast<int64_t>(i) * k;
+    const double* a1 = a0 + k;
+    const double* a2 = a1 + k;
+    const double* a3 = a2 + k;
+    const double* d0 = dd + static_cast<int64_t>(i) * n;
+    const double* d1 = d0 + n;
+    const double* d2 = d1 + n;
+    const double* d3 = d2 + n;
+    for (int p = p_lo; p < p_hi; ++p) {
+      const double w0 = a0[p], w1 = a1[p], w2 = a2[p], w3 = a3[p];
+      double* out_row = out->data() + static_cast<int64_t>(p) * n;
+      for (int j = 0; j < n; ++j) {
+        out_row[j] += w0 * d0[j] + w1 * d1[j] + w2 * d2[j] + w3 * d3[j];
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const double* a_row = ad + static_cast<int64_t>(i) * k;
+    const double* dc_row = dd + static_cast<int64_t>(i) * n;
+    for (int p = p_lo; p < p_hi; ++p) {
+      const double aip = a_row[p];
+      double* out_row = out->data() + static_cast<int64_t>(p) * n;
+      for (int j = 0; j < n; ++j) out_row[j] += aip * dc_row[j];
+    }
+  }
+}
+
+// Fans contiguous row blocks of `body(lo, hi)` across the shared matmul
+// pool when the product is big enough; otherwise runs inline. `madds` is
+// the total multiply-add count of the product. One call per worker keeps
+// each block's operand reuse intact.
+template <typename Body>
+void ForRowBlocks(int rows, int64_t madds, const Body& body) {
+  if (g_matmul_pool != nullptr && madds >= kMinParallelMadds && rows > 1) {
+    const int64_t chunks = g_matmul_pool->num_threads();
+    g_matmul_pool->ParallelFor(chunks, [&](int64_t c, int /*slot*/) {
+      const int lo = static_cast<int>(rows * c / chunks);
+      const int hi = static_cast<int>(rows * (c + 1) / chunks);
+      if (lo < hi) body(lo, hi);
+    });
+  } else {
+    body(0, rows);
+  }
+}
+
+// out[m,n] += a[m,k] * b[k,n]
+void MatMulAcc(const Tensor& a, const Tensor& b, Tensor* out) {
+  if (!g_matmul_config.blocked) {
+    MatMulAccRef(a, b, out);
+    return;
+  }
+  const int64_t madds = static_cast<int64_t>(a.dim(0)) * a.dim(1) * b.dim(1);
+  ForRowBlocks(a.dim(0), madds, [&](int lo, int hi) {
+    MatMulAccRows(a, b, out, lo, hi);
+  });
+}
+
+// out[m,k] += dC[m,n] * B^T  (i.e. dA for C = A*B)
+void MatMulAccBt(const Tensor& dc, const Tensor& b, Tensor* out) {
+  if (!g_matmul_config.blocked) {
+    MatMulAccBtRef(dc, b, out);
+    return;
+  }
+  const int64_t madds =
+      static_cast<int64_t>(dc.dim(0)) * dc.dim(1) * b.dim(0);
+  ForRowBlocks(dc.dim(0), madds, [&](int lo, int hi) {
+    MatMulAccBtRows(dc, b, out, lo, hi);
+  });
+}
+
+// out[k,n] += A^T[k,m] * dC[m,n]  (i.e. dB for C = A*B)
+void MatMulAccAt(const Tensor& a, const Tensor& dc, Tensor* out) {
+  if (!g_matmul_config.blocked) {
+    MatMulAccAtRef(a, dc, out);
+    return;
+  }
+  // Output rows are indexed by the reduction-free dimension k, so blocks
+  // partition k (not m): every (p, j) is owned by one block.
+  const int64_t madds =
+      static_cast<int64_t>(a.dim(0)) * a.dim(1) * dc.dim(1);
+  ForRowBlocks(a.dim(1), madds, [&](int lo, int hi) {
+    MatMulAccAtCols(a, dc, out, lo, hi);
+  });
+}
+
 }  // namespace
+
+void SetMatMulConfig(const MatMulConfig& config) {
+  g_matmul_config = config;
+  if (config.num_threads == 1) {
+    g_matmul_pool.reset();
+  } else {
+    g_matmul_pool = std::make_unique<ThreadPool>(
+        ThreadPool::ResolveThreadCount(config.num_threads));
+  }
+}
+
+MatMulConfig GetMatMulConfig() { return g_matmul_config; }
 
 Var MatMul(Var a, Var b) {
   Graph* g = CommonGraph(a, b);
@@ -450,10 +631,12 @@ Var Dropout(Var x, double rate, Rng* rng, bool training) {
 }
 
 Var SpaAttention(Var q, Var k, Var v, Var c,
-                 const std::vector<uint8_t>& observed,
+                 std::shared_ptr<const AttentionPlan> plan,
                  const AttentionConfig& cfg) {
   Graph* g = CommonGraph(q, k);
   SSIN_CHECK(v.graph == g);
+  SSIN_CHECK(plan != nullptr);
+  SSIN_CHECK_EQ(plan->length, q.value().dim(0));
   if (cfg.use_srpe) {
     SSIN_CHECK(c.valid() && c.graph == g);
   }
@@ -461,7 +644,7 @@ Var SpaAttention(Var q, Var k, Var v, Var c,
   const Tensor* c_tensor = cfg.use_srpe ? &c.value() : nullptr;
   auto ctx = std::make_shared<AttentionContext>();
   Tensor out = PackedAttentionForward(q.value(), k.value(), v.value(),
-                                      c_tensor, observed, cfg, ctx.get());
+                                      c_tensor, *plan, cfg, ctx.get());
 
   bool needs = g->requires_grad(q.id) || g->requires_grad(k.id) ||
                g->requires_grad(v.id);
@@ -469,7 +652,6 @@ Var SpaAttention(Var q, Var k, Var v, Var c,
   const int out_id = g->size();
   const int q_id = q.id, k_id = k.id, v_id = v.id;
   const int c_id = cfg.use_srpe ? c.id : -1;
-  auto observed_copy = std::make_shared<std::vector<uint8_t>>(observed);
   return g->AddNode(std::move(out), needs, [=](Graph* gr) {
     const Tensor& dz = gr->grad(out_id);
     const Tensor* cv = c_id >= 0 ? &gr->value(c_id) : nullptr;
@@ -494,9 +676,17 @@ Var SpaAttention(Var q, Var k, Var v, Var c,
       dv = &scratch_v;
     }
     PackedAttentionBackward(gr->value(q_id), gr->value(k_id),
-                            gr->value(v_id), cv, cfg, *ctx, dz, dq, dk, dv,
-                            dc);
+                            gr->value(v_id), cv, *plan, cfg, *ctx, dz, dq,
+                            dk, dv, dc);
   });
+}
+
+Var SpaAttention(Var q, Var k, Var v, Var c,
+                 const std::vector<uint8_t>& observed,
+                 const AttentionConfig& cfg) {
+  auto plan = std::make_shared<AttentionPlan>();
+  BuildAttentionPlan(observed, cfg.shielded, plan.get());
+  return SpaAttention(q, k, v, c, std::move(plan), cfg);
 }
 
 }  // namespace ssin

@@ -1,6 +1,7 @@
 #ifndef SSIN_TENSOR_OPS_H_
 #define SSIN_TENSOR_OPS_H_
 
+#include <memory>
 #include <vector>
 
 #include "tensor/attention_kernels.h"
@@ -12,6 +13,29 @@
 /// single op must share one graph.
 
 namespace ssin {
+
+/// Selects the implementation of the dense matmul kernels behind MatMul
+/// (the forward product and both backward products).
+struct MatMulConfig {
+  /// true: cache-blocked, unrolled kernels without per-element branches.
+  /// Reductions are reassociated by the unrolling, so results match the
+  /// reference to <=1e-12 (bit-identical across thread counts, since each
+  /// output element is still produced by exactly one thread in a fixed
+  /// order). false: the original branchy serial reference kernels.
+  bool blocked = true;
+  /// Worker threads for row-block parallelism. 1 = calling thread only
+  /// (the default; matmuls inside data-parallel training workers run
+  /// inline anyway via the pool's nested-call semantics). 0 = one per
+  /// hardware thread. Only matmuls above an internal size threshold fan
+  /// out, so tiny products never pay pool overhead.
+  int num_threads = 1;
+};
+
+/// Installs the process-wide matmul configuration (creates or drops the
+/// shared row-block pool as needed). Not thread-safe against concurrently
+/// executing graphs: call it at startup or between training/eval runs.
+void SetMatMulConfig(const MatMulConfig& config);
+MatMulConfig GetMatMulConfig();
 
 /// Matrix product: a [m,k] x b [k,n] -> [m,n].
 Var MatMul(Var a, Var b);
@@ -61,9 +85,19 @@ Var MseLoss(Var pred, const Tensor& target);
 Var Dropout(Var x, double rate, Rng* rng, bool training);
 
 /// SpaFormer attention (one head): shielded self-attention with optional
-/// SRPE (paper Eq. 4-6). q,k,v: [L,d]; c: [L*L,d] SRPE matrix (pass an
-/// invalid Var when cfg.use_srpe is false); observed marks real-valued
-/// input nodes. Uses the packed O(mL d) kernel.
+/// SRPE (paper Eq. 4-6), using the packed O(mL d) kernel. q,k,v: [L,d];
+/// c: the SRPE matrix — packed [num_pairs,d] when cfg.packed_srpe, dense
+/// [L*L,d] otherwise (pass an invalid Var when cfg.use_srpe is false).
+/// `plan` is the sequence's legal-pair plan, built once per sequence
+/// (SpaFormer::Forward) and shared by all layer/head invocations; the op
+/// keeps it alive via the shared_ptr captured in its backward closure.
+Var SpaAttention(Var q, Var k, Var v, Var c,
+                 std::shared_ptr<const AttentionPlan> plan,
+                 const AttentionConfig& cfg);
+
+/// Convenience overload that builds a fresh plan from `observed` — for
+/// tests and one-off invocations; model code should build one plan per
+/// sequence and use the overload above.
 Var SpaAttention(Var q, Var k, Var v, Var c,
                  const std::vector<uint8_t>& observed,
                  const AttentionConfig& cfg);

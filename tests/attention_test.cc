@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 #include "tensor/attention_kernels.h"
@@ -17,14 +18,29 @@ std::vector<uint8_t> MakeObserved(int length, std::vector<int> unobserved) {
   return observed;
 }
 
-TEST(KeyListTest, ShieldedListsFollowPaperRule) {
+// Gathers the legal-pair rows of a dense [L*L, d] SRPE tensor into the
+// packed [num_pairs, d] layout the plan's kernels index by pair.
+Tensor PackRows(const Tensor& dense, const AttentionPlan& plan) {
+  const int d = dense.dim(1);
+  Tensor packed({static_cast<int>(plan.num_pairs()), d});
+  for (int64_t t = 0; t < plan.num_pairs(); ++t) {
+    for (int e = 0; e < d; ++e) {
+      packed.At(t, e) = dense.At(plan.pair_rows[t], e);
+    }
+  }
+  return packed;
+}
+
+TEST(AttentionPlanTest, ShieldedListsFollowPaperRule) {
   // Nodes 1 and 3 unobserved out of 5.
-  AttentionContext ctx;
-  BuildKeyLists(MakeObserved(5, {1, 3}), /*shielded=*/true, &ctx);
-  ASSERT_EQ(ctx.offset.size(), 6u);
+  AttentionPlan plan;
+  BuildAttentionPlan(MakeObserved(5, {1, 3}), /*shielded=*/true, &plan);
+  ASSERT_EQ(plan.offset.size(), 6u);
+  EXPECT_EQ(plan.length, 5);
+  EXPECT_EQ(plan.num_observed, 3);
   for (int i = 0; i < 5; ++i) {
-    std::set<int> keys(ctx.key_index.begin() + ctx.offset[i],
-                       ctx.key_index.begin() + ctx.offset[i + 1]);
+    std::set<int> keys(plan.key_index.begin() + plan.offset[i],
+                       plan.key_index.begin() + plan.offset[i + 1]);
     // Every query sees all observed nodes.
     EXPECT_TRUE(keys.count(0) && keys.count(2) && keys.count(4));
     if (i == 1 || i == 3) {
@@ -40,16 +56,28 @@ TEST(KeyListTest, ShieldedListsFollowPaperRule) {
   }
 }
 
-TEST(KeyListTest, UnshieldedIsFullAttention) {
-  AttentionContext ctx;
-  BuildKeyLists(MakeObserved(4, {2}), /*shielded=*/false, &ctx);
-  EXPECT_EQ(ctx.key_index.size(), 16u);
+TEST(AttentionPlanTest, UnshieldedIsFullAttention) {
+  AttentionPlan plan;
+  BuildAttentionPlan(MakeObserved(4, {2}), /*shielded=*/false, &plan);
+  EXPECT_EQ(plan.num_pairs(), 16);
   for (int i = 0; i < 4; ++i) {
-    EXPECT_EQ(ctx.offset[i + 1] - ctx.offset[i], 4);
+    EXPECT_EQ(plan.offset[i + 1] - plan.offset[i], 4);
   }
 }
 
-TEST(KeyListTest, PairCountMatchesComplexityAnalysis) {
+TEST(AttentionPlanTest, PairRowsAreDenseRowIndices) {
+  AttentionPlan plan;
+  const int length = 7;
+  BuildAttentionPlan(MakeObserved(length, {2, 5}), /*shielded=*/true, &plan);
+  ASSERT_EQ(plan.pair_rows.size(), plan.key_index.size());
+  for (int i = 0; i < length; ++i) {
+    for (int64_t t = plan.offset[i]; t < plan.offset[i + 1]; ++t) {
+      EXPECT_EQ(plan.pair_rows[t], i * length + plan.key_index[t]);
+    }
+  }
+}
+
+TEST(AttentionPlanTest, PairCountMatchesComplexityAnalysis) {
   // Paper §3.4.2: at most (m+1) keys per query.
   const int length = 40;
   std::vector<uint8_t> observed(length, 0);
@@ -63,12 +91,12 @@ TEST(KeyListTest, PairCountMatchesComplexityAnalysis) {
     observed[0] = 1;
     m = 1;
   }
-  AttentionContext ctx;
-  BuildKeyLists(observed, /*shielded=*/true, &ctx);
-  EXPECT_LE(ctx.key_index.size(), static_cast<size_t>(length) * (m + 1));
+  AttentionPlan plan;
+  BuildAttentionPlan(observed, /*shielded=*/true, &plan);
+  EXPECT_LE(plan.num_pairs(), static_cast<int64_t>(length) * (m + 1));
   for (int i = 0; i < length; ++i) {
-    EXPECT_LE(ctx.offset[i + 1] - ctx.offset[i], m + 1);
-    EXPECT_GE(ctx.offset[i + 1] - ctx.offset[i], 1);
+    EXPECT_LE(plan.offset[i + 1] - plan.offset[i], m + 1);
+    EXPECT_GE(plan.offset[i + 1] - plan.offset[i], 1);
   }
 }
 
@@ -88,15 +116,70 @@ TEST_P(AttentionConfigTest, PackedMatchesNaive) {
   Tensor v = Tensor::Randn({length, d}, &rng);
   Tensor c = Tensor::Randn({length * length, d}, &rng);
   std::vector<uint8_t> observed = MakeObserved(length, {2, 5, 9});
+  AttentionPlan plan;
+  BuildAttentionPlan(observed, shielded, &plan);
 
   AttentionContext ctx;
   Tensor packed = PackedAttentionForward(q, k, v, use_srpe ? &c : nullptr,
-                                         observed, cfg, &ctx);
+                                         plan, cfg, &ctx);
   Tensor naive =
       NaiveAttentionForward(q, k, v, use_srpe ? &c : nullptr, observed, cfg);
   ASSERT_TRUE(packed.SameShape(naive));
   for (int64_t i = 0; i < packed.numel(); ++i) {
     EXPECT_NEAR(packed[i], naive[i], 1e-10);
+  }
+}
+
+TEST_P(AttentionConfigTest, PackedSrpeTensorMatchesDense) {
+  // The packed [num_pairs, d] SRPE layout must be bit-identical to indexing
+  // the dense [L*L, d] table: same pairs, same values, same order.
+  const auto [use_srpe, shielded] = GetParam();
+  if (!use_srpe) GTEST_SKIP() << "SRPE layout only matters with use_srpe";
+  AttentionConfig dense_cfg;
+  dense_cfg.use_srpe = true;
+  dense_cfg.shielded = shielded;
+  AttentionConfig packed_cfg = dense_cfg;
+  packed_cfg.packed_srpe = true;
+
+  const int length = 11, d = 4;
+  Rng rng(83);
+  Tensor q = Tensor::Randn({length, d}, &rng);
+  Tensor k = Tensor::Randn({length, d}, &rng);
+  Tensor v = Tensor::Randn({length, d}, &rng);
+  Tensor c = Tensor::Randn({length * length, d}, &rng);
+  AttentionPlan plan;
+  BuildAttentionPlan(MakeObserved(length, {1, 6, 7}), shielded, &plan);
+  Tensor c_packed = PackRows(c, plan);
+
+  AttentionContext dense_ctx, packed_ctx;
+  Tensor z_dense = PackedAttentionForward(q, k, v, &c, plan, dense_cfg,
+                                          &dense_ctx);
+  Tensor z_packed = PackedAttentionForward(q, k, v, &c_packed, plan,
+                                           packed_cfg, &packed_ctx);
+  for (int64_t i = 0; i < z_dense.numel(); ++i) {
+    EXPECT_DOUBLE_EQ(z_dense[i], z_packed[i]);
+  }
+
+  // Backward must agree too, with dc scattered/packed respectively.
+  Tensor dz = Tensor::Randn({length, d}, &rng);
+  Tensor dq1({length, d}), dk1({length, d}), dv1({length, d});
+  Tensor dc1({length * length, d});
+  Tensor dq2({length, d}), dk2({length, d}), dv2({length, d});
+  Tensor dc2({static_cast<int>(plan.num_pairs()), d});
+  PackedAttentionBackward(q, k, v, &c, plan, dense_cfg, dense_ctx, dz, &dq1,
+                          &dk1, &dv1, &dc1);
+  PackedAttentionBackward(q, k, v, &c_packed, plan, packed_cfg, packed_ctx,
+                          dz, &dq2, &dk2, &dv2, &dc2);
+  for (int64_t i = 0; i < dq1.numel(); ++i) {
+    EXPECT_DOUBLE_EQ(dq1[i], dq2[i]);
+    EXPECT_DOUBLE_EQ(dk1[i], dk2[i]);
+    EXPECT_DOUBLE_EQ(dv1[i], dv2[i]);
+  }
+  ASSERT_EQ(dc1.dim(0), length * length);
+  ASSERT_EQ(dc2.dim(0), static_cast<int>(plan.num_pairs()));
+  Tensor dc1_packed = PackRows(dc1, plan);
+  for (int64_t i = 0; i < dc2.numel(); ++i) {
+    EXPECT_DOUBLE_EQ(dc1_packed[i], dc2[i]);
   }
 }
 
@@ -111,14 +194,14 @@ TEST_P(AttentionConfigTest, SoftmaxWeightsSumToOne) {
   Tensor k = Tensor::Randn({length, d}, &rng);
   Tensor v = Tensor::Randn({length, d}, &rng);
   Tensor c = Tensor::Randn({length * length, d}, &rng);
-  std::vector<uint8_t> observed = MakeObserved(length, {0, 4});
+  AttentionPlan plan;
+  BuildAttentionPlan(MakeObserved(length, {0, 4}), shielded, &plan);
 
   AttentionContext ctx;
-  PackedAttentionForward(q, k, v, use_srpe ? &c : nullptr, observed, cfg,
-                         &ctx);
+  PackedAttentionForward(q, k, v, use_srpe ? &c : nullptr, plan, cfg, &ctx);
   for (int i = 0; i < length; ++i) {
     double sum = 0.0;
-    for (int64_t t = ctx.offset[i]; t < ctx.offset[i + 1]; ++t) {
+    for (int64_t t = plan.offset[i]; t < plan.offset[i + 1]; ++t) {
       EXPECT_GE(ctx.alpha[t], 0.0);
       sum += ctx.alpha[t];
     }
@@ -147,6 +230,32 @@ TEST_P(AttentionConfigTest, GradientsMatchFiniteDifferences) {
   EXPECT_LT(r.max_rel_err, 1e-5);
 }
 
+TEST_P(AttentionConfigTest, PackedSrpeGradientsMatchFiniteDifferences) {
+  // dq/dk/dv/dc of the packed-SRPE path, where c is the packed
+  // [num_pairs, d] tensor (not the dense [L*L, d] table).
+  const auto [use_srpe, shielded] = GetParam();
+  if (!use_srpe) GTEST_SKIP() << "packed_srpe requires use_srpe";
+  AttentionConfig cfg;
+  cfg.use_srpe = true;
+  cfg.shielded = shielded;
+  cfg.packed_srpe = true;
+  const int length = 6, d = 3;
+  Rng rng(84);
+  auto plan = std::make_shared<AttentionPlan>();
+  BuildAttentionPlan(MakeObserved(length, {1, 4}), shielded, plan.get());
+
+  std::vector<Tensor> inputs = {
+      Tensor::Randn({length, d}, &rng), Tensor::Randn({length, d}, &rng),
+      Tensor::Randn({length, d}, &rng),
+      Tensor::Randn({static_cast<int>(plan->num_pairs()), d}, &rng)};
+  auto r = CheckGradients(
+      inputs, [&](Graph*, const std::vector<Var>& v) {
+        Var z = SpaAttention(v[0], v[1], v[2], v[3], plan, cfg);
+        return Sum(Mul(z, z));
+      });
+  EXPECT_LT(r.max_rel_err, 1e-5);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Configs, AttentionConfigTest,
     ::testing::Combine(::testing::Bool(), ::testing::Bool()),
@@ -165,17 +274,18 @@ TEST(AttentionTest, ShieldedOutputIgnoresOtherUnobservedNodes) {
   Tensor k = Tensor::Randn({length, d}, &rng);
   Tensor v = Tensor::Randn({length, d}, &rng);
   Tensor c = Tensor::Randn({length * length, d}, &rng);
-  std::vector<uint8_t> observed = MakeObserved(length, {3, 6});
+  AttentionPlan plan;
+  BuildAttentionPlan(MakeObserved(length, {3, 6}), /*shielded=*/true, &plan);
 
   AttentionContext ctx;
-  Tensor z1 = PackedAttentionForward(q, k, v, &c, observed, cfg, &ctx);
+  Tensor z1 = PackedAttentionForward(q, k, v, &c, plan, cfg, &ctx);
   // Perturb node 6's query/key/value wildly.
   for (int e = 0; e < d; ++e) {
     q.At(6, e) += 100.0;
     k.At(6, e) -= 50.0;
     v.At(6, e) += 10.0;
   }
-  Tensor z2 = PackedAttentionForward(q, k, v, &c, observed, cfg, &ctx);
+  Tensor z2 = PackedAttentionForward(q, k, v, &c, plan, cfg, &ctx);
   for (int e = 0; e < d; ++e) {
     EXPECT_DOUBLE_EQ(z1.At(3, e), z2.At(3, e));  // Node 3 unaffected.
     EXPECT_DOUBLE_EQ(z1.At(0, e), z2.At(0, e));  // Observed unaffected too.
@@ -192,12 +302,13 @@ TEST(AttentionTest, FullAttentionLeaksUnobservedInformation) {
   Tensor k = Tensor::Randn({length, d}, &rng);
   Tensor v = Tensor::Randn({length, d}, &rng);
   Tensor c = Tensor::Randn({length * length, d}, &rng);
-  std::vector<uint8_t> observed = MakeObserved(length, {3, 6});
+  AttentionPlan plan;
+  BuildAttentionPlan(MakeObserved(length, {3, 6}), /*shielded=*/false, &plan);
 
   AttentionContext ctx;
-  Tensor z1 = PackedAttentionForward(q, k, v, &c, observed, cfg, &ctx);
+  Tensor z1 = PackedAttentionForward(q, k, v, &c, plan, cfg, &ctx);
   for (int e = 0; e < d; ++e) v.At(6, e) += 10.0;
-  Tensor z2 = PackedAttentionForward(q, k, v, &c, observed, cfg, &ctx);
+  Tensor z2 = PackedAttentionForward(q, k, v, &c, plan, cfg, &ctx);
   double diff = 0.0;
   for (int e = 0; e < d; ++e) diff += std::fabs(z1.At(3, e) - z2.At(3, e));
   EXPECT_GT(diff, 1e-6);
@@ -217,6 +328,40 @@ TEST(AttentionTest, WorkspaceBytesScaling) {
   EXPECT_LT(packed_2k, naive_2k);
 }
 
+TEST(AttentionTest, WorkspaceBytesMatchesActualAllocations) {
+  // The accounting must equal what the packed pipeline actually allocates
+  // per sequence: plan arrays + softmax weights + packed SRPE rows.
+  for (bool shielded : {true, false}) {
+    const int length = 57, d = 16;
+    std::vector<uint8_t> observed(length, 0);
+    Rng rng(85);
+    int m = 0;
+    for (int i = 0; i < length; ++i) {
+      observed[i] = rng.Bernoulli(0.6) ? 1 : 0;
+      m += observed[i];
+    }
+    AttentionPlan plan;
+    BuildAttentionPlan(observed, shielded, &plan);
+    AttentionConfig cfg;
+    cfg.shielded = shielded;
+    cfg.packed_srpe = true;
+    Tensor q = Tensor::Randn({length, d}, &rng);
+    Tensor c_packed =
+        Tensor::Randn({static_cast<int>(plan.num_pairs()), d}, &rng);
+    AttentionContext ctx;
+    PackedAttentionForward(q, q, q, &c_packed, plan, cfg, &ctx);
+
+    const int64_t actual =
+        static_cast<int64_t>(plan.key_index.size()) * sizeof(int) +
+        static_cast<int64_t>(plan.pair_rows.size()) * sizeof(int) +
+        static_cast<int64_t>(plan.offset.size()) * sizeof(int64_t) +
+        static_cast<int64_t>(ctx.alpha.size()) * sizeof(double) +
+        c_packed.numel() * static_cast<int64_t>(sizeof(double));
+    EXPECT_EQ(PackedAttentionWorkspaceBytes(length, m, d, shielded), actual)
+        << "shielded=" << shielded;
+  }
+}
+
 TEST(AttentionTest, SingleObservedNodeDegenerateCase) {
   // One observed node: every query attends to it (plus itself when
   // unobserved); must not produce NaNs.
@@ -227,9 +372,11 @@ TEST(AttentionTest, SingleObservedNodeDegenerateCase) {
   Tensor k = Tensor::Randn({length, d}, &rng);
   Tensor v = Tensor::Randn({length, d}, &rng);
   Tensor c = Tensor::Randn({length * length, d}, &rng);
-  std::vector<uint8_t> observed = MakeObserved(length, {1, 2, 3});
+  AttentionPlan plan;
+  BuildAttentionPlan(MakeObserved(length, {1, 2, 3}), /*shielded=*/true,
+                     &plan);
   AttentionContext ctx;
-  Tensor z = PackedAttentionForward(q, k, v, &c, observed, cfg, &ctx);
+  Tensor z = PackedAttentionForward(q, k, v, &c, plan, cfg, &ctx);
   for (int64_t i = 0; i < z.numel(); ++i) EXPECT_TRUE(std::isfinite(z[i]));
   // The observed node attends only to itself: output row 0 == v row 0.
   for (int e = 0; e < d; ++e) EXPECT_NEAR(z.At(0, e), v.At(0, e), 1e-12);

@@ -71,7 +71,9 @@ TEST(AttentionEdgeTest, SingleHeadSkipsConcat) {
   Var e = g.Constant(Tensor::Randn({length, 8}, &rng));
   Var c = g.Constant(Tensor::Randn({length * length, 8}, &rng));
   std::vector<uint8_t> observed(length, 1);
-  Var out = attn.Forward(e, c, observed);
+  auto plan = std::make_shared<AttentionPlan>();
+  BuildAttentionPlan(observed, cfg.shielded, plan.get());
+  Var out = attn.Forward(e, c, plan);
   EXPECT_EQ(out.value().dim(1), 8);
 }
 

@@ -102,7 +102,9 @@ TEST(AttentionModuleTest, OutputShapeAndParamCount) {
   Var c = g.Constant(Tensor::Randn({length * length, 16}, &rng));
   std::vector<uint8_t> observed(length, 1);
   observed[2] = 0;
-  Var out = attn.Forward(e, c, observed);
+  auto plan = std::make_shared<AttentionPlan>();
+  BuildAttentionPlan(observed, cfg.shielded, plan.get());
+  Var out = attn.Forward(e, c, plan);
   EXPECT_EQ(out.value().dim(0), length);
   EXPECT_EQ(out.value().dim(1), 16);
 }
@@ -117,7 +119,9 @@ TEST(EncoderTest, StackForwardAndGradFlow) {
   Var c = g.Constant(Tensor::Randn({length * length, 8}, &rng));
   std::vector<uint8_t> observed(length, 1);
   observed[1] = 0;
-  Var out = encoder.Forward(e, c, observed);
+  auto plan = std::make_shared<AttentionPlan>();
+  BuildAttentionPlan(observed, cfg.shielded, plan.get());
+  Var out = encoder.Forward(e, c, plan);
   g.Backward(Sum(out));
   // Every parameter must receive some gradient signal.
   int touched = 0;

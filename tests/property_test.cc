@@ -104,9 +104,11 @@ TEST_P(AttentionEquivalenceTest, PackedEqualsNaiveOnRandomInstances) {
       AttentionConfig cfg;
       cfg.use_srpe = use_srpe;
       cfg.shielded = shielded;
+      AttentionPlan plan;
+      BuildAttentionPlan(observed, shielded, &plan);
       AttentionContext ctx;
       Tensor packed = PackedAttentionForward(
-          q, k, v, use_srpe ? &c : nullptr, observed, cfg, &ctx);
+          q, k, v, use_srpe ? &c : nullptr, plan, cfg, &ctx);
       Tensor naive = NaiveAttentionForward(
           q, k, v, use_srpe ? &c : nullptr, observed, cfg);
       for (int64_t i = 0; i < packed.numel(); ++i) {
