@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds the serializer/loader robustness tests under ASan+UBSan and runs
+# them: the corrupt-checkpoint sweeps (truncation at every offset, byte
+# flips, hostile lengths) and the ragged/non-finite CSV tests must be clean
+# of memory errors, not merely return false.
+#
+#   scripts/run_asan.sh [build-dir]
+#
+# Uses a dedicated build tree (default build-asan/) so the instrumented
+# objects never mix with the regular build/ tree.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "${BUILD_DIR}" -S . -DSSIN_ADDRESS_SANITIZER=ON
+cmake --build "${BUILD_DIR}" -j --target serialize_test csv_loader_test \
+  checkpoint_resume_test
+
+echo "== serialize_test (ASan+UBSan) =="
+"${BUILD_DIR}/tests/serialize_test"
+
+echo "== csv_loader_test (ASan+UBSan) =="
+"${BUILD_DIR}/tests/csv_loader_test"
+
+echo "== checkpoint_resume_test (ASan+UBSan) =="
+"${BUILD_DIR}/tests/checkpoint_resume_test"
+
+echo "ASan run clean."

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -75,6 +77,26 @@ class Rng {
 
   /// Derives an independent child generator; handy for per-worker streams.
   Rng Fork() { return Rng(engine_()); }
+
+  /// The engine state as text (std::mt19937_64 stream format), so training
+  /// checkpoints can resume the exact random stream.
+  std::string SerializeState() const {
+    std::ostringstream out;
+    out << engine_;
+    return out.str();
+  }
+
+  /// Restores a state produced by SerializeState(). Returns false — with
+  /// the engine untouched — when the string does not parse as an
+  /// mt19937_64 state.
+  bool RestoreState(const std::string& state) {
+    std::istringstream in(state);
+    std::mt19937_64 engine;
+    in >> engine;
+    if (in.fail()) return false;
+    engine_ = engine;
+    return true;
+  }
 
   std::mt19937_64& engine() { return engine_; }
 

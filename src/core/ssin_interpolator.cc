@@ -62,6 +62,16 @@ bool SsinInterpolator::Load(const std::string& path) {
   return LoadModule(model_.get(), path);
 }
 
+bool SsinInterpolator::SaveTrainerCheckpoint(const std::string& path) {
+  SSIN_CHECK(prepared_) << "nothing to save before Fit()/Prepare()";
+  return trainer_->SaveCheckpoint(path);
+}
+
+bool SsinInterpolator::ResumeTrainerFrom(const std::string& path) {
+  SSIN_CHECK(prepared_) << "call Prepare() with the target dataset first";
+  return trainer_->ResumeFrom(path);
+}
+
 std::vector<double> SsinInterpolator::InterpolateTimestamp(
     const std::vector<double>& all_values,
     const std::vector<int>& observed_ids, const std::vector<int>& query_ids) {

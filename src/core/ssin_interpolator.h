@@ -58,8 +58,22 @@ class SsinInterpolator : public SpatialInterpolator {
   /// IO failure or architecture mismatch.
   bool Load(const std::string& path);
 
+  /// Writes the trainer's complete training state (model, Adam, schedule,
+  /// RNG, epoch cursor) — see SsinTrainer::SaveCheckpoint. Must be called
+  /// after Prepare()/Fit(); returns false on IO failure.
+  bool SaveTrainerCheckpoint(const std::string& path);
+
+  /// Restores a SaveTrainerCheckpoint() file into this interpolator's
+  /// trainer. Must be called after Prepare() with a matching architecture;
+  /// all-or-nothing, returns false on corruption or mismatch. A mid-run
+  /// checkpoint makes the next training call finish the interrupted run; a
+  /// finished-run checkpoint warm-starts ContinueTraining() from the saved
+  /// state (the Figure 11 model-update scenario without retraining).
+  bool ResumeTrainerFrom(const std::string& path);
+
   /// Trained model access (checkpointing via nn/serialize.h).
   SpaFormer* model() { return model_.get(); }
+  SsinTrainer* trainer() { return trainer_.get(); }
   const TrainStats& train_stats() const { return train_stats_; }
 
  private:

@@ -6,6 +6,7 @@
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "nn/serialize.h"
 #include "tensor/ops.h"
 
 namespace ssin {
@@ -77,27 +78,55 @@ TrainStats SsinTrainer::Train(const SpatialDataset& data,
     }
   }
 
+  const size_t num_items =
+      static_cast<size_t>(num_sequences) * config_.masks_per_sequence;
+
+  // A pending ResumeFrom() continues the interrupted run when its cursor
+  // is mid-run and its shuffle state fits this dataset; a finished-run
+  // checkpoint (or a mismatched dataset) warm-starts instead: fresh
+  // cursor/order/masks from the restored rng, which is exactly what a
+  // second Train() call on the original, uninterrupted trainer does.
+  const bool resuming = resume_pending_ &&
+                        epochs_completed_ < config_.epochs &&
+                        item_order_.size() == num_items;
+  resume_pending_ = false;
+
   // Static-masking ablation: one fixed mask per (sequence, repetition),
-  // drawn during "preprocessing" and replayed every epoch.
-  std::vector<std::vector<int>> static_masks;
-  if (!config_.dynamic_masking) {
-    static_masks.resize(static_cast<size_t>(num_sequences) *
-                        config_.masks_per_sequence);
-    for (auto& mask : static_masks) {
-      mask = SampleMask(length, config_.mask_ratio, &rng_);
+  // drawn during "preprocessing" and replayed every epoch. A resumed run
+  // replays the checkpointed masks — the restored rng stream is already
+  // past these draws.
+  if (config_.dynamic_masking) {
+    static_masks_.clear();
+  } else {
+    bool masks_valid = resuming && static_masks_.size() == num_items;
+    for (size_t m = 0; masks_valid && m < static_masks_.size(); ++m) {
+      for (int i : static_masks_[m]) {
+        if (i < 0 || i >= length) masks_valid = false;
+      }
+    }
+    if (!masks_valid) {
+      static_masks_.assign(num_items, {});
+      for (auto& mask : static_masks_) {
+        mask = SampleMask(length, config_.mask_ratio, &rng_);
+      }
     }
   }
 
-  // An epoch presents every sequence masks_per_sequence times.
-  std::vector<int> items(static_cast<size_t>(num_sequences) *
-                         config_.masks_per_sequence);
-  std::iota(items.begin(), items.end(), 0);
+  // An epoch presents every sequence masks_per_sequence times. The
+  // permutation carries over epoch to epoch (each epoch shuffles the
+  // previous order), so a resume restores the saved order verbatim.
+  const int start_epoch = resuming ? static_cast<int>(epochs_completed_) : 0;
+  if (!resuming) {
+    item_order_.resize(num_items);
+    std::iota(item_order_.begin(), item_order_.end(), 0);
+    epochs_completed_ = 0;
+  }
 
   if (schedule_ == nullptr) {
     // Size the warmup for this run: at most a quarter of the planned
     // steps, so short CPU runs still reach and traverse the decay phase.
     const int64_t steps_per_epoch = static_cast<int64_t>(
-        (items.size() + config_.batch_size - 1) / config_.batch_size);
+        (num_items + config_.batch_size - 1) / config_.batch_size);
     const int64_t planned = steps_per_epoch * config_.epochs;
     const int warmup = static_cast<int>(std::max<int64_t>(
         1, std::min<int64_t>(config_.warmup_steps, planned / 4)));
@@ -113,19 +142,19 @@ TrainStats SsinTrainer::Train(const SpatialDataset& data,
   }
 
   TrainStats stats;
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     Timer epoch_timer;
-    rng_.Shuffle(&items);
+    rng_.Shuffle(&item_order_);
     double loss_sum = 0.0;
     int64_t loss_count = 0;
 
-    for (size_t start = 0; start < items.size();
+    for (size_t start = 0; start < item_order_.size();
          start += config_.batch_size) {
       const size_t end =
-          std::min(items.size(), start + config_.batch_size);
+          std::min(item_order_.size(), start + config_.batch_size);
       model_->ZeroGrad();
-      RunBatch(items, start, end, sequences, static_masks, relpos, abspos,
-               mask_options, parallel.get(), &loss_sum, &loss_count);
+      RunBatch(item_order_, start, end, sequences, static_masks_, relpos,
+               abspos, mask_options, parallel.get(), &loss_sum, &loss_count);
       schedule_->Step(&optimizer_);
       optimizer_.Step();
       ++stats.steps;
@@ -140,8 +169,74 @@ TrainStats SsinTrainer::Train(const SpatialDataset& data,
                    epoch + 1, stats.epoch_loss.back(),
                    stats.epoch_seconds.back(), optimizer_.learning_rate());
     }
+
+    epochs_completed_ = epoch + 1;
+    if (!config_.checkpoint_path.empty() &&
+        ((epoch + 1) % std::max(1, config_.checkpoint_every_epochs) == 0 ||
+         epoch + 1 == config_.epochs)) {
+      if (!SaveCheckpoint(config_.checkpoint_path)) {
+        std::fprintf(stderr, "[ssin] WARNING: checkpoint write to %s failed\n",
+                     config_.checkpoint_path.c_str());
+      }
+    }
   }
   return stats;
+}
+
+bool SsinTrainer::SaveCheckpoint(const std::string& path) const {
+  TrainingCheckpoint cp;
+  for (Parameter* p : model_->Parameters()) {
+    cp.params.emplace_back(p->name, p->value);
+  }
+  cp.adam_step = optimizer_.step_count();
+  cp.adam_m = optimizer_.moment1();
+  cp.adam_v = optimizer_.moment2();
+  if (schedule_ != nullptr) {
+    cp.has_schedule = true;
+    cp.schedule_scale = schedule_->scale();
+    cp.schedule_warmup = schedule_->warmup_steps();
+    cp.schedule_step = schedule_->step();
+  }
+  cp.rng_state = rng_.SerializeState();
+  cp.epochs_completed = epochs_completed_;
+  cp.item_order = item_order_;
+  cp.static_masks = static_masks_;
+  return SaveTrainingCheckpoint(cp, path);
+}
+
+bool SsinTrainer::ResumeFrom(const std::string& path) {
+  TrainingCheckpoint cp;
+  if (!LoadTrainingCheckpoint(&cp, path)) return false;
+
+  // Validate everything against this trainer before mutating anything: a
+  // rejected resume must leave the model and trainer untouched.
+  std::vector<Parameter*> params = model_->Parameters();
+  if (params.size() != cp.params.size()) return false;
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (params[i]->name != cp.params[i].first) return false;
+    if (!params[i]->value.SameShape(cp.params[i].second)) return false;
+  }
+  Rng restored_rng(0);
+  if (!restored_rng.RestoreState(cp.rng_state)) return false;
+
+  // Commit.
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = std::move(cp.params[i].second);
+  }
+  SSIN_CHECK(optimizer_.RestoreState(cp.adam_step, std::move(cp.adam_m),
+                                     std::move(cp.adam_v)));
+  if (cp.has_schedule) {
+    schedule_ = std::make_unique<NoamSchedule>(NoamSchedule::Restore(
+        cp.schedule_scale, cp.schedule_warmup, cp.schedule_step));
+  } else {
+    schedule_.reset();
+  }
+  rng_ = restored_rng;
+  epochs_completed_ = cp.epochs_completed;
+  item_order_ = std::move(cp.item_order);
+  static_masks_ = std::move(cp.static_masks);
+  resume_pending_ = true;
+  return true;
 }
 
 void SsinTrainer::RunBatch(const std::vector<int>& items, size_t start,

@@ -43,6 +43,16 @@ struct TrainConfig {
   /// 1 = the exact serial code path.
   int num_threads = 1;
 
+  /// Crash-safe checkpointing: when non-empty, the trainer writes its full
+  /// training state (model parameters, Adam moments/step, Noam schedule,
+  /// RNG engine, epoch/shuffle cursor) to this path every
+  /// `checkpoint_every_epochs` epochs and after the final epoch. Writes go
+  /// to a temp file that is fsynced and atomically renamed over the
+  /// target, so a kill mid-save never leaves a torn checkpoint; see
+  /// SsinTrainer::ResumeFrom for the resume contract.
+  std::string checkpoint_path;
+  int checkpoint_every_epochs = 1;
+
   uint64_t seed = 17;
   bool verbose = false;
 };
@@ -78,6 +88,27 @@ class SsinTrainer {
   /// by the first Train() call; null before that.
   const NoamSchedule* schedule() const { return schedule_.get(); }
 
+  /// Writes the complete training state to `path` with the atomic
+  /// temp-file + fsync + rename protocol (nn/serialize.h). Called
+  /// automatically per TrainConfig::checkpoint_path; also callable
+  /// directly. Returns false on IO failure.
+  bool SaveCheckpoint(const std::string& path) const;
+
+  /// Restores model + optimizer + schedule + RNG + epoch cursor from a
+  /// SaveCheckpoint() file. All-or-nothing: on corruption or an
+  /// architecture mismatch it returns false and leaves the trainer and
+  /// model untouched. After a successful resume the next Train() call
+  /// continues the interrupted run — it starts at the saved epoch cursor
+  /// and reproduces the uninterrupted run's remaining epochs (losses and
+  /// final parameters to ≤1e-12, serial or thread-parallel). A checkpoint
+  /// from a *finished* run instead warm-starts: Train() runs a fresh full
+  /// set of epochs from the restored state, exactly as ContinueTraining
+  /// on the original trainer would.
+  bool ResumeFrom(const std::string& path);
+
+  /// Epochs completed in the current (possibly resumed) run.
+  int64_t epochs_completed() const { return epochs_completed_; }
+
  private:
   /// The per-batch loop body shared by the serial and parallel paths; adds
   /// each item's loss to `*loss_sum`/`*loss_count` and leaves the batch's
@@ -94,6 +125,16 @@ class SsinTrainer {
   Adam optimizer_;
   std::unique_ptr<NoamSchedule> schedule_;  ///< Created on first Train().
   Rng rng_;
+
+  // Progress state for checkpoint/resume: the epoch cursor, the item
+  // permutation as of the last completed epoch, and (static-masking runs)
+  // the masks drawn at preprocessing time. `resume_pending_` marks state
+  // restored by ResumeFrom() that the next Train() call should continue
+  // from instead of starting a fresh run.
+  int64_t epochs_completed_ = 0;
+  std::vector<int> item_order_;
+  std::vector<std::vector<int>> static_masks_;
+  bool resume_pending_ = false;
 };
 
 }  // namespace ssin

@@ -1,5 +1,7 @@
 #include "data/csv_loader.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/csv.h"
@@ -8,6 +10,11 @@ namespace ssin {
 
 namespace {
 
+/// Parses a numeric cell. An empty cell is the missing-value convention
+/// (-> 0.0, see the header); anything else must parse fully as a *finite*
+/// double — "inf"/"nan" cells (and overflows like "1e999") are rejected,
+/// because a single non-finite reading flows into instance standardization
+/// and poisons every prediction of its sequence.
 bool ParseDouble(const std::string& cell, double* out) {
   if (cell.empty()) {
     *out = 0.0;
@@ -15,7 +22,7 @@ bool ParseDouble(const std::string& cell, double* out) {
   }
   char* end = nullptr;
   *out = std::strtod(cell.c_str(), &end);
-  return end != nullptr && *end == '\0';
+  return end != nullptr && *end == '\0' && std::isfinite(*out);
 }
 
 }  // namespace
@@ -36,14 +43,26 @@ bool LoadDatasetCsv(const std::string& stations_path,
     return false;
   }
 
+  const size_t stations_min_cols = static_cast<size_t>(
+      std::max(id_col, std::max(lat_col, lon_col))) + 1;
   std::vector<Station> stations;
   double lat_sum = 0.0, lon_sum = 0.0;
-  for (const auto& row : stations_csv.rows) {
+  for (size_t r = 0; r < stations_csv.rows.size(); ++r) {
+    const auto& row = stations_csv.rows[r];
+    // Ragged rows would otherwise index out of bounds; report the file
+    // line (1-based, counting the header).
+    if (row.size() < stations_min_cols) {
+      *error = "stations row " + std::to_string(r + 2) + " has " +
+               std::to_string(row.size()) + " cells, need at least " +
+               std::to_string(stations_min_cols);
+      return false;
+    }
     Station s;
     s.id = row[id_col];
     if (!ParseDouble(row[lat_col], &s.latlon.lat) ||
         !ParseDouble(row[lon_col], &s.latlon.lon)) {
-      *error = "bad coordinate for station " + s.id;
+      *error = "bad coordinate for station " + s.id + " (stations row " +
+               std::to_string(r + 2) + ")";
       return false;
     }
     lat_sum += s.latlon.lat;
@@ -75,13 +94,17 @@ bool LoadDatasetCsv(const std::string& stations_path,
   }
 
   *dataset = SpatialDataset(std::move(stations));
-  for (const auto& row : values_csv.rows) {
+  for (size_t r = 0; r < values_csv.rows.size(); ++r) {
+    const auto& row = values_csv.rows[r];
     std::vector<double> values(column_of.size(), 0.0);
     for (size_t s = 0; s < column_of.size(); ++s) {
+      // Ragged rows (fewer cells than the station columns) and
+      // non-numeric/non-finite cells are both rejected, with the row named.
       if (static_cast<size_t>(column_of[s]) >= row.size() ||
           !ParseDouble(row[column_of[s]], &values[s])) {
-        *error = "bad value in row with timestamp " +
-                 (row.empty() ? std::string("?") : row[0]);
+        *error = "bad value in values row " + std::to_string(r + 2) +
+                 " (timestamp " +
+                 (row.empty() ? std::string("?") : row[0]) + ")";
         return false;
       }
     }

@@ -12,8 +12,16 @@ namespace ssin {
 ///
 /// stations.csv:  id,lat,lon             (one row per gauge)
 /// values.csv:    timestamp,<id1>,<id2>,... (one row per hour; the header
-///                names the station ids; cells are numeric readings, empty
-///                cells are treated as 0.0)
+///                names the station ids; cells are numeric readings)
+///
+/// Missing-value convention: an *empty* cell means "no reading" and loads
+/// as 0.0 (rainfall archives are zero-inflated, so absent ≈ dry is the
+/// standard climate-database convention). That is the only escape hatch:
+/// every non-empty cell must parse fully as a finite double. "inf"/"nan"
+/// cells and overflowing literals are rejected — a single non-finite value
+/// would flow into instance standardization and poison training — and
+/// ragged rows are rejected with the offending row number rather than read
+/// out of bounds.
 ///
 /// Station planar positions are an equirectangular projection around the
 /// network centroid.

@@ -51,10 +51,35 @@ void Adam::Step() {
   }
 }
 
+bool Adam::RestoreState(int64_t step, std::vector<Tensor> m,
+                        std::vector<Tensor> v) {
+  if (step < 0) return false;
+  if (m.size() != params_.size() || v.size() != params_.size()) return false;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (!m[i].SameShape(params_[i]->value)) return false;
+    if (!v[i].SameShape(params_[i]->value)) return false;
+  }
+  step_ = step;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return true;
+}
+
 NoamSchedule::NoamSchedule(int d_model, int warmup_steps, double factor)
     : scale_(factor / std::sqrt(static_cast<double>(d_model))),
       warmup_(static_cast<double>(warmup_steps)) {
   SSIN_CHECK_GE(warmup_steps, 1);
+}
+
+NoamSchedule NoamSchedule::Restore(double scale, int warmup_steps,
+                                   int64_t step) {
+  SSIN_CHECK_GE(warmup_steps, 1);
+  SSIN_CHECK_GE(step, 0);
+  NoamSchedule schedule;
+  schedule.scale_ = scale;
+  schedule.warmup_ = static_cast<double>(warmup_steps);
+  schedule.step_ = step;
+  return schedule;
 }
 
 double NoamSchedule::LearningRate(int64_t step) const {

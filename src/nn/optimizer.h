@@ -55,6 +55,16 @@ class Adam : public Optimizer {
 
   int64_t step_count() const { return step_; }
 
+  /// Internal state exposure for training checkpoints.
+  const std::vector<Tensor>& moment1() const { return m_; }
+  const std::vector<Tensor>& moment2() const { return v_; }
+
+  /// Restores step count and moments from a checkpoint. Validates that the
+  /// moment counts and shapes match this optimizer's parameter list before
+  /// mutating anything; returns false (state untouched) on any mismatch.
+  bool RestoreState(int64_t step, std::vector<Tensor> m,
+                    std::vector<Tensor> v);
+
  private:
   double beta1_;
   double beta2_;
@@ -72,6 +82,11 @@ class NoamSchedule {
  public:
   NoamSchedule(int d_model, int warmup_steps, double factor = 1.0);
 
+  /// Rebuilds a schedule from checkpointed state: the raw scale
+  /// (factor / sqrt(d_model)), the effective warmup, and the step already
+  /// taken.
+  static NoamSchedule Restore(double scale, int warmup_steps, int64_t step);
+
   /// Learning rate for a 1-based step index.
   double LearningRate(int64_t step) const;
 
@@ -83,7 +98,12 @@ class NoamSchedule {
   /// The warmup length actually in effect (after any caller-side clamping).
   int warmup_steps() const { return static_cast<int>(warmup_); }
 
+  /// The raw schedule scale, factor / sqrt(d_model) (for checkpoints).
+  double scale() const { return scale_; }
+
  private:
+  NoamSchedule() : scale_(0.0), warmup_(1.0) {}
+
   double scale_;
   double warmup_;
   int64_t step_ = 0;

@@ -1,6 +1,13 @@
 #include "nn/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 
@@ -8,73 +15,384 @@ namespace ssin {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x5353494e4d4f4431ull;  // "SSINMOD1"
+constexpr uint64_t kModuleMagic = 0x5353494e4d4f4432ull;      // "SSINMOD2"
+constexpr uint64_t kCheckpointMagic = 0x5353494e434b5031ull;  // "SSINCKP1"
 
-void WriteU64(std::ostream& out, uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+// Header: magic + payload_size + crc32.
+constexpr size_t kHeaderBytes = 8 + 8 + 4;
+
+// Hard plausibility limits for length fields read from a file. Every real
+// value in this codebase is orders of magnitude below these; anything
+// larger is corruption or an attack, not a checkpoint.
+constexpr uint64_t kMaxNameLen = 4096;
+constexpr uint64_t kMaxRank = 8;
+constexpr uint64_t kMaxDim = 0x7fffffffull;        // Tensor dims are int.
+constexpr uint64_t kMaxStringLen = 1 << 20;        // RNG state is ~7 KB.
+
+// ------------------------------------------------------------- payload IO
+
+/// Append-only little-endian payload builder.
+class PayloadWriter {
+ public:
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void I64(int64_t v) { Bytes(&v, sizeof(v)); }
+  void F64(double v) { Bytes(&v, sizeof(v)); }
+
+  void String(const std::string& s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+
+  void TensorData(const Tensor& t) {
+    U64(static_cast<uint64_t>(t.rank()));
+    for (int d : t.shape()) U64(static_cast<uint64_t>(d));
+    Bytes(t.data(), static_cast<size_t>(t.numel()) * sizeof(double));
+  }
+
+  const std::string& bytes() const { return out_; }
+
+ private:
+  void Bytes(const void* p, size_t n) {
+    out_.append(reinterpret_cast<const char*>(p), n);
+  }
+  std::string out_;
+};
+
+/// Bounds-checked reader over an in-memory payload. Every accessor returns
+/// false instead of reading past the end, and every length field is checked
+/// against both the hard limits above and the bytes actually remaining, so
+/// a corrupt file can neither over-allocate nor overflow a cast.
+class PayloadReader {
+ public:
+  PayloadReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  bool U64(uint64_t* v) { return Bytes(v, sizeof(*v)); }
+
+  bool I64(int64_t* v) { return Bytes(v, sizeof(*v)); }
+
+  bool F64(double* v) { return Bytes(v, sizeof(*v)); }
+
+  bool String(std::string* s, uint64_t max_len) {
+    uint64_t len = 0;
+    if (!U64(&len)) return false;
+    if (len > max_len || len > remaining()) return false;
+    s->assign(data_ + pos_, static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return true;
+  }
+
+  bool TensorData(Tensor* t) {
+    uint64_t rank = 0;
+    if (!U64(&rank) || rank > kMaxRank) return false;
+    std::vector<int> shape(static_cast<size_t>(rank));
+    uint64_t numel = 1;
+    for (uint64_t d = 0; d < rank; ++d) {
+      uint64_t dim = 0;
+      if (!U64(&dim) || dim > kMaxDim) return false;
+      shape[d] = static_cast<int>(dim);
+      // numel <= 2^63 is guaranteed by the per-dim cap only for rank 1;
+      // re-check the running product against what the payload can hold.
+      if (dim != 0 && numel > remaining() / dim) return false;
+      numel *= dim;
+    }
+    if (numel * sizeof(double) > remaining()) return false;
+    Tensor out(shape);
+    if (!Bytes(out.data(), static_cast<size_t>(numel) * sizeof(double))) {
+      return false;
+    }
+    *t = std::move(out);
+    return true;
+  }
+
+ private:
+  bool Bytes(void* p, size_t n) {
+    if (n > remaining()) return false;
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// ----------------------------------------------------------- container IO
+
+bool WriteContainer(uint64_t magic, const std::string& payload,
+                    const std::string& path) {
+  std::string file;
+  file.reserve(kHeaderBytes + payload.size());
+  const uint64_t size = payload.size();
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  file.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  file.append(reinterpret_cast<const char*>(&size), sizeof(size));
+  file.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  file.append(payload);
+  return AtomicWriteFile(path, file);
 }
 
-bool ReadU64(std::istream& in, uint64_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
+/// Reads `path`, verifies magic, exact payload size and CRC, and leaves the
+/// payload in *payload. Any mismatch — wrong magic, truncation, trailing
+/// garbage, flipped bytes — returns false.
+bool ReadContainer(uint64_t expected_magic, const std::string& path,
+                   std::string* payload) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string file((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return false;
+  if (file.size() < kHeaderBytes) return false;
+
+  uint64_t magic = 0, size = 0;
+  uint32_t crc = 0;
+  std::memcpy(&magic, file.data(), sizeof(magic));
+  std::memcpy(&size, file.data() + 8, sizeof(size));
+  std::memcpy(&crc, file.data() + 16, sizeof(crc));
+  if (magic != expected_magic) return false;
+  if (size != file.size() - kHeaderBytes) return false;
+  if (crc != Crc32(file.data() + kHeaderBytes, size)) return false;
+  payload->assign(file, kHeaderBytes, std::string::npos);
+  return true;
+}
+
+// ------------------------------------------------------- parameter records
+
+void WriteParamRecords(
+    const std::vector<std::pair<std::string, Tensor>>& params,
+    PayloadWriter* w) {
+  w->U64(params.size());
+  for (const auto& [name, value] : params) {
+    w->String(name);
+    w->TensorData(value);
+  }
+}
+
+bool ReadParamRecords(PayloadReader* r,
+                      std::vector<std::pair<std::string, Tensor>>* params) {
+  uint64_t count = 0;
+  // A record is at least 16 bytes (name length + rank), which bounds any
+  // plausible count by the remaining payload — reserve only after that.
+  if (!r->U64(&count) || count > r->remaining() / 16) return false;
+  params->clear();
+  params->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    Tensor value;
+    if (!r->String(&name, kMaxNameLen)) return false;
+    if (!r->TensorData(&value)) return false;
+    params->emplace_back(std::move(name), std::move(value));
+  }
+  return true;
 }
 
 }  // namespace
 
-bool SaveModule(Module* module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  std::vector<Parameter*> params = module->Parameters();
-  WriteU64(out, kMagic);
-  WriteU64(out, params.size());
-  for (Parameter* p : params) {
-    WriteU64(out, p->name.size());
-    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
-    WriteU64(out, p->value.shape().size());
-    for (int d : p->value.shape()) WriteU64(out, static_cast<uint64_t>(d));
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(p->value.numel() *
-                                           sizeof(double)));
+// ------------------------------------------------------------------ CRC32
+
+uint32_t Crc32(const void* data, size_t len) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
   }
-  return out.good();
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ----------------------------------------------------------- atomic write
+
+bool AtomicWriteFile(const std::string& path, const std::string& bytes) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n <= 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Persist the rename itself: fsync the containing directory.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
+}
+
+// ----------------------------------------------------------- module files
+
+bool SaveModule(Module* module, const std::string& path) {
+  std::vector<std::pair<std::string, Tensor>> params;
+  for (Parameter* p : module->Parameters()) {
+    params.emplace_back(p->name, p->value);
+  }
+  PayloadWriter w;
+  WriteParamRecords(params, &w);
+  return WriteContainer(kModuleMagic, w.bytes(), path);
 }
 
 bool LoadModule(Module* module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  uint64_t magic = 0, count = 0;
-  if (!ReadU64(in, &magic) || magic != kMagic) return false;
-  if (!ReadU64(in, &count)) return false;
+  std::string payload;
+  if (!ReadContainer(kModuleMagic, path, &payload)) return false;
+  PayloadReader r(payload.data(), payload.size());
+  std::vector<std::pair<std::string, Tensor>> loaded;
+  if (!ReadParamRecords(&r, &loaded) || !r.AtEnd()) return false;
 
-  std::map<std::string, Tensor> records;
-  for (uint64_t r = 0; r < count; ++r) {
-    uint64_t name_len = 0;
-    if (!ReadU64(in, &name_len)) return false;
-    std::string name(name_len, '\0');
-    in.read(name.data(), static_cast<std::streamsize>(name_len));
-    uint64_t rank = 0;
-    if (!ReadU64(in, &rank)) return false;
-    std::vector<int> shape(rank);
-    for (uint64_t d = 0; d < rank; ++d) {
-      uint64_t dim = 0;
-      if (!ReadU64(in, &dim)) return false;
-      shape[d] = static_cast<int>(dim);
-    }
-    Tensor t(shape);
-    in.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(double)));
-    if (!in.good()) return false;
-    records.emplace(std::move(name), std::move(t));
+  std::map<std::string, Tensor*> records;
+  for (auto& [name, value] : loaded) {
+    if (!records.emplace(name, &value).second) return false;  // Duplicate.
   }
 
+  // Validate every record against the module first, then commit: a failed
+  // load must never leave the module half-overwritten.
   std::vector<Parameter*> params = module->Parameters();
   if (params.size() != records.size()) return false;
   for (Parameter* p : params) {
     auto it = records.find(p->name);
     if (it == records.end()) return false;
-    if (!it->second.SameShape(p->value)) return false;
-    p->value = it->second;
+    if (!it->second->SameShape(p->value)) return false;
   }
+  for (Parameter* p : params) {
+    p->value = std::move(*records.find(p->name)->second);
+  }
+  return true;
+}
+
+// ------------------------------------------------------- checkpoint files
+
+bool SaveTrainingCheckpoint(const TrainingCheckpoint& checkpoint,
+                            const std::string& path) {
+  PayloadWriter w;
+  WriteParamRecords(checkpoint.params, &w);
+
+  w.I64(checkpoint.adam_step);
+  for (const Tensor& m : checkpoint.adam_m) w.TensorData(m);
+  for (const Tensor& v : checkpoint.adam_v) w.TensorData(v);
+
+  w.U64(checkpoint.has_schedule ? 1 : 0);
+  if (checkpoint.has_schedule) {
+    w.F64(checkpoint.schedule_scale);
+    w.U64(static_cast<uint64_t>(checkpoint.schedule_warmup));
+    w.I64(checkpoint.schedule_step);
+  }
+
+  w.String(checkpoint.rng_state);
+
+  w.I64(checkpoint.epochs_completed);
+  w.U64(checkpoint.item_order.size());
+  for (int i : checkpoint.item_order) w.U64(static_cast<uint64_t>(i));
+  w.U64(checkpoint.static_masks.size());
+  for (const std::vector<int>& mask : checkpoint.static_masks) {
+    w.U64(mask.size());
+    for (int i : mask) w.U64(static_cast<uint64_t>(i));
+  }
+  return WriteContainer(kCheckpointMagic, w.bytes(), path);
+}
+
+bool LoadTrainingCheckpoint(TrainingCheckpoint* checkpoint,
+                            const std::string& path) {
+  std::string payload;
+  if (!ReadContainer(kCheckpointMagic, path, &payload)) return false;
+  PayloadReader r(payload.data(), payload.size());
+
+  TrainingCheckpoint cp;
+  if (!ReadParamRecords(&r, &cp.params)) return false;
+
+  if (!r.I64(&cp.adam_step) || cp.adam_step < 0) return false;
+  cp.adam_m.resize(cp.params.size());
+  cp.adam_v.resize(cp.params.size());
+  for (Tensor& m : cp.adam_m) {
+    if (!r.TensorData(&m)) return false;
+  }
+  for (Tensor& v : cp.adam_v) {
+    if (!r.TensorData(&v)) return false;
+  }
+  // Moments are positional companions of the parameters; their shapes are
+  // part of the format, not a caller-side concern.
+  for (size_t i = 0; i < cp.params.size(); ++i) {
+    if (!cp.adam_m[i].SameShape(cp.params[i].second)) return false;
+    if (!cp.adam_v[i].SameShape(cp.params[i].second)) return false;
+  }
+
+  uint64_t has_schedule = 0;
+  if (!r.U64(&has_schedule) || has_schedule > 1) return false;
+  cp.has_schedule = has_schedule == 1;
+  if (cp.has_schedule) {
+    uint64_t warmup = 0;
+    if (!r.F64(&cp.schedule_scale) || !std::isfinite(cp.schedule_scale)) {
+      return false;
+    }
+    if (!r.U64(&warmup) || warmup < 1 || warmup > kMaxDim) return false;
+    cp.schedule_warmup = static_cast<int>(warmup);
+    if (!r.I64(&cp.schedule_step) || cp.schedule_step < 0) return false;
+  }
+
+  if (!r.String(&cp.rng_state, kMaxStringLen)) return false;
+
+  if (!r.I64(&cp.epochs_completed) || cp.epochs_completed < 0) return false;
+
+  uint64_t item_count = 0;
+  if (!r.U64(&item_count) || item_count > r.remaining() / 8) return false;
+  cp.item_order.resize(static_cast<size_t>(item_count));
+  std::vector<bool> seen(static_cast<size_t>(item_count), false);
+  for (uint64_t i = 0; i < item_count; ++i) {
+    uint64_t v = 0;
+    if (!r.U64(&v) || v >= item_count) return false;
+    if (seen[static_cast<size_t>(v)]) return false;  // Not a permutation.
+    seen[static_cast<size_t>(v)] = true;
+    cp.item_order[static_cast<size_t>(i)] = static_cast<int>(v);
+  }
+
+  uint64_t mask_count = 0;
+  if (!r.U64(&mask_count) || mask_count > r.remaining() / 8) return false;
+  cp.static_masks.resize(static_cast<size_t>(mask_count));
+  for (std::vector<int>& mask : cp.static_masks) {
+    uint64_t len = 0;
+    if (!r.U64(&len) || len > r.remaining() / 8) return false;
+    mask.resize(static_cast<size_t>(len));
+    for (uint64_t i = 0; i < len; ++i) {
+      uint64_t v = 0;
+      if (!r.U64(&v) || v > kMaxDim) return false;
+      mask[static_cast<size_t>(i)] = static_cast<int>(v);
+    }
+  }
+
+  if (!r.AtEnd()) return false;
+  *checkpoint = std::move(cp);
   return true;
 }
 

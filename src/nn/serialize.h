@@ -1,23 +1,100 @@
 #ifndef SSIN_NN_SERIALIZE_H_
 #define SSIN_NN_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "nn/module.h"
 
 namespace ssin {
 
-/// Saves all parameters of `module` to a binary checkpoint. The format is a
-/// little-endian stream of (name, shape, doubles) records with a magic
-/// header; names are the path-qualified names from Module::Parameters().
-/// Returns false on IO failure.
+/// Binary (de)serialization for model parameters and full training state.
+///
+/// Both file kinds share one crash-safe container:
+///
+///   [magic u64] [payload_size u64] [crc32 u32] [payload bytes]
+///
+/// * Writes build the payload in memory, write it to a `<path>.tmp.<pid>`
+///   sibling, fsync it, and atomically rename() it over `path` (then fsync
+///   the directory), so a crash mid-save can never leave a torn file under
+///   the checkpoint name.
+/// * Loads read the whole file first and require the payload size to match
+///   the file exactly and the CRC-32 to match the payload, so truncations
+///   and byte flips are detected before any state is touched.
+/// * The payload parser bounds-checks every length field (name lengths,
+///   tensor ranks, dimensions) against hard limits and the remaining
+///   payload, so even a CRC-valid hostile file cannot trigger huge
+///   allocations or negative tensor dimensions.
+/// * Appliers validate *everything* against the target before mutating it:
+///   a failed load leaves the module/trainer exactly as it was.
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a byte range. Exposed so
+/// tests can craft and corrupt files deliberately.
+uint32_t Crc32(const void* data, size_t len);
+
+/// Writes `bytes` to `path` via the temp-file + fsync + rename protocol
+/// above. Returns false on any IO failure (the target is left untouched).
+bool AtomicWriteFile(const std::string& path, const std::string& bytes);
+
+/// Saves all parameters of `module` to a binary checkpoint ("SSINMOD2"
+/// container). Records are (path-qualified name, shape, doubles) in
+/// Module::Parameters() order. Returns false on IO failure.
 bool SaveModule(Module* module, const std::string& path);
 
 /// Restores parameter values by name. Every parameter of `module` must be
-/// present in the checkpoint with an identical shape; extra records in the
-/// file are an error too (checkpoints are exact snapshots). Returns false
-/// on IO failure or any mismatch.
+/// present in the checkpoint with an identical shape; extra records,
+/// duplicate names, or any corruption are errors. All-or-nothing: on any
+/// failure the module's parameters are left untouched. Returns false on IO
+/// failure, corruption, or any mismatch.
 bool LoadModule(Module* module, const std::string& path);
+
+/// Complete training state for crash-safe checkpoint/resume ("SSINCKP1"
+/// container): model parameters plus Adam moments/step, the Noam schedule,
+/// the trainer's RNG engine, and the epoch/shuffle cursor. Produced and
+/// consumed by SsinTrainer::SaveCheckpoint / ResumeFrom; the raw struct and
+/// functions are exposed for tests and tooling.
+struct TrainingCheckpoint {
+  /// (name, value) per parameter, in Module::Parameters() order.
+  std::vector<std::pair<std::string, Tensor>> params;
+
+  /// Adam state: step count and first/second moments, parallel to `params`
+  /// (shapes must match; the loader rejects mismatches).
+  int64_t adam_step = 0;
+  std::vector<Tensor> adam_m;
+  std::vector<Tensor> adam_v;
+
+  /// Noam schedule state; absent when training never created one.
+  bool has_schedule = false;
+  double schedule_scale = 0.0;  ///< factor / sqrt(d_model).
+  int schedule_warmup = 0;
+  int64_t schedule_step = 0;
+
+  /// std::mt19937_64 stream-operator text of the trainer's RNG.
+  std::string rng_state;
+
+  /// Epoch cursor: epochs completed in the interrupted run, and the item
+  /// permutation as of the end of that epoch (the next epoch shuffles it).
+  int64_t epochs_completed = 0;
+  std::vector<int> item_order;
+
+  /// Static-masking ablation only: the run's pre-drawn masks (empty for
+  /// dynamic masking).
+  std::vector<std::vector<int>> static_masks;
+};
+
+/// Writes a training checkpoint with the atomic protocol. Returns false on
+/// IO failure.
+bool SaveTrainingCheckpoint(const TrainingCheckpoint& checkpoint,
+                            const std::string& path);
+
+/// Reads and validates a training checkpoint. Beyond the container checks,
+/// requires Adam moments to match the parameter shapes, `item_order` to be
+/// a permutation of its length, and all counts to be plausible. Returns
+/// false (leaving *checkpoint unspecified) on any problem.
+bool LoadTrainingCheckpoint(TrainingCheckpoint* checkpoint,
+                            const std::string& path);
 
 }  // namespace ssin
 

@@ -90,6 +90,48 @@ TEST_F(CsvLoaderTest, BadNumberRejected) {
   EXPECT_FALSE(LoadDatasetCsv(stations_path_, values_path_, &data, &error));
 }
 
+TEST_F(CsvLoaderTest, RaggedStationsRowRejectedWithRowNumber) {
+  // Second data row (file line 3) lacks the lon cell; the loader must
+  // refuse instead of indexing past the row, and must name the line.
+  WriteFile(stations_path_, "id,lat,lon\nA,22.0,114.0\nB,22.1\n");
+  WriteFile(values_path_, "timestamp,A,B\n0,1.0,2.0\n");
+  SpatialDataset data;
+  std::string error;
+  EXPECT_FALSE(LoadDatasetCsv(stations_path_, values_path_, &data, &error));
+  EXPECT_NE(error.find("row 3"), std::string::npos) << error;
+}
+
+TEST_F(CsvLoaderTest, RaggedValuesRowRejectedWithRowNumber) {
+  WriteFile(stations_path_, "id,lat,lon\nA,22.0,114.0\nB,22.1,114.1\n");
+  WriteFile(values_path_, "timestamp,A,B\n0,1.0,2.0\n1,3.0\n");
+  SpatialDataset data;
+  std::string error;
+  EXPECT_FALSE(LoadDatasetCsv(stations_path_, values_path_, &data, &error));
+  EXPECT_NE(error.find("row 3"), std::string::npos) << error;
+}
+
+TEST_F(CsvLoaderTest, NonFiniteStationCoordinateRejected) {
+  WriteFile(stations_path_, "id,lat,lon\nA,nan,114.0\n");
+  WriteFile(values_path_, "timestamp,A\n0,1.0\n");
+  SpatialDataset data;
+  std::string error;
+  EXPECT_FALSE(LoadDatasetCsv(stations_path_, values_path_, &data, &error));
+  EXPECT_NE(error.find("coordinate"), std::string::npos) << error;
+}
+
+TEST_F(CsvLoaderTest, NonFiniteValueCellsRejected) {
+  WriteFile(stations_path_, "id,lat,lon\nA,22.0,114.0\n");
+  // strtod parses all three happily; the loader must still refuse — a
+  // single non-finite reading poisons instance standardization.
+  for (const char* cell : {"inf", "-nan", "1e999"}) {
+    WriteFile(values_path_, std::string("timestamp,A\n0,") + cell + "\n");
+    SpatialDataset data;
+    std::string error;
+    EXPECT_FALSE(LoadDatasetCsv(stations_path_, values_path_, &data, &error))
+        << cell;
+  }
+}
+
 TEST_F(CsvLoaderTest, RoundTripThroughSave) {
   RainfallRegionConfig region = HkRegionConfig();
   region.num_gauges = 12;

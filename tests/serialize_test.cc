@@ -1,0 +1,385 @@
+/// Robustness tests for the hardened binary serializer (nn/serialize.*):
+/// the crash-safe container (CRC header, exact sizes, atomic writes), the
+/// bounds-checked payload parser, and the all-or-nothing appliers. The
+/// corruption sweeps here are the ones scripts/run_asan.sh runs under
+/// ASan+UBSan — a corrupt file must never crash, over-allocate, or leave a
+/// module half-loaded.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/serialize.h"
+
+namespace ssin {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "ssin_serialize_test";
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "ckpt.bin").string();
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string ReadFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  void WriteFile(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::vector<Tensor> Snapshot(Module* module) {
+    std::vector<Tensor> values;
+    for (Parameter* p : module->Parameters()) values.push_back(p->value);
+    return values;
+  }
+
+  void ExpectUnchanged(Module* module, const std::vector<Tensor>& snapshot) {
+    std::vector<Parameter*> params = module->Parameters();
+    ASSERT_EQ(params.size(), snapshot.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      ASSERT_TRUE(params[i]->value.SameShape(snapshot[i]));
+      for (int64_t e = 0; e < snapshot[i].numel(); ++e) {
+        ASSERT_EQ(params[i]->value[e], snapshot[i][e])
+            << params[i]->name << "[" << e << "]";
+      }
+    }
+  }
+
+  bool TempFilesLeftIn(const std::filesystem::path& dir) {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().filename().string().find(".tmp") !=
+          std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+// Payload-crafting helpers for hostile-file tests. The container wrapper
+// uses the real Crc32 so only the *payload* is hostile, not the envelope.
+void AppendU64(std::string* s, uint64_t v) {
+  s->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::string WrapContainer(uint64_t magic, const std::string& payload) {
+  std::string file;
+  AppendU64(&file, magic);
+  AppendU64(&file, payload.size());
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  file.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  file.append(payload);
+  return file;
+}
+
+constexpr uint64_t kModuleMagic = 0x5353494e4d4f4432ull;  // "SSINMOD2"
+
+TEST_F(SerializeTest, RoundTripAndNoTempFileLeftBehind) {
+  Rng rng(1);
+  Fcn2 a(3, 8, 2, true, true, &rng);
+  Fcn2 b(3, 8, 2, true, true, &rng);  // Different init.
+  ASSERT_TRUE(SaveModule(&a, path_));
+  ASSERT_TRUE(LoadModule(&b, path_));
+  ExpectUnchanged(&b, Snapshot(&a));
+  EXPECT_FALSE(TempFilesLeftIn(dir_));
+}
+
+TEST_F(SerializeTest, SaveAtomicallyReplacesExistingFile) {
+  Rng rng(2);
+  Fcn2 a(2, 4, 1, true, true, &rng);
+  Fcn2 b(2, 4, 1, true, true, &rng);
+  ASSERT_TRUE(SaveModule(&a, path_));
+  ASSERT_TRUE(SaveModule(&b, path_));  // Overwrite in place.
+  Fcn2 c(2, 4, 1, true, true, &rng);
+  ASSERT_TRUE(LoadModule(&c, path_));
+  ExpectUnchanged(&c, Snapshot(&b));
+  EXPECT_FALSE(TempFilesLeftIn(dir_));
+}
+
+TEST_F(SerializeTest, ShapeMismatchLeavesModuleFullyUntouched) {
+  // The first parameter (the [3,8] input weight) matches; a later one does
+  // not. Regression: the loader used to commit parameters one by one and
+  // bail midway, leaving the module half-loaded.
+  Rng rng(3);
+  Fcn2 source(3, 8, 2, true, true, &rng);
+  Fcn2 target(3, 8, 4, true, true, &rng);
+  ASSERT_TRUE(SaveModule(&source, path_));
+  const std::vector<Tensor> before = Snapshot(&target);
+  EXPECT_FALSE(LoadModule(&target, path_));
+  ExpectUnchanged(&target, before);
+}
+
+TEST_F(SerializeTest, DuplicateParameterNamesRejected) {
+  // Two records with the same name used to collapse silently in the
+  // loader's map, making the counts line up with a 1-parameter module.
+  Rng rng(4);
+  Linear module(1, 1, false, &rng);
+  ASSERT_EQ(module.Parameters().size(), 1u);
+  const std::string name = module.Parameters()[0]->name;
+
+  std::string payload;
+  AppendU64(&payload, 2);  // Two records...
+  for (int rec = 0; rec < 2; ++rec) {
+    AppendU64(&payload, name.size());
+    payload.append(name);
+    AppendU64(&payload, 2);  // rank
+    AppendU64(&payload, 1);
+    AppendU64(&payload, 1);
+    const double v = 42.0;
+    payload.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  WriteFile(path_, WrapContainer(kModuleMagic, payload));
+
+  const std::vector<Tensor> before = Snapshot(&module);
+  EXPECT_FALSE(LoadModule(&module, path_));
+  ExpectUnchanged(&module, before);
+}
+
+TEST_F(SerializeTest, TruncationAtEveryOffsetRejectedWithoutMutation) {
+  Rng rng(5);
+  Fcn2 module(2, 4, 2, true, true, &rng);
+  ASSERT_TRUE(SaveModule(&module, path_));
+  const std::string valid = ReadFile(path_);
+  ASSERT_GT(valid.size(), 20u);
+
+  const std::vector<Tensor> before = Snapshot(&module);
+  const std::string trunc_path = (dir_ / "trunc.bin").string();
+  for (size_t len = 0; len < valid.size(); ++len) {
+    WriteFile(trunc_path, valid.substr(0, len));
+    ASSERT_FALSE(LoadModule(&module, trunc_path)) << "prefix " << len;
+  }
+  ExpectUnchanged(&module, before);
+}
+
+TEST_F(SerializeTest, ByteFlipAtEveryOffsetRejectedWithoutMutation) {
+  Rng rng(6);
+  Fcn2 module(2, 4, 2, true, true, &rng);
+  ASSERT_TRUE(SaveModule(&module, path_));
+  const std::string valid = ReadFile(path_);
+
+  const std::vector<Tensor> before = Snapshot(&module);
+  const std::string flip_path = (dir_ / "flip.bin").string();
+  for (size_t i = 0; i < valid.size(); ++i) {
+    std::string corrupt = valid;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xFF);
+    WriteFile(flip_path, corrupt);
+    ASSERT_FALSE(LoadModule(&module, flip_path)) << "flipped byte " << i;
+  }
+  ExpectUnchanged(&module, before);
+}
+
+TEST_F(SerializeTest, TrailingGarbageRejected) {
+  Rng rng(7);
+  Fcn2 module(2, 4, 2, true, true, &rng);
+  ASSERT_TRUE(SaveModule(&module, path_));
+  std::string padded = ReadFile(path_) + "extra";
+  WriteFile(path_, padded);
+  EXPECT_FALSE(LoadModule(&module, path_));
+}
+
+TEST_F(SerializeTest, HostileNameLengthRejected) {
+  // name_len claims 1 TB; the parser must bound it against the remaining
+  // payload instead of allocating.
+  std::string payload;
+  AppendU64(&payload, 1);
+  AppendU64(&payload, 1ull << 40);
+  payload.append("x");
+  WriteFile(path_, WrapContainer(kModuleMagic, payload));
+  Rng rng(8);
+  Linear module(1, 1, false, &rng);
+  EXPECT_FALSE(LoadModule(&module, path_));
+}
+
+TEST_F(SerializeTest, HostileRankRejected) {
+  Rng rng(9);
+  Linear module(1, 1, false, &rng);
+  const std::string name = module.Parameters()[0]->name;
+  std::string payload;
+  AppendU64(&payload, 1);
+  AppendU64(&payload, name.size());
+  payload.append(name);
+  AppendU64(&payload, 1000);  // rank
+  WriteFile(path_, WrapContainer(kModuleMagic, payload));
+  EXPECT_FALSE(LoadModule(&module, path_));
+}
+
+TEST_F(SerializeTest, HostileDimensionsRejected) {
+  Rng rng(10);
+  Linear module(1, 1, false, &rng);
+  const std::string name = module.Parameters()[0]->name;
+  // dim > INT_MAX would cast to a negative tensor dimension; a multi-GB
+  // dim would over-allocate. Both must fail cleanly.
+  for (uint64_t dim : {0x80000000ull, 1ull << 40, ~0ull}) {
+    std::string payload;
+    AppendU64(&payload, 1);
+    AppendU64(&payload, name.size());
+    payload.append(name);
+    AppendU64(&payload, 1);  // rank
+    AppendU64(&payload, dim);
+    WriteFile(path_, WrapContainer(kModuleMagic, payload));
+    EXPECT_FALSE(LoadModule(&module, path_)) << "dim " << dim;
+  }
+}
+
+TEST_F(SerializeTest, HostileRecordCountRejected) {
+  std::string payload;
+  AppendU64(&payload, ~0ull);  // 2^64-1 records in a 8-byte payload.
+  WriteFile(path_, WrapContainer(kModuleMagic, payload));
+  Rng rng(11);
+  Linear module(1, 1, false, &rng);
+  EXPECT_FALSE(LoadModule(&module, path_));
+}
+
+// --------------------------------------------------- training checkpoints
+
+TrainingCheckpoint MakeCheckpoint(Rng* rng) {
+  TrainingCheckpoint cp;
+  cp.params.emplace_back("enc.weight", Tensor::Randn({3, 4}, rng));
+  cp.params.emplace_back("enc.bias", Tensor::Randn({4}, rng));
+  for (const auto& [name, value] : cp.params) {
+    cp.adam_m.push_back(Tensor::Randn(value.shape(), rng));
+    cp.adam_v.push_back(Tensor::Randn(value.shape(), rng));
+  }
+  cp.adam_step = 123;
+  cp.has_schedule = true;
+  cp.schedule_scale = 0.25;
+  cp.schedule_warmup = 30;
+  cp.schedule_step = 123;
+  cp.rng_state = Rng(99).SerializeState();
+  cp.epochs_completed = 7;
+  cp.item_order = {3, 1, 4, 0, 2};
+  cp.static_masks = {{0, 2}, {1, 3}};
+  return cp;
+}
+
+TEST_F(SerializeTest, TrainingCheckpointRoundTrip) {
+  Rng rng(12);
+  const TrainingCheckpoint cp = MakeCheckpoint(&rng);
+  ASSERT_TRUE(SaveTrainingCheckpoint(cp, path_));
+  TrainingCheckpoint loaded;
+  ASSERT_TRUE(LoadTrainingCheckpoint(&loaded, path_));
+
+  ASSERT_EQ(loaded.params.size(), cp.params.size());
+  for (size_t i = 0; i < cp.params.size(); ++i) {
+    EXPECT_EQ(loaded.params[i].first, cp.params[i].first);
+    ASSERT_TRUE(loaded.params[i].second.SameShape(cp.params[i].second));
+    for (int64_t e = 0; e < cp.params[i].second.numel(); ++e) {
+      EXPECT_EQ(loaded.params[i].second[e], cp.params[i].second[e]);
+      EXPECT_EQ(loaded.adam_m[i][e], cp.adam_m[i][e]);
+      EXPECT_EQ(loaded.adam_v[i][e], cp.adam_v[i][e]);
+    }
+  }
+  EXPECT_EQ(loaded.adam_step, cp.adam_step);
+  EXPECT_TRUE(loaded.has_schedule);
+  EXPECT_EQ(loaded.schedule_scale, cp.schedule_scale);
+  EXPECT_EQ(loaded.schedule_warmup, cp.schedule_warmup);
+  EXPECT_EQ(loaded.schedule_step, cp.schedule_step);
+  EXPECT_EQ(loaded.rng_state, cp.rng_state);
+  EXPECT_EQ(loaded.epochs_completed, cp.epochs_completed);
+  EXPECT_EQ(loaded.item_order, cp.item_order);
+  EXPECT_EQ(loaded.static_masks, cp.static_masks);
+  EXPECT_FALSE(TempFilesLeftIn(dir_));
+}
+
+TEST_F(SerializeTest, CheckpointTruncationAtEveryOffsetRejected) {
+  Rng rng(13);
+  ASSERT_TRUE(SaveTrainingCheckpoint(MakeCheckpoint(&rng), path_));
+  const std::string valid = ReadFile(path_);
+  const std::string trunc_path = (dir_ / "ctrunc.bin").string();
+  TrainingCheckpoint loaded;
+  for (size_t len = 0; len < valid.size(); ++len) {
+    WriteFile(trunc_path, valid.substr(0, len));
+    ASSERT_FALSE(LoadTrainingCheckpoint(&loaded, trunc_path))
+        << "prefix " << len;
+  }
+}
+
+TEST_F(SerializeTest, CheckpointByteFlipAtEveryOffsetRejected) {
+  Rng rng(14);
+  ASSERT_TRUE(SaveTrainingCheckpoint(MakeCheckpoint(&rng), path_));
+  const std::string valid = ReadFile(path_);
+  const std::string flip_path = (dir_ / "cflip.bin").string();
+  TrainingCheckpoint loaded;
+  for (size_t i = 0; i < valid.size(); ++i) {
+    std::string corrupt = valid;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xFF);
+    WriteFile(flip_path, corrupt);
+    ASSERT_FALSE(LoadTrainingCheckpoint(&loaded, flip_path))
+        << "flipped byte " << i;
+  }
+}
+
+TEST_F(SerializeTest, CheckpointRejectsNonPermutationItemOrder) {
+  Rng rng(15);
+  TrainingCheckpoint cp = MakeCheckpoint(&rng);
+  cp.item_order = {0, 0, 1};  // Duplicate: the shuffle cursor is corrupt.
+  ASSERT_TRUE(SaveTrainingCheckpoint(cp, path_));
+  TrainingCheckpoint loaded;
+  EXPECT_FALSE(LoadTrainingCheckpoint(&loaded, path_));
+
+  cp.item_order = {1, 2, 3};  // Out of range for its own length.
+  ASSERT_TRUE(SaveTrainingCheckpoint(cp, path_));
+  EXPECT_FALSE(LoadTrainingCheckpoint(&loaded, path_));
+}
+
+TEST_F(SerializeTest, CheckpointRejectsMismatchedAdamMomentShapes) {
+  Rng rng(16);
+  TrainingCheckpoint cp = MakeCheckpoint(&rng);
+  cp.adam_m[0] = Tensor({5, 5});  // Not the shape of params[0].
+  ASSERT_TRUE(SaveTrainingCheckpoint(cp, path_));
+  TrainingCheckpoint loaded;
+  EXPECT_FALSE(LoadTrainingCheckpoint(&loaded, path_));
+}
+
+TEST_F(SerializeTest, CheckpointRejectsModuleMagic) {
+  // A model-only file is not a training checkpoint, and vice versa.
+  Rng rng(17);
+  Fcn2 module(2, 4, 1, true, true, &rng);
+  ASSERT_TRUE(SaveModule(&module, path_));
+  TrainingCheckpoint loaded;
+  EXPECT_FALSE(LoadTrainingCheckpoint(&loaded, path_));
+
+  ASSERT_TRUE(SaveTrainingCheckpoint(MakeCheckpoint(&rng), path_));
+  EXPECT_FALSE(LoadModule(&module, path_));
+}
+
+// ------------------------------------------------------------- RNG state
+
+TEST_F(SerializeTest, RngStateRoundTripResumesStream) {
+  Rng rng(18);
+  for (int i = 0; i < 100; ++i) rng.Uniform();
+  const std::string state = rng.SerializeState();
+  std::vector<double> expected;
+  for (int i = 0; i < 50; ++i) expected.push_back(rng.Uniform());
+
+  Rng restored(0);
+  ASSERT_TRUE(restored.RestoreState(state));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(restored.Uniform(), expected[i]) << "draw " << i;
+  }
+}
+
+TEST_F(SerializeTest, RngStateGarbageRejected) {
+  Rng rng(19);
+  const double next = Rng(19).Uniform();
+  EXPECT_FALSE(rng.RestoreState("this is not an mt19937_64 state"));
+  EXPECT_EQ(rng.Uniform(), next);  // Engine untouched by the failed parse.
+}
+
+}  // namespace
+}  // namespace ssin
