@@ -15,7 +15,7 @@ BUILD_DIR="${1:-build-asan}"
 
 cmake -B "${BUILD_DIR}" -S . -DSSIN_ADDRESS_SANITIZER=ON
 cmake --build "${BUILD_DIR}" -j --target serialize_test csv_loader_test \
-  checkpoint_resume_test
+  checkpoint_resume_test inference_equivalence_test
 
 echo "== serialize_test (ASan+UBSan) =="
 "${BUILD_DIR}/tests/serialize_test"
@@ -25,5 +25,10 @@ echo "== csv_loader_test (ASan+UBSan) =="
 
 echo "== checkpoint_resume_test (ASan+UBSan) =="
 "${BUILD_DIR}/tests/checkpoint_resume_test"
+
+echo "== inference_equivalence_test (ASan+UBSan) =="
+# The inference engine's workspace arena and layout cache must be clean of
+# memory errors, including across cache invalidation and reuse.
+"${BUILD_DIR}/tests/inference_equivalence_test"
 
 echo "ASan run clean."

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Runs the attention benchmark suite (paper Figure 7 kernel sweep plus the
-# full-sequence packed-vs-dense SRPE pipeline comparison at the paper
-# configuration L=123, T=3, H=2, d_k=16) and records the JSON report at
-# BENCH_attention.json in the repo root.
+# Runs the recorded benchmark suites:
+#  * the attention kernel sweep (paper Figure 7 plus the full-sequence
+#    packed-vs-dense SRPE pipeline comparison at the paper configuration
+#    L=123, T=3, H=2, d_k=16) -> BENCH_attention.json
+#  * the model-cost bench (paper Table 5) with the serving-throughput
+#    section comparing the graph-free inference engine against the
+#    autograd forward -> BENCH_inference.json
+# Both JSON reports land in the repo root and are checked in.
 #
 #   scripts/run_bench.sh [build-dir] [extra benchmark flags...]
 #
-# Pass a benchmark filter to restrict the run, e.g.
+# Pass a benchmark filter to restrict the Figure 7 run, e.g.
 #   scripts/run_bench.sh build --benchmark_filter=SpaFormerSeq
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,7 +18,8 @@ cd "$(dirname "$0")/.."
 BUILD=${1:-build}
 shift || true
 
-cmake --build "$BUILD" -j --target bench_fig7_attention_kernel
+cmake --build "$BUILD" -j --target bench_fig7_attention_kernel \
+  --target bench_table5_model_cost
 
 "$BUILD"/bench/bench_fig7_attention_kernel \
   --benchmark_out=BENCH_attention.json \
@@ -23,3 +28,8 @@ cmake --build "$BUILD" -j --target bench_fig7_attention_kernel
   "$@"
 
 echo "Wrote BENCH_attention.json"
+
+SSIN_BENCH_INFERENCE_JSON=BENCH_inference.json \
+  "$BUILD"/bench/bench_table5_model_cost
+
+echo "Wrote BENCH_inference.json"

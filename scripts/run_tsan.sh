@@ -12,7 +12,8 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "${BUILD_DIR}" -S . -DSSIN_THREAD_SANITIZER=ON
 cmake --build "${BUILD_DIR}" -j --target thread_pool_test \
-  parallel_equivalence_test packed_srpe_equivalence_test
+  parallel_equivalence_test packed_srpe_equivalence_test \
+  inference_equivalence_test
 
 echo "== thread_pool_test (TSan) =="
 "${BUILD_DIR}/tests/thread_pool_test"
@@ -22,5 +23,10 @@ echo "== parallel_equivalence_test (TSan) =="
 
 echo "== packed_srpe_equivalence_test (TSan) =="
 "${BUILD_DIR}/tests/packed_srpe_equivalence_test"
+
+echo "== inference_equivalence_test (TSan) =="
+# Death tests fork, which TSan dislikes; run the concurrency-relevant ones.
+"${BUILD_DIR}/tests/inference_equivalence_test" \
+  --gtest_filter=-InferenceValidationDeath.*
 
 echo "TSan run clean."

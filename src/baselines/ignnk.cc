@@ -95,6 +95,7 @@ Var IgnnkInterpolator::ForwardNodes(Graph* graph,
 void IgnnkInterpolator::Fit(const SpatialDataset& data,
                             const std::vector<int>& train_ids) {
   geometry_.Capture(data, /*use_travel_distance=*/true);
+  non_negative_ = data.non_negative();
 
   if (config_.kernel_length > 0.0) {
     kernel_length_ = config_.kernel_length;
@@ -167,6 +168,8 @@ std::vector<double> IgnnkInterpolator::InterpolateTimestamp(
     const std::vector<double>& all_values,
     const std::vector<int>& observed_ids, const std::vector<int>& query_ids) {
   SSIN_CHECK(network_ != nullptr) << "call Fit() first";
+  ValidateInterpolationIds(all_values, geometry_.num_stations(), observed_ids,
+                           query_ids);
 
   std::vector<int> nodes = observed_ids;
   nodes.insert(nodes.end(), query_ids.begin(), query_ids.end());
@@ -190,8 +193,10 @@ std::vector<double> IgnnkInterpolator::InterpolateTimestamp(
   std::vector<double> out;
   out.reserve(query_ids.size());
   for (size_t q = 0; q < query_ids.size(); ++q) {
-    out.push_back(Destandardize(
-        recon.value()[static_cast<int64_t>(num_observed + q)], stats));
+    out.push_back(ApplyNonNegative(
+        Destandardize(recon.value()[static_cast<int64_t>(num_observed + q)],
+                      stats),
+        non_negative_));
   }
   return out;
 }

@@ -120,6 +120,7 @@ Var KcnInterpolator::SubgraphForward(Graph* graph, int target,
 void KcnInterpolator::Fit(const SpatialDataset& data,
                           const std::vector<int>& train_ids) {
   geometry_.Capture(data, /*use_travel_distance=*/true);
+  non_negative_ = data.non_negative();
 
   if (config_.kernel_length > 0.0) {
     kernel_length_ = config_.kernel_length;
@@ -180,6 +181,8 @@ std::vector<double> KcnInterpolator::InterpolateTimestamp(
     const std::vector<double>& all_values,
     const std::vector<int>& observed_ids, const std::vector<int>& query_ids) {
   SSIN_CHECK(network_ != nullptr) << "call Fit() first";
+  ValidateInterpolationIds(all_values, geometry_.num_stations(), observed_ids,
+                           query_ids);
   std::vector<double> observed_values;
   observed_values.reserve(observed_ids.size());
   for (int o : observed_ids) observed_values.push_back(all_values[o]);
@@ -191,7 +194,8 @@ std::vector<double> KcnInterpolator::InterpolateTimestamp(
     Graph graph;
     Var pred = SubgraphForward(&graph, q, observed_ids, all_values, stats,
                                /*training=*/false, &rng_);
-    out.push_back(Destandardize(pred.value()[0], stats));
+    out.push_back(ApplyNonNegative(Destandardize(pred.value()[0], stats),
+                                   non_negative_));
   }
   return out;
 }

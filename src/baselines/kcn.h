@@ -49,6 +49,10 @@ class KcnInterpolator : public SpatialInterpolator {
       const std::vector<int>& observed_ids,
       const std::vector<int>& query_ids) override;
 
+  /// Overrides the non-negative output clamp captured at Fit() time.
+  void set_non_negative(bool non_negative) { non_negative_ = non_negative; }
+  bool non_negative() const { return non_negative_; }
+
  private:
   struct Network;  // GCN parameters.
 
@@ -62,6 +66,7 @@ class KcnInterpolator : public SpatialInterpolator {
   StationGeometry geometry_;
   std::unique_ptr<Network> network_;
   double kernel_length_ = 1.0;
+  bool non_negative_ = false;
   Rng rng_;
 };
 

@@ -1,0 +1,77 @@
+#include "core/inference_engine.h"
+
+#include <utility>
+
+#include "core/spaformer.h"
+#include "core/spatial_context.h"
+
+namespace ssin {
+
+std::shared_ptr<const SequenceLayout> BuildSequenceLayout(
+    SpaFormer* model, const SpatialContext& context,
+    const std::vector<int>& observed_ids, const std::vector<int>& query_ids,
+    InferenceWorkspace* ws) {
+  auto layout = std::make_shared<SequenceLayout>();
+  layout->node_ids = observed_ids;
+  layout->node_ids.insert(layout->node_ids.end(), query_ids.begin(),
+                          query_ids.end());
+  layout->num_observed = static_cast<int>(observed_ids.size());
+
+  layout->observed.assign(layout->node_ids.size(), 0);
+  for (int i = 0; i < layout->num_observed; ++i) layout->observed[i] = 1;
+
+  auto plan = std::make_shared<AttentionPlan>();
+  BuildAttentionPlan(layout->observed, model->config().shielded, plan.get());
+  layout->plan = std::move(plan);
+
+  if (model->config().position_mode ==
+      SpaFormerConfig::PositionMode::kSrpe) {
+    layout->relpos = context.RelposFor(layout->node_ids);
+  }
+  layout->abspos = context.AbsposFor(layout->node_ids);
+
+  model->EmbedLayoutPositions(layout.get(), ws);
+  return layout;
+}
+
+std::shared_ptr<const SequenceLayout> LayoutCache::Lookup(
+    const std::vector<int>& node_ids, int num_observed) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(Key(node_ids, num_observed));
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void LayoutCache::Insert(std::shared_ptr<const SequenceLayout> layout) {
+  SSIN_CHECK(layout != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= capacity_) entries_.clear();
+  entries_.emplace(Key(layout->node_ids, layout->num_observed),
+                   std::move(layout));
+}
+
+void LayoutCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+size_t LayoutCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+int64_t LayoutCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+int64_t LayoutCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace ssin

@@ -1,0 +1,103 @@
+#ifndef SSIN_CORE_INFERENCE_ENGINE_H_
+#define SSIN_CORE_INFERENCE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "nn/inference.h"
+#include "tensor/attention_kernels.h"
+#include "tensor/tensor.h"
+
+namespace ssin {
+
+class SpaFormer;
+class SpatialContext;
+
+/// Everything about one inference sequence that does not depend on the
+/// sensor *values* — only on which stations are observed and which are
+/// queried. A serving system replays the same station set for thousands of
+/// timestamps (a gauge outage pattern changes rarely), so all of this is
+/// computed once and shared, immutably, by every forward pass:
+///
+///  * the legal-pair AttentionPlan of the shielded attention,
+///  * the standardized relative / absolute positions, and
+///  * the SRPE/SAPE tensors *already pushed through the position-embedding
+///    module*. The SRPE embedding is value-independent but weight-dependent
+///    (~30% of a forward pass at the paper config), which is why a layout
+///    must be discarded whenever the model's weights change.
+struct SequenceLayout {
+  std::vector<int> node_ids;  ///< Observed station ids, then query ids.
+  int num_observed = 0;
+  std::vector<uint8_t> observed;  ///< Per-node flags (1 = observed).
+  std::shared_ptr<const AttentionPlan> plan;
+
+  /// Standardized geometry, as SpaFormer::Forward consumes it: relpos
+  /// [L*L, 2] (SRPE mode only), abspos [L, 2].
+  Tensor relpos;
+  Tensor abspos;
+
+  /// Pre-embedded positions: srpe is [num_pairs, d_k] (packed) or
+  /// [L*L, d_k] (dense) in SRPE mode; sape is [L, d_model] in SAPE mode.
+  /// The unused one stays empty.
+  Tensor srpe;
+  Tensor sape;
+
+  int length() const { return static_cast<int>(node_ids.size()); }
+};
+
+/// Builds the complete layout for one (observed_ids, query_ids) sequence:
+/// geometry from `context`, plan from the observation flags, and position
+/// embeddings from `model`'s current weights. `ws` provides scratch for the
+/// embedding forward (the returned layout owns its own tensors).
+std::shared_ptr<const SequenceLayout> BuildSequenceLayout(
+    SpaFormer* model, const SpatialContext& context,
+    const std::vector<int>& observed_ids, const std::vector<int>& query_ids,
+    InferenceWorkspace* ws);
+
+/// Thread-safe cache of SequenceLayouts keyed by (node_ids, num_observed).
+///
+/// Because layouts embed positions with the model's weights, the owning
+/// interpolator must Clear() the cache on every weight mutation (training,
+/// checkpoint load, parameter copy). Entries are immutable shared_ptrs, so
+/// a forward pass keeps its layout alive even if the cache is cleared
+/// mid-flight.
+class LayoutCache {
+ public:
+  /// `capacity`: maximum retained layouts. Insertion past capacity evicts
+  /// the whole cache first — serving workloads cycle through a handful of
+  /// outage patterns, so anything smarter than "bounded" is unwarranted.
+  explicit LayoutCache(size_t capacity = 64) : capacity_(capacity) {}
+
+  /// Returns the cached layout for the key, or nullptr (counts a hit or a
+  /// miss accordingly).
+  std::shared_ptr<const SequenceLayout> Lookup(
+      const std::vector<int>& node_ids, int num_observed) const;
+
+  /// Inserts a layout under its own (node_ids, num_observed) key. If two
+  /// threads race to insert the same key, the first one wins and both
+  /// proceed with a valid layout.
+  void Insert(std::shared_ptr<const SequenceLayout> layout);
+
+  void Clear();
+
+  size_t size() const;
+  int64_t hits() const;
+  int64_t misses() const;
+
+ private:
+  using Key = std::pair<std::vector<int>, int>;
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::map<Key, std::shared_ptr<const SequenceLayout>> entries_;
+  mutable int64_t hits_ = 0;
+  mutable int64_t misses_ = 0;
+};
+
+}  // namespace ssin
+
+#endif  // SSIN_CORE_INFERENCE_ENGINE_H_

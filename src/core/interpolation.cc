@@ -1,6 +1,57 @@
 #include "core/interpolation.h"
 
+#include "common/thread_pool.h"
+
 namespace ssin {
+
+std::vector<std::vector<double>> SpatialInterpolator::InterpolateBatch(
+    const std::vector<const std::vector<double>*>& batch_values,
+    const std::vector<int>& observed_ids, const std::vector<int>& query_ids,
+    int num_threads) {
+  std::vector<std::vector<double>> out(batch_values.size());
+  const int threads = ThreadPool::ResolveThreadCount(num_threads);
+  if (threads == 1) {
+    for (size_t i = 0; i < batch_values.size(); ++i) {
+      out[i] =
+          InterpolateTimestamp(*batch_values[i], observed_ids, query_ids);
+    }
+    return out;
+  }
+  ThreadPool pool(threads);
+  pool.ParallelFor(static_cast<int64_t>(batch_values.size()),
+                   [&](int64_t i, int /*slot*/) {
+                     out[i] = InterpolateTimestamp(*batch_values[i],
+                                                   observed_ids, query_ids);
+                   });
+  return out;
+}
+
+void ValidateInterpolationIds(const std::vector<double>& all_values,
+                              int num_stations,
+                              const std::vector<int>& observed_ids,
+                              const std::vector<int>& query_ids) {
+  SSIN_CHECK_GE(observed_ids.size(), 1u)
+      << "interpolation needs at least one observed station";
+  std::vector<uint8_t> seen(num_stations, 0);
+  for (int id : observed_ids) {
+    SSIN_CHECK(id >= 0 && id < num_stations)
+        << "observed id " << id << " outside station network of size "
+        << num_stations;
+    SSIN_CHECK_LT(static_cast<size_t>(id), all_values.size())
+        << "observed id " << id << " outside the values vector";
+    SSIN_CHECK(!seen[id]) << "duplicate observed id " << id;
+    seen[id] = 1;
+  }
+  for (int id : query_ids) {
+    SSIN_CHECK(id >= 0 && id < num_stations)
+        << "query id " << id << " outside station network of size "
+        << num_stations;
+    SSIN_CHECK(!seen[id])
+        << "station " << id
+        << " is both observed and queried (or queried twice)";
+    seen[id] = 1;
+  }
+}
 
 void StationGeometry::Capture(const SpatialDataset& data,
                               bool use_travel_distance) {

@@ -35,7 +35,43 @@ class SpatialInterpolator {
       const std::vector<double>& all_values,
       const std::vector<int>& observed_ids,
       const std::vector<int>& query_ids) = 0;
+
+  /// Batched serving entry point: answers many timestamps that share one
+  /// (observed_ids, query_ids) station layout. `batch_values[i]` points at
+  /// timestamp i's per-station values (pointers stay owned by the caller
+  /// and must outlive the call). Returns one prediction vector per
+  /// timestamp, in input order — identical to calling
+  /// InterpolateTimestamp per element.
+  ///
+  /// `num_threads` fans timestamps across a thread pool (0 = one per
+  /// hardware thread, 1 = serial). The default implementation loops over
+  /// InterpolateTimestamp; SpaFormer overrides it with the graph-free
+  /// inference engine, validating and building the sequence layout once
+  /// for the whole batch.
+  virtual std::vector<std::vector<double>> InterpolateBatch(
+      const std::vector<const std::vector<double>*>& batch_values,
+      const std::vector<int>& observed_ids,
+      const std::vector<int>& query_ids, int num_threads = 1);
 };
+
+/// Validates the id lists of an InterpolateTimestamp/InterpolateBatch call
+/// against the station network: every id must be in [0, num_stations),
+/// observed ids must also index `all_values`, at least one station must be
+/// observed, and no id may appear twice (within a list or across the two —
+/// an overlap would leak the queried truth into the input). Aborts via
+/// SSIN_CHECK with a message naming the offending id.
+void ValidateInterpolationIds(const std::vector<double>& all_values,
+                              int num_stations,
+                              const std::vector<int>& observed_ids,
+                              const std::vector<int>& query_ids);
+
+/// Clamps a destandardized prediction to be non-negative when `enabled`.
+/// Physical rainfall cannot be negative, so rainfall datasets switch this
+/// on (SpatialDataset::non_negative); signed quantities like the traffic
+/// speed residuals leave it off.
+inline double ApplyNonNegative(double value, bool enabled) {
+  return enabled && value < 0.0 ? 0.0 : value;
+}
 
 /// Geometry shared by the per-timestamp baselines: station positions plus
 /// the pairwise distance the method should reason with (geographic, or road

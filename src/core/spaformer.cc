@@ -1,5 +1,7 @@
 #include "core/spaformer.h"
 
+#include "core/inference_engine.h"
+
 namespace ssin {
 
 SpaFormerConfig SpaFormerConfig::EmbPosLinear() {
@@ -144,6 +146,68 @@ Var SpaFormer::Forward(Graph* graph, const Tensor& x, const Tensor& relpos,
 
   Var h = encoder_.Forward(e, srpe, std::move(plan));
   return prediction_.Forward(h);  // [L, 1]
+}
+
+Tensor& SpaFormer::InferEmbedding(Linear* linear, Fcn2* fcn, const Tensor& in,
+                                  InferenceWorkspace* ws) {
+  return linear != nullptr ? linear->Infer(in, ws) : fcn->Infer(in, ws);
+}
+
+void SpaFormer::EmbedLayoutPositions(SequenceLayout* layout,
+                                     InferenceWorkspace* ws) {
+  ws->Reset();
+  if (config_.position_mode == SpaFormerConfig::PositionMode::kSrpe) {
+    const int length = layout->length();
+    SSIN_CHECK_EQ(layout->relpos.dim(0), length * length);
+    SSIN_CHECK_EQ(layout->relpos.dim(1), 2);
+    if (config_.packed_srpe) {
+      // Same legal-pair gather as Forward, then the same embedding.
+      const int num_pairs = static_cast<int>(layout->plan->num_pairs());
+      Tensor packed_relpos({num_pairs, 2});
+      const double* src = layout->relpos.data();
+      double* dst = packed_relpos.data();
+      for (int t = 0; t < num_pairs; ++t) {
+        const double* row =
+            src + static_cast<int64_t>(layout->plan->pair_rows[t]) * 2;
+        dst[2 * t] = row[0];
+        dst[2 * t + 1] = row[1];
+      }
+      layout->srpe =
+          InferEmbedding(position_linear_, position_fcn_, packed_relpos, ws);
+    } else {
+      layout->srpe =
+          InferEmbedding(position_linear_, position_fcn_, layout->relpos, ws);
+    }
+  } else {
+    SSIN_CHECK_EQ(layout->abspos.dim(0), layout->length());
+    layout->sape =
+        InferEmbedding(position_linear_, position_fcn_, layout->abspos, ws);
+  }
+}
+
+const Tensor& SpaFormer::Predict(const Tensor& x, const SequenceLayout& layout,
+                                 InferenceWorkspace* ws) {
+  const int length = x.dim(0);
+  SSIN_CHECK_EQ(x.dim(1), 1);
+  SSIN_CHECK_EQ(layout.length(), length);
+  SSIN_CHECK(layout.plan != nullptr);
+  ws->Reset();
+
+  Tensor& e = InferEmbedding(value_linear_, value_fcn_, x, ws);
+
+  const Tensor* srpe = nullptr;
+  if (config_.position_mode == SpaFormerConfig::PositionMode::kSrpe) {
+    srpe = &layout.srpe;
+  } else {
+    // SAPE: positions enter additively, exactly as Forward's Add(e, sape).
+    e.Accumulate(layout.sape);
+  }
+
+  // Only the query (trailing) rows feed the prediction head, so the final
+  // encoder layer and the head run on those rows alone; their values are
+  // bit-identical to a full-sequence evaluation.
+  Tensor& h = encoder_.Infer(e, srpe, *layout.plan, ws, layout.num_observed);
+  return prediction_.Infer(h, ws);  // [L - num_observed, 1]
 }
 
 }  // namespace ssin

@@ -10,6 +10,8 @@
 
 namespace ssin {
 
+struct SequenceLayout;  // core/inference_engine.h
+
 /// Architecture configuration of the SpaFormer model, including the
 /// switches for every Table 6 ablation variant.
 struct SpaFormerConfig {
@@ -72,6 +74,24 @@ class SpaFormer : public Module {
   Var Forward(Graph* graph, const Tensor& x, const Tensor& relpos,
               const Tensor& abspos, const std::vector<uint8_t>& observed);
 
+  /// Graph-free forward for serving: evaluates the same network as Forward
+  /// with zero autograd bookkeeping, reusing the plan and pre-embedded
+  /// positions of `layout` and the activation arena of `ws` (resetting it).
+  /// Returns the [L - num_observed, 1] standardized predictions of the
+  /// query (trailing) rows — row r is sequence row num_observed + r —
+  /// valid until the workspace's next use. The final encoder layer and the
+  /// prediction head are evaluated for those rows only; every returned
+  /// value is numerically identical to Forward, which shares the kernel
+  /// implementations.
+  const Tensor& Predict(const Tensor& x, const SequenceLayout& layout,
+                        InferenceWorkspace* ws);
+
+  /// Fills layout->srpe (SRPE mode; packed or dense per the config) or
+  /// layout->sape (SAPE mode) by running the position-embedding module on
+  /// the layout's geometry with the *current* weights. The layout's
+  /// relpos/abspos/plan must already be set.
+  void EmbedLayoutPositions(SequenceLayout* layout, InferenceWorkspace* ws);
+
   const SpaFormerConfig& config() const { return config_; }
 
  private:
@@ -80,6 +100,9 @@ class SpaFormer : public Module {
                                         Linear** linear, Fcn2** fcn);
 
   Var ApplyEmbedding(Linear* linear, Fcn2* fcn, Var in);
+
+  Tensor& InferEmbedding(Linear* linear, Fcn2* fcn, const Tensor& in,
+                         InferenceWorkspace* ws);
 
   SpaFormerConfig config_;
 

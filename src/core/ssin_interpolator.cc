@@ -1,5 +1,6 @@
 #include "core/ssin_interpolator.h"
 
+#include "common/thread_pool.h"
 #include "core/masking.h"
 #include "nn/serialize.h"
 #include "tensor/ops.h"
@@ -19,6 +20,8 @@ void SsinInterpolator::Prepare(const SpatialDataset& data,
   model_ = std::make_unique<SpaFormer>(model_config_, &init_rng);
   trainer_ =
       std::make_unique<SsinTrainer>(model_.get(), &context_, train_config_);
+  non_negative_ = data.non_negative();
+  layout_cache_.Clear();  // Fresh weights invalidate embedded layouts.
   prepared_ = true;
 }
 
@@ -26,12 +29,14 @@ void SsinInterpolator::Fit(const SpatialDataset& data,
                            const std::vector<int>& train_ids) {
   Prepare(data, train_ids);
   train_stats_ = trainer_->Train(data, train_ids);
+  layout_cache_.Clear();
 }
 
 TrainStats SsinInterpolator::ContinueTraining(
     const SpatialDataset& data, const std::vector<int>& train_ids) {
   SSIN_CHECK(prepared_) << "call Fit() or Prepare() first";
   TrainStats stats = trainer_->Train(data, train_ids);
+  layout_cache_.Clear();
   for (double l : stats.epoch_loss) train_stats_.epoch_loss.push_back(l);
   for (double s : stats.epoch_seconds) {
     train_stats_.epoch_seconds.push_back(s);
@@ -50,6 +55,7 @@ void SsinInterpolator::CopyParametersFrom(SsinInterpolator& source) {
         << "architecture mismatch at " << dst[i]->name;
     dst[i]->value = src[i]->value;
   }
+  layout_cache_.Clear();
 }
 
 bool SsinInterpolator::Save(const std::string& path) {
@@ -59,6 +65,7 @@ bool SsinInterpolator::Save(const std::string& path) {
 
 bool SsinInterpolator::Load(const std::string& path) {
   SSIN_CHECK(prepared_) << "call Prepare() with the target dataset first";
+  layout_cache_.Clear();
   return LoadModule(model_.get(), path);
 }
 
@@ -69,15 +76,80 @@ bool SsinInterpolator::SaveTrainerCheckpoint(const std::string& path) {
 
 bool SsinInterpolator::ResumeTrainerFrom(const std::string& path) {
   SSIN_CHECK(prepared_) << "call Prepare() with the target dataset first";
+  layout_cache_.Clear();
   return trainer_->ResumeFrom(path);
+}
+
+std::shared_ptr<const SequenceLayout> SsinInterpolator::LayoutFor(
+    const std::vector<int>& observed_ids, const std::vector<int>& query_ids) {
+  // Sequence layout: observed stations first, then query nodes.
+  std::vector<int> node_ids = observed_ids;
+  node_ids.insert(node_ids.end(), query_ids.begin(), query_ids.end());
+
+  std::shared_ptr<const SequenceLayout> layout =
+      layout_cache_.Lookup(node_ids, static_cast<int>(observed_ids.size()));
+  if (layout == nullptr) {
+    InferenceWorkspace ws;
+    layout =
+        BuildSequenceLayout(model_.get(), context_, observed_ids, query_ids,
+                            &ws);
+    layout_cache_.Insert(layout);
+  }
+  return layout;
+}
+
+std::vector<double> SsinInterpolator::PredictWithLayout(
+    const std::vector<double>& all_values, const SequenceLayout& layout,
+    InferenceWorkspace* ws) {
+  std::vector<double> observed_values;
+  observed_values.reserve(layout.num_observed);
+  for (int i = 0; i < layout.num_observed; ++i) {
+    observed_values.push_back(all_values[layout.node_ids[i]]);
+  }
+
+  MaskingOptions options;
+  options.mean_fill = train_config_.mean_fill;
+  MaskedSequence seq = BuildInferenceSequence(
+      observed_values, layout.length() - layout.num_observed, options);
+
+  if (seq.target_positions.empty()) return {};
+
+  // Predict returns the query (trailing) rows only; target position p is
+  // its row p - num_observed.
+  const Tensor& values = model_->Predict(seq.input, layout, ws);
+
+  std::vector<double> out;
+  out.reserve(seq.target_positions.size());
+  for (int position : seq.target_positions) {
+    out.push_back(ApplyNonNegative(
+        Destandardize(values[position - layout.num_observed], seq.stats),
+        non_negative_));
+  }
+  return out;
 }
 
 std::vector<double> SsinInterpolator::InterpolateTimestamp(
     const std::vector<double>& all_values,
     const std::vector<int>& observed_ids, const std::vector<int>& query_ids) {
   SSIN_CHECK(prepared_) << "call Fit() first";
+  ValidateInterpolationIds(all_values, context_.num_stations(), observed_ids,
+                           query_ids);
+  std::shared_ptr<const SequenceLayout> layout =
+      LayoutFor(observed_ids, query_ids);
+  // A fresh workspace keeps this entry point safe for concurrent callers
+  // (the eval runner's parallel path); batched serving reuses workspaces
+  // through InterpolateBatch instead.
+  InferenceWorkspace ws;
+  return PredictWithLayout(all_values, *layout, &ws);
+}
 
-  // Sequence layout: observed stations first, then query nodes.
+std::vector<double> SsinInterpolator::InterpolateTimestampAutograd(
+    const std::vector<double>& all_values,
+    const std::vector<int>& observed_ids, const std::vector<int>& query_ids) {
+  SSIN_CHECK(prepared_) << "call Fit() first";
+  ValidateInterpolationIds(all_values, context_.num_stations(), observed_ids,
+                           query_ids);
+
   std::vector<int> node_ids = observed_ids;
   node_ids.insert(node_ids.end(), query_ids.begin(), query_ids.end());
 
@@ -104,8 +176,49 @@ std::vector<double> SsinInterpolator::InterpolateTimestamp(
   out.reserve(query_ids.size());
   const Tensor& values = pred.value();
   for (int position : seq.target_positions) {
-    out.push_back(Destandardize(values[position], seq.stats));
+    out.push_back(ApplyNonNegative(Destandardize(values[position], seq.stats),
+                                   non_negative_));
   }
+  return out;
+}
+
+std::vector<std::vector<double>> SsinInterpolator::InterpolateBatch(
+    const std::vector<const std::vector<double>*>& batch_values,
+    const std::vector<int>& observed_ids, const std::vector<int>& query_ids,
+    int num_threads) {
+  SSIN_CHECK(prepared_) << "call Fit() first";
+  std::vector<std::vector<double>> out(batch_values.size());
+  if (batch_values.empty()) return out;
+
+  ValidateInterpolationIds(*batch_values[0], context_.num_stations(),
+                           observed_ids, query_ids);
+  for (const std::vector<double>* values : batch_values) {
+    SSIN_CHECK(values != nullptr);
+    SSIN_CHECK_EQ(values->size(), batch_values[0]->size());
+  }
+
+  // One layout for the whole batch; one workspace per pool slot.
+  std::shared_ptr<const SequenceLayout> layout =
+      LayoutFor(observed_ids, query_ids);
+  const int threads = ThreadPool::ResolveThreadCount(num_threads);
+  if (threads == 1) {
+    InferenceWorkspace ws;
+    for (size_t i = 0; i < batch_values.size(); ++i) {
+      out[i] = PredictWithLayout(*batch_values[i], *layout, &ws);
+    }
+    return out;
+  }
+  std::vector<std::unique_ptr<InferenceWorkspace>> workspaces;
+  workspaces.reserve(threads);
+  for (int s = 0; s < threads; ++s) {
+    workspaces.push_back(std::make_unique<InferenceWorkspace>());
+  }
+  ThreadPool pool(threads);
+  pool.ParallelFor(static_cast<int64_t>(batch_values.size()),
+                   [&](int64_t i, int slot) {
+                     out[i] = PredictWithLayout(*batch_values[i], *layout,
+                                                workspaces[slot].get());
+                   });
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/inference_engine.h"
 #include "core/interpolation.h"
 #include "core/spaformer.h"
 #include "core/spatial_context.h"
@@ -27,10 +28,32 @@ class SsinInterpolator : public SpatialInterpolator {
   void Fit(const SpatialDataset& data,
            const std::vector<int>& train_ids) override;
 
+  /// Serves one timestamp through the graph-free inference engine: the
+  /// sequence layout (attention plan + pre-embedded positions) comes from
+  /// the layout cache, the encoder stack runs without any autograd
+  /// bookkeeping. Numerically identical to the autograd reference below.
+  /// Safe to call concurrently after Fit().
   std::vector<double> InterpolateTimestamp(
       const std::vector<double>& all_values,
       const std::vector<int>& observed_ids,
       const std::vector<int>& query_ids) override;
+
+  /// Reference implementation running the full autograd Forward (tape and
+  /// all). Kept as the equivalence baseline for the inference engine —
+  /// tests pin InterpolateTimestamp == InterpolateTimestampAutograd.
+  std::vector<double> InterpolateTimestampAutograd(
+      const std::vector<double>& all_values,
+      const std::vector<int>& observed_ids,
+      const std::vector<int>& query_ids);
+
+  /// Batched serving: validates and resolves the sequence layout once,
+  /// then fans the timestamps across a pool with one inference workspace
+  /// per pool slot. Results are identical to per-timestamp calls at any
+  /// thread count.
+  std::vector<std::vector<double>> InterpolateBatch(
+      const std::vector<const std::vector<double>*>& batch_values,
+      const std::vector<int>& observed_ids,
+      const std::vector<int>& query_ids, int num_threads = 1) override;
 
   /// Builds the spatial context and model without training — used for
   /// transfer experiments (Table 8) and checkpoint loading.
@@ -76,13 +99,36 @@ class SsinInterpolator : public SpatialInterpolator {
   SsinTrainer* trainer() { return trainer_.get(); }
   const TrainStats& train_stats() const { return train_stats_; }
 
+  /// The serving layout cache (hit/miss counters for tests and benches).
+  /// Cleared automatically whenever the model's weights change — cached
+  /// layouts hold positions embedded with those weights.
+  const LayoutCache& layout_cache() const { return layout_cache_; }
+
+  /// Overrides the non-negative output clamp captured from the dataset at
+  /// Fit()/Prepare() time.
+  void set_non_negative(bool non_negative) { non_negative_ = non_negative; }
+  bool non_negative() const { return non_negative_; }
+
  private:
+  /// Cached-or-built layout for one (observed_ids, query_ids) pair.
+  std::shared_ptr<const SequenceLayout> LayoutFor(
+      const std::vector<int>& observed_ids,
+      const std::vector<int>& query_ids);
+
+  /// One graph-free forward pass: standardize, Predict, destandardize and
+  /// clamp. `ws` must be used by one thread at a time.
+  std::vector<double> PredictWithLayout(const std::vector<double>& all_values,
+                                        const SequenceLayout& layout,
+                                        InferenceWorkspace* ws);
+
   SpaFormerConfig model_config_;
   TrainConfig train_config_;
   std::unique_ptr<SpaFormer> model_;
   std::unique_ptr<SsinTrainer> trainer_;
   SpatialContext context_;
   TrainStats train_stats_;
+  LayoutCache layout_cache_;
+  bool non_negative_ = false;
   bool prepared_ = false;
 };
 

@@ -27,6 +27,7 @@ SpatialDataset SpatialDataset::SliceTimestamps(int begin, int end) const {
   SpatialDataset out(stations_);
   for (int t = begin; t < end; ++t) out.AddTimestamp(values_[t]);
   if (travel_distance_.has_value()) out.SetTravelDistance(*travel_distance_);
+  out.SetNonNegative(non_negative_);
   return out;
 }
 

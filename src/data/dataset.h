@@ -45,6 +45,12 @@ class SpatialDataset {
   }
   double Value(int t, int station) const { return values_[t][station]; }
 
+  /// Marks the measured quantity as physically non-negative (rainfall).
+  /// Interpolators clamp destandardized predictions at zero for such
+  /// datasets; signed quantities (traffic speed residuals) leave this off.
+  void SetNonNegative(bool non_negative) { non_negative_ = non_negative; }
+  bool non_negative() const { return non_negative_; }
+
   /// Optional road-network travel distances between stations (traffic use
   /// case, paper §4.3). When present, interpolators that support it use
   /// travel distance instead of geographic distance.
@@ -65,6 +71,7 @@ class SpatialDataset {
   std::vector<Station> stations_;
   std::vector<std::vector<double>> values_;
   std::optional<Matrix> travel_distance_;
+  bool non_negative_ = false;
 };
 
 /// A train/test partition of station indices (the paper holds out 20% of

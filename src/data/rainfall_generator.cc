@@ -296,6 +296,7 @@ SpatialDataset RainfallGenerator::GenerateHoursAt(
   for (const Station& s : all_stations) points.push_back(s.position);
 
   SpatialDataset dataset(std::move(all_stations));
+  dataset.SetNonNegative(true);  // Rain amounts are physically >= 0.
   Rng rng(seed);
   const int num_gauges = static_cast<int>(stations_.size());
   const int min_wet = std::max(

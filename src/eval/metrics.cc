@@ -39,7 +39,7 @@ Metrics MetricsAccumulator::Compute() const {
   m.rmse = std::sqrt(sq_err / n);
   m.mae = abs_err / n;
   m.nse = sq_dev > 0.0 ? 1.0 - sq_err / sq_dev
-                       : -std::numeric_limits<double>::infinity();
+                       : std::numeric_limits<double>::quiet_NaN();
   return m;
 }
 

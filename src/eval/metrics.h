@@ -10,7 +10,11 @@ namespace ssin {
 struct Metrics {
   double rmse = 0.0;
   double mae = 0.0;
-  double nse = 0.0;  ///< Nash-Sutcliffe efficiency, (-inf, 1], 1 is best.
+  /// Nash-Sutcliffe efficiency, (-inf, 1], 1 is best. NaN when the truth
+  /// variance is zero (a constant truth makes the denominator vanish, so
+  /// the score is undefined rather than infinitely bad) — consumers must
+  /// render it as "n/a" / null, never as a bare inf/nan token.
+  double nse = 0.0;
   int64_t count = 0;
 };
 

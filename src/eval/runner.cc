@@ -1,15 +1,12 @@
 #include "eval/runner.h"
 
+#include <cmath>
 #include <cstdio>
 
-#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace ssin {
 
-namespace {
-
-/// The timestamps an EvalOptions selects, in evaluation order.
 std::vector<int> SelectedTimestamps(const SpatialDataset& data,
                                     const EvalOptions& options) {
   const int end = options.end < 0 ? data.num_timestamps() : options.end;
@@ -21,6 +18,8 @@ std::vector<int> SelectedTimestamps(const SpatialDataset& data,
   }
   return timestamps;
 }
+
+namespace {
 
 EvalResult RunEvaluation(SpatialInterpolator* method,
                          const SpatialDataset& data, const NodeSplit& split,
@@ -34,42 +33,25 @@ EvalResult RunEvaluation(SpatialInterpolator* method,
     result.fit_seconds = fit_timer.Seconds();
   }
 
+  // One timestamp-selection path and one serving call for every thread
+  // count: InterpolateBatch answers the selected timestamps (fanning them
+  // across a pool when options.num_threads allows), and metrics accumulate
+  // on this thread in timestamp order — bit-identical across thread counts.
+  const std::vector<int> timestamps = SelectedTimestamps(data, options);
   MetricsAccumulator acc;
   Timer interp_timer;
-  const int num_threads = ThreadPool::ResolveThreadCount(options.num_threads);
-  if (num_threads == 1) {
-    const int end = options.end < 0 ? data.num_timestamps() : options.end;
-    SSIN_CHECK_LE(end, data.num_timestamps());
-    SSIN_CHECK_GE(options.stride, 1);
-    for (int t = options.begin; t < end; t += options.stride) {
-      const std::vector<double> predictions = method->InterpolateTimestamp(
-          data.Values(t), split.train_ids, split.test_ids);
-      SSIN_CHECK_EQ(predictions.size(), split.test_ids.size());
-      for (size_t q = 0; q < split.test_ids.size(); ++q) {
-        acc.Add(data.Value(t, split.test_ids[q]), predictions[q]);
-      }
-      ++result.timestamps_evaluated;
+  std::vector<const std::vector<double>*> batch;
+  batch.reserve(timestamps.size());
+  for (int t : timestamps) batch.push_back(&data.Values(t));
+  const std::vector<std::vector<double>> predictions = method->InterpolateBatch(
+      batch, split.train_ids, split.test_ids, options.num_threads);
+  for (size_t i = 0; i < timestamps.size(); ++i) {
+    SSIN_CHECK_EQ(predictions[i].size(), split.test_ids.size());
+    for (size_t q = 0; q < split.test_ids.size(); ++q) {
+      acc.Add(data.Value(timestamps[i], split.test_ids[q]),
+              predictions[i][q]);
     }
-  } else {
-    // Fan timestamps across the pool, then accumulate metrics on the main
-    // thread in timestamp order — bit-identical to the serial loop.
-    const std::vector<int> timestamps = SelectedTimestamps(data, options);
-    std::vector<std::vector<double>> predictions(timestamps.size());
-    ThreadPool pool(num_threads);
-    pool.ParallelFor(static_cast<int64_t>(timestamps.size()),
-                     [&](int64_t i, int /*slot*/) {
-                       predictions[i] = method->InterpolateTimestamp(
-                           data.Values(timestamps[i]), split.train_ids,
-                           split.test_ids);
-                     });
-    for (size_t i = 0; i < timestamps.size(); ++i) {
-      SSIN_CHECK_EQ(predictions[i].size(), split.test_ids.size());
-      for (size_t q = 0; q < split.test_ids.size(); ++q) {
-        acc.Add(data.Value(timestamps[i], split.test_ids[q]),
-                predictions[i][q]);
-      }
-      ++result.timestamps_evaluated;
-    }
+    ++result.timestamps_evaluated;
   }
   result.interpolate_seconds = interp_timer.Seconds();
   result.metrics = acc.Compute();
@@ -105,8 +87,14 @@ void PrintResultsTable(const std::string& title,
     if (row.empty()) continue;
     std::printf("%-18s", row[0].method.c_str());
     for (const EvalResult& r : row) {
-      std::printf(" | %8.4f %8.4f %8.4f", r.metrics.rmse, r.metrics.mae,
-                  r.metrics.nse);
+      std::printf(" | %8.4f %8.4f ", r.metrics.rmse, r.metrics.mae);
+      // NSE is NaN when the truth variance is zero; print a readable
+      // marker instead of a bare nan/inf token.
+      if (std::isfinite(r.metrics.nse)) {
+        std::printf("%8.4f", r.metrics.nse);
+      } else {
+        std::printf("%8s", "n/a");
+      }
     }
     std::printf("\n");
   }

@@ -14,13 +14,12 @@ struct EvalOptions {
   int begin = 0;
   int end = -1;    ///< Exclusive; -1 = all timestamps.
   int stride = 1;  ///< Evaluate every stride-th timestamp.
-  /// Worker threads fanning timestamps (and cross-validation folds) across
-  /// a pool; 0 = one per hardware thread, 1 = the exact serial code path.
-  /// Values > 1 require the interpolator's InterpolateTimestamp to be
-  /// safe to call concurrently (true of every method in this repo after
-  /// Fit(); predictions and metrics are reduced in timestamp order, so
-  /// results are identical to a serial run). Fit() itself always runs on
-  /// the calling thread.
+  /// Worker threads passed to the interpolator's InterpolateBatch; 0 = one
+  /// per hardware thread, 1 = serial. Values > 1 require per-timestamp
+  /// interpolation to be safe to run concurrently (true of every method in
+  /// this repo after Fit(); predictions and metrics are reduced in
+  /// timestamp order, so results are identical to a serial run). Fit()
+  /// itself always runs on the calling thread.
   int num_threads = 1;
 };
 
@@ -32,6 +31,12 @@ struct EvalResult {
   double interpolate_seconds = 0.0;
   int timestamps_evaluated = 0;
 };
+
+/// The timestamps an EvalOptions selects on `data`, in evaluation order.
+/// Both the serial and the parallel evaluation paths iterate exactly this
+/// list, so the two visit identical timestamp sets by construction.
+std::vector<int> SelectedTimestamps(const SpatialDataset& data,
+                                    const EvalOptions& options);
 
 /// Runs the paper's evaluation protocol: the interpolator is Fit() on the
 /// training stations' history, then for each evaluated timestamp predicts

@@ -1,5 +1,6 @@
 #include "nn/attention.h"
 
+#include <algorithm>
 #include <string>
 
 namespace ssin {
@@ -38,6 +39,85 @@ Var MultiHeadSpaAttention::Forward(Var e, Var srpe,
   Var concat = head_outputs.size() == 1 ? head_outputs[0]
                                         : ConcatCols(head_outputs);
   return output_proj_->Forward(concat);
+}
+
+Tensor& MultiHeadSpaAttention::Infer(const Tensor& e, const Tensor* srpe,
+                                     const AttentionPlan& plan,
+                                     InferenceWorkspace* ws) {
+  const int length = e.dim(0);
+  if (heads_.size() == 1) {
+    auto& head = heads_[0];
+    Tensor& q = head.wq->Infer(e, ws);
+    Tensor& k = head.wk->Infer(e, ws);
+    Tensor& v = head.wv->Infer(e, ws);
+    Tensor* z = ws->Acquire({length, q.dim(1)});
+    PackedAttentionForwardInto(q, k, v, srpe, plan, config_,
+                               ws->attention_context(), z);
+    return output_proj_->Infer(*z, ws);
+  }
+  Tensor* concat = ws->Acquire({length, output_proj_->in_features()});
+  int col = 0;
+  for (auto& head : heads_) {
+    Tensor& q = head.wq->Infer(e, ws);
+    Tensor& k = head.wk->Infer(e, ws);
+    Tensor& v = head.wv->Infer(e, ws);
+    const int d = q.dim(1);
+    Tensor* z = ws->Acquire({length, d});
+    PackedAttentionForwardInto(q, k, v, srpe, plan, config_,
+                               ws->attention_context(), z);
+    // Column-block copy into the concatenation, as ConcatCols does.
+    const int total = concat->dim(1);
+    for (int i = 0; i < length; ++i) {
+      const double* src = z->data() + static_cast<int64_t>(i) * d;
+      double* dst = concat->data() + static_cast<int64_t>(i) * total + col;
+      for (int j = 0; j < d; ++j) dst[j] = src[j];
+    }
+    col += d;
+  }
+  return output_proj_->Infer(*concat, ws);
+}
+
+Tensor& MultiHeadSpaAttention::InferTail(const Tensor& e, const Tensor* srpe,
+                                         const AttentionPlan& plan,
+                                         int tail_begin,
+                                         InferenceWorkspace* ws) {
+  const int length = e.dim(0);
+  const int num_queries = length - tail_begin;
+  // Query rows are contiguous at the end of the sequence; project q from
+  // a row-window copy so each head's wq matmul runs on num_queries rows.
+  Tensor* e_tail = ws->Acquire({num_queries, e.dim(1)});
+  std::copy(e.data() + static_cast<int64_t>(tail_begin) * e.dim(1),
+            e.data() + static_cast<int64_t>(length) * e.dim(1),
+            e_tail->data());
+  if (heads_.size() == 1) {
+    auto& head = heads_[0];
+    Tensor& q = head.wq->Infer(*e_tail, ws);
+    Tensor& k = head.wk->Infer(e, ws);
+    Tensor& v = head.wv->Infer(e, ws);
+    Tensor* z = ws->Acquire({num_queries, q.dim(1)});
+    PackedAttentionTailForwardInto(q, k, v, srpe, plan, tail_begin, config_,
+                                   ws->attention_context(), z);
+    return output_proj_->Infer(*z, ws);
+  }
+  Tensor* concat = ws->Acquire({num_queries, output_proj_->in_features()});
+  int col = 0;
+  for (auto& head : heads_) {
+    Tensor& q = head.wq->Infer(*e_tail, ws);
+    Tensor& k = head.wk->Infer(e, ws);
+    Tensor& v = head.wv->Infer(e, ws);
+    const int d = q.dim(1);
+    Tensor* z = ws->Acquire({num_queries, d});
+    PackedAttentionTailForwardInto(q, k, v, srpe, plan, tail_begin, config_,
+                                   ws->attention_context(), z);
+    const int total = concat->dim(1);
+    for (int i = 0; i < num_queries; ++i) {
+      const double* src = z->data() + static_cast<int64_t>(i) * d;
+      double* dst = concat->data() + static_cast<int64_t>(i) * total + col;
+      for (int j = 0; j < d; ++j) dst[j] = src[j];
+    }
+    col += d;
+  }
+  return output_proj_->Infer(*concat, ws);
 }
 
 }  // namespace ssin

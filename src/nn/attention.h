@@ -32,6 +32,20 @@ class MultiHeadSpaAttention : public Module {
   /// upstream (SpaFormer::Forward) and shared by every layer and head.
   Var Forward(Var e, Var srpe, std::shared_ptr<const AttentionPlan> plan);
 
+  /// Graph-free forward: same projections and the same packed attention
+  /// kernel as Forward, evaluated into workspace storage. `srpe` may be
+  /// null when the config has use_srpe=false.
+  Tensor& Infer(const Tensor& e, const Tensor* srpe,
+                const AttentionPlan& plan, InferenceWorkspace* ws);
+
+  /// Attention outputs for the trailing queries [tail_begin, L) only,
+  /// [L-tail_begin, d_model]. Keys/values still span all of `e`, so row r
+  /// is bit-identical to row tail_begin+r of Infer; the query projection
+  /// and per-query work of the leading rows are skipped.
+  Tensor& InferTail(const Tensor& e, const Tensor* srpe,
+                    const AttentionPlan& plan, int tail_begin,
+                    InferenceWorkspace* ws);
+
   const AttentionConfig& config() const { return config_; }
   int num_heads() const { return static_cast<int>(heads_.size()); }
 

@@ -1,0 +1,14 @@
+#include "nn/inference.h"
+
+namespace ssin {
+
+Tensor* InferenceWorkspace::Acquire(const std::vector<int>& shape) {
+  if (cursor_ == slots_.size()) {
+    slots_.push_back(std::make_unique<Tensor>(shape));
+  }
+  Tensor* t = slots_[cursor_++].get();
+  if (t->shape() != shape) *t = Tensor(shape);
+  return t;
+}
+
+}  // namespace ssin

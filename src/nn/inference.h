@@ -1,0 +1,57 @@
+#ifndef SSIN_NN_INFERENCE_H_
+#define SSIN_NN_INFERENCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "tensor/attention_kernels.h"
+#include "tensor/tensor.h"
+
+namespace ssin {
+
+/// Reusable activation buffers for one graph-free forward pass.
+///
+/// The inference path (Module::Infer / SpaFormer::Predict) evaluates the
+/// network without an autograd Graph: no tape nodes, no backward closures,
+/// no gradient buffers. Intermediate activations instead come from this
+/// bump-allocated arena: Acquire() hands out tensors in call order and
+/// Reset() rewinds the cursor, so after the first sequence every subsequent
+/// forward pass with the same shapes runs allocation-free. A workspace is
+/// single-threaded by design — batched serving keeps one per thread-pool
+/// slot.
+class InferenceWorkspace {
+ public:
+  InferenceWorkspace() = default;
+  InferenceWorkspace(const InferenceWorkspace&) = delete;
+  InferenceWorkspace& operator=(const InferenceWorkspace&) = delete;
+
+  /// Rewinds the arena; previously acquired tensors may be handed out
+  /// again. Call once at the start of each sequence.
+  void Reset() { cursor_ = 0; }
+
+  /// Next arena tensor, reshaped to `shape` if it does not match.
+  /// Contents are unspecified (kernels that accumulate must clear it —
+  /// MatMulInto and PackedAttentionForwardInto do). The returned pointer
+  /// stays valid until the workspace is destroyed; the *contents* are
+  /// valid until the next Reset().
+  Tensor* Acquire(const std::vector<int>& shape);
+
+  /// Shared attention scratch (softmax weights + scores). Inference never
+  /// reads it back, so one context serves every layer/head invocation.
+  AttentionContext* attention_context() { return &attention_context_; }
+
+  /// Arena slots allocated so far (test hook: steady-state forward passes
+  /// must not grow it).
+  size_t num_slots() const { return slots_.size(); }
+
+ private:
+  // unique_ptr slots: the vector may grow while earlier tensors are still
+  // referenced by the caller, so the tensors themselves must not move.
+  std::vector<std::unique_ptr<Tensor>> slots_;
+  size_t cursor_ = 0;
+  AttentionContext attention_context_;
+};
+
+}  // namespace ssin
+
+#endif  // SSIN_NN_INFERENCE_H_

@@ -25,6 +25,21 @@ Var Linear::Forward(Var x) {
   return out;
 }
 
+Tensor& Linear::Infer(const Tensor& x, InferenceWorkspace* ws) {
+  Tensor* out = ws->Acquire({x.dim(0), out_features_});
+  MatMulInto(x, weight_->value, out);
+  if (bias_ != nullptr) {
+    // Same arithmetic as AddRow: out[i][j] = (xW)[i][j] + bias[j].
+    const int m = out->dim(0), n = out->dim(1);
+    const double* b = bias_->value.data();
+    for (int i = 0; i < m; ++i) {
+      double* row = out->data() + static_cast<int64_t>(i) * n;
+      for (int j = 0; j < n; ++j) row[j] += b[j];
+    }
+  }
+  return *out;
+}
+
 Fcn2::Fcn2(int in_features, int hidden, int out_features, bool relu,
            bool bias, Rng* rng)
     : first_(in_features, hidden, bias, rng),
@@ -40,6 +55,19 @@ Var Fcn2::Forward(Var x) {
   return second_.Forward(h);
 }
 
+Tensor& Fcn2::Infer(const Tensor& x, InferenceWorkspace* ws) {
+  // The in-place ReLU writes max(h, 0) over the hidden activations —
+  // elementwise identical to the autograd Relu's fresh output tensor.
+  Tensor& h = first_.Infer(x, ws);
+  if (relu_) {
+    double* d = h.data();
+    for (int64_t i = 0; i < h.numel(); ++i) {
+      if (d[i] < 0.0) d[i] = 0.0;
+    }
+  }
+  return second_.Infer(h, ws);
+}
+
 LayerNormLayer::LayerNormLayer(int features, double eps) : eps_(eps) {
   gamma_ = RegisterParameter("gamma", Tensor({features}, 1.0));
   beta_ = RegisterParameter("beta", Tensor({features}));
@@ -48,6 +76,12 @@ LayerNormLayer::LayerNormLayer(int features, double eps) : eps_(eps) {
 Var LayerNormLayer::Forward(Var x) {
   Graph* g = x.graph;
   return LayerNorm(x, gamma_->Bind(g), beta_->Bind(g), eps_);
+}
+
+Tensor& LayerNormLayer::Infer(const Tensor& x, InferenceWorkspace* ws) {
+  Tensor* out = ws->Acquire(x.shape());
+  LayerNormInto(x, gamma_->value, beta_->value, eps_, out);
+  return *out;
 }
 
 }  // namespace ssin

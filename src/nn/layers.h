@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "nn/inference.h"
 #include "nn/module.h"
 #include "tensor/ops.h"
 
@@ -16,6 +17,11 @@ class Linear : public Module {
   Linear(int in_features, int out_features, bool bias, Rng* rng);
 
   Var Forward(Var x);
+
+  /// Graph-free forward into workspace storage. Runs the same kernels as
+  /// Forward (MatMulInto + the AddRow arithmetic), so the result is
+  /// numerically identical to Forward's value on the same input.
+  Tensor& Infer(const Tensor& x, InferenceWorkspace* ws);
 
   int in_features() const { return in_features_; }
   int out_features() const { return out_features_; }
@@ -40,6 +46,9 @@ class Fcn2 : public Module {
 
   Var Forward(Var x);
 
+  /// Graph-free forward; see Linear::Infer.
+  Tensor& Infer(const Tensor& x, InferenceWorkspace* ws);
+
  private:
   Linear first_;
   Linear second_;
@@ -52,6 +61,9 @@ class LayerNormLayer : public Module {
   explicit LayerNormLayer(int features, double eps = 1e-5);
 
   Var Forward(Var x);
+
+  /// Graph-free forward; see Linear::Infer.
+  Tensor& Infer(const Tensor& x, InferenceWorkspace* ws);
 
  private:
   Parameter* gamma_;

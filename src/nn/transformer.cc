@@ -24,6 +24,39 @@ Var EncoderLayer::Forward(Var x, Var srpe,
   return norm2_.Forward(Add(x, ff));
 }
 
+Tensor& EncoderLayer::Infer(const Tensor& x, const Tensor* srpe,
+                            const AttentionPlan& plan,
+                            InferenceWorkspace* ws) {
+  // Residual sums run in place on the sublayer output (IEEE addition is
+  // commutative, so x + attn and attn += x round identically).
+  Tensor& attn = attention_.Infer(x, srpe, plan, ws);
+  attn.Accumulate(x);
+  Tensor& x1 = norm1_.Infer(attn, ws);
+  Tensor& ff = ffn_.Infer(x1, ws);
+  ff.Accumulate(x1);
+  return norm2_.Infer(ff, ws);
+}
+
+Tensor& EncoderLayer::InferTail(const Tensor& x, const Tensor* srpe,
+                                const AttentionPlan& plan, int tail_begin,
+                                InferenceWorkspace* ws) {
+  const int d = x.dim(1);
+  Tensor& attn = attention_.InferTail(x, srpe, plan, tail_begin, ws);
+  // Residual against the matching trailing rows of x; row r pairs with
+  // sequence row tail_begin + r, so the sums round exactly as in Infer.
+  const int num_queries = attn.dim(0);
+  for (int r = 0; r < num_queries; ++r) {
+    const double* x_row =
+        x.data() + static_cast<int64_t>(tail_begin + r) * d;
+    double* a_row = attn.data() + static_cast<int64_t>(r) * d;
+    for (int e = 0; e < d; ++e) a_row[e] += x_row[e];
+  }
+  Tensor& x1 = norm1_.Infer(attn, ws);
+  Tensor& ff = ffn_.Infer(x1, ws);
+  ff.Accumulate(x1);
+  return norm2_.Infer(ff, ws);
+}
+
 Encoder::Encoder(int num_layers, int d_model, int num_heads, int d_k,
                  int d_ff, const AttentionConfig& config, Rng* rng) {
   SSIN_CHECK_GE(num_layers, 1);
@@ -41,6 +74,24 @@ Var Encoder::Forward(Var x, Var srpe,
     x = layer->Forward(x, srpe, plan);
   }
   return x;
+}
+
+Tensor& Encoder::Infer(const Tensor& x, const Tensor* srpe,
+                       const AttentionPlan& plan, InferenceWorkspace* ws,
+                       int tail_begin) {
+  const Tensor* cur = &x;
+  const size_t full_layers =
+      tail_begin >= 0 ? layers_.size() - 1 : layers_.size();
+  Tensor* out = nullptr;
+  for (size_t t = 0; t < full_layers; ++t) {
+    out = &layers_[t]->Infer(*cur, srpe, plan, ws);
+    cur = out;
+  }
+  if (tail_begin >= 0) {
+    out = &layers_.back()->InferTail(*cur, srpe, plan, tail_begin, ws);
+  }
+  SSIN_CHECK(out != nullptr);
+  return *out;
 }
 
 }  // namespace ssin

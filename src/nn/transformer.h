@@ -21,6 +21,18 @@ class EncoderLayer : public Module {
 
   Var Forward(Var x, Var srpe, std::shared_ptr<const AttentionPlan> plan);
 
+  /// Graph-free forward; numerically identical to Forward (residual sums
+  /// are IEEE addition in the same pairing, sublayers share kernels).
+  Tensor& Infer(const Tensor& x, const Tensor* srpe,
+                const AttentionPlan& plan, InferenceWorkspace* ws);
+
+  /// Evaluates this layer only for the trailing rows [tail_begin, L):
+  /// keys/values still span all of x, so the output rows are bit-identical
+  /// to the corresponding rows of Infer. Returns [L-tail_begin, d_model].
+  Tensor& InferTail(const Tensor& x, const Tensor* srpe,
+                    const AttentionPlan& plan, int tail_begin,
+                    InferenceWorkspace* ws);
+
  private:
   MultiHeadSpaAttention attention_;
   Fcn2 ffn_;
@@ -36,6 +48,14 @@ class Encoder : public Module {
 
   /// `plan` is shared (not rebuilt) across all layers of the stack.
   Var Forward(Var x, Var srpe, std::shared_ptr<const AttentionPlan> plan);
+
+  /// Graph-free forward through the whole stack; see EncoderLayer::Infer.
+  /// When tail_begin >= 0, the final layer runs InferTail so the result
+  /// holds only the trailing rows [tail_begin, L) — the rows a prediction
+  /// head reads during serving. Rows are bit-identical to a full Infer.
+  Tensor& Infer(const Tensor& x, const Tensor* srpe,
+                const AttentionPlan& plan, InferenceWorkspace* ws,
+                int tail_begin = -1);
 
   int num_layers() const { return static_cast<int>(layers_.size()); }
 

@@ -96,6 +96,16 @@ Tensor PackedAttentionForward(const Tensor& q, const Tensor& k,
                               const AttentionPlan& plan,
                               const AttentionConfig& cfg,
                               AttentionContext* ctx) {
+  Tensor z;
+  PackedAttentionForwardInto(q, k, v, c, plan, cfg, ctx, &z);
+  return z;
+}
+
+void PackedAttentionForwardInto(const Tensor& q, const Tensor& k,
+                                const Tensor& v, const Tensor* c,
+                                const AttentionPlan& plan,
+                                const AttentionConfig& cfg,
+                                AttentionContext* ctx, Tensor* z_out) {
   SSIN_CHECK_EQ(q.rank(), 2);
   SSIN_CHECK(q.SameShape(k) && q.SameShape(v));
   const int length = q.dim(0);
@@ -112,8 +122,13 @@ Tensor PackedAttentionForward(const Tensor& q, const Tensor& k,
 
   ctx->alpha.assign(static_cast<size_t>(plan.num_pairs()), 0.0);
 
-  Tensor z({length, d});
-  std::vector<double> scores;
+  if (z_out->rank() != 2 || z_out->dim(0) != length || z_out->dim(1) != d) {
+    *z_out = Tensor({length, d});
+  } else {
+    z_out->Fill(0.0);
+  }
+  Tensor& z = *z_out;
+  std::vector<double>& scores = ctx->scores;
   for (int i = 0; i < length; ++i) {
     const int64_t begin = plan.offset[i];
     const int64_t end = plan.offset[i + 1];
@@ -147,7 +162,72 @@ Tensor PackedAttentionForward(const Tensor& q, const Tensor& k,
       for (int e = 0; e < d; ++e) z_row[e] += alpha * v_row[e];
     }
   }
-  return z;
+}
+
+void PackedAttentionTailForwardInto(const Tensor& q, const Tensor& k,
+                                    const Tensor& v, const Tensor* c,
+                                    const AttentionPlan& plan, int tail_begin,
+                                    const AttentionConfig& cfg,
+                                    AttentionContext* ctx, Tensor* z_out) {
+  SSIN_CHECK_EQ(k.rank(), 2);
+  SSIN_CHECK(k.SameShape(v));
+  const int length = k.dim(0);
+  const int d = k.dim(1);
+  SSIN_CHECK(tail_begin >= 0 && tail_begin <= length);
+  const int num_queries = length - tail_begin;
+  SSIN_CHECK_EQ(q.dim(0), num_queries);
+  SSIN_CHECK_EQ(q.dim(1), d);
+  SSIN_CHECK_EQ(plan.length, length);
+  if (cfg.use_srpe) {
+    SSIN_CHECK(c != nullptr);
+    SSIN_CHECK_EQ(c->dim(0), cfg.packed_srpe
+                                 ? plan.num_pairs()
+                                 : static_cast<int64_t>(length) * length);
+    SSIN_CHECK_EQ(c->dim(1), d);
+  }
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(d));
+
+  if (z_out->rank() != 2 || z_out->dim(0) != num_queries ||
+      z_out->dim(1) != d) {
+    *z_out = Tensor({num_queries, d});
+  } else {
+    z_out->Fill(0.0);
+  }
+  Tensor& z = *z_out;
+  std::vector<double>& scores = ctx->scores;
+  for (int r = 0; r < num_queries; ++r) {
+    const int i = tail_begin + r;
+    const int64_t begin = plan.offset[i];
+    const int64_t end = plan.offset[i + 1];
+    const int64_t count = end - begin;
+    SSIN_CHECK_GT(count, 0) << "query " << i << " has no legal keys";
+    scores.resize(static_cast<size_t>(count));
+
+    const double* q_row = q.data() + static_cast<int64_t>(r) * d;
+    double max_score = -std::numeric_limits<double>::infinity();
+    for (int64_t t = 0; t < count; ++t) {
+      const int j = plan.key_index[begin + t];
+      const double* k_row = k.data() + static_cast<int64_t>(j) * d;
+      const double* c_row =
+          cfg.use_srpe ? c->data() + SrpeRow(plan, cfg, begin + t) * d
+                       : nullptr;
+      scores[t] = PairScore(q_row, k_row, c_row, d, inv_sqrt_d);
+      if (scores[t] > max_score) max_score = scores[t];
+    }
+
+    double denom = 0.0;
+    for (int64_t t = 0; t < count; ++t) {
+      scores[t] = std::exp(scores[t] - max_score);
+      denom += scores[t];
+    }
+    double* z_row = z.data() + static_cast<int64_t>(r) * d;
+    for (int64_t t = 0; t < count; ++t) {
+      const double alpha = scores[t] / denom;
+      const int j = plan.key_index[begin + t];
+      const double* v_row = v.data() + static_cast<int64_t>(j) * d;
+      for (int e = 0; e < d; ++e) z_row[e] += alpha * v_row[e];
+    }
+  }
 }
 
 void PackedAttentionBackward(const Tensor& q, const Tensor& k,

@@ -72,6 +72,9 @@ int64_t AttentionPlanBuildCount();
 /// of legal pair t). Unlike the plan, a context is per (layer, head).
 struct AttentionContext {
   std::vector<double> alpha;
+  /// Per-query score scratch, kept here so repeated forward invocations on
+  /// a reused context (inference workspaces) never reallocate.
+  std::vector<double> scores;
 };
 
 /// Packed shielded attention with SRPE — the CPU analog of the paper's TVM
@@ -87,6 +90,29 @@ Tensor PackedAttentionForward(const Tensor& q, const Tensor& k,
                               const AttentionPlan& plan,
                               const AttentionConfig& cfg,
                               AttentionContext* ctx);
+
+/// Allocation-free variant for reusable workspaces (the inference engine's
+/// per-thread buffers): *z is resized to [L,d] and overwritten. Identical
+/// arithmetic to PackedAttentionForward, which is implemented on top of it.
+void PackedAttentionForwardInto(const Tensor& q, const Tensor& k,
+                                const Tensor& v, const Tensor* c,
+                                const AttentionPlan& plan,
+                                const AttentionConfig& cfg,
+                                AttentionContext* ctx, Tensor* z);
+
+/// Tail variant for inference: computes attention outputs only for the
+/// trailing queries [tail_begin, L) — the unobserved rows a prediction
+/// head actually reads. Keys/values still span the full sequence, so the
+/// result rows are bit-identical to the corresponding rows of
+/// PackedAttentionForwardInto; only rows nobody consumes are skipped.
+/// q holds the projected queries of the tail rows only: [L-tail_begin,d];
+/// k,v: [L,d]. *z is resized to [L-tail_begin,d]; row r is query
+/// tail_begin+r.
+void PackedAttentionTailForwardInto(const Tensor& q, const Tensor& k,
+                                    const Tensor& v, const Tensor* c,
+                                    const AttentionPlan& plan, int tail_begin,
+                                    const AttentionConfig& cfg,
+                                    AttentionContext* ctx, Tensor* z);
 
 /// Backward of PackedAttentionForward. dz: [L,d] upstream gradient.
 /// Accumulates into dq/dk/dv (and dc when non-null and cfg.use_srpe; dc

@@ -228,7 +228,58 @@ void MatMulAccAt(const Tensor& a, const Tensor& dc, Tensor* out) {
   });
 }
 
+// Shared forward half of LayerNorm: writes the normalized, scaled output
+// and optionally the saved statistics the backward pass needs. One
+// implementation serves both the autograd op and the graph-free
+// LayerNormInto so the two paths cannot drift numerically.
+void LayerNormForward(const Tensor& x, const Tensor& gamma,
+                      const Tensor& beta, double eps, Tensor* out,
+                      Tensor* xhat, std::vector<double>* inv_std) {
+  SSIN_CHECK_EQ(x.rank(), 2);
+  const int m = x.dim(0), n = x.dim(1);
+  SSIN_CHECK_EQ(gamma.dim(0), n);
+  SSIN_CHECK_EQ(beta.dim(0), n);
+  for (int i = 0; i < m; ++i) {
+    double mean = 0.0;
+    for (int j = 0; j < n; ++j) mean += x.At(i, j);
+    mean /= n;
+    double var = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double d = x.At(i, j) - mean;
+      var += d * d;
+    }
+    var /= n;
+    const double istd = 1.0 / std::sqrt(var + eps);
+    if (inv_std != nullptr) (*inv_std)[i] = istd;
+    for (int j = 0; j < n; ++j) {
+      const double xh = (x.At(i, j) - mean) * istd;
+      if (xhat != nullptr) xhat->At(i, j) = xh;
+      out->At(i, j) = xh * gamma[j] + beta[j];
+    }
+  }
+}
+
 }  // namespace
+
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  SSIN_CHECK_EQ(a.rank(), 2);
+  SSIN_CHECK_EQ(b.rank(), 2);
+  SSIN_CHECK_EQ(a.dim(1), b.dim(0));
+  if (out->rank() != 2 || out->dim(0) != a.dim(0) ||
+      out->dim(1) != b.dim(1)) {
+    *out = Tensor({a.dim(0), b.dim(1)});
+  } else {
+    out->Fill(0.0);
+  }
+  MatMulAcc(a, b, out);
+}
+
+void LayerNormInto(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   double eps, Tensor* out) {
+  if (!out->SameShape(x)) *out = Tensor(x.shape());
+  LayerNormForward(x, gamma, beta, eps, out, /*xhat=*/nullptr,
+                   /*inv_std=*/nullptr);
+}
 
 void SetMatMulConfig(const MatMulConfig& config) {
   g_matmul_config = config;
@@ -246,11 +297,8 @@ Var MatMul(Var a, Var b) {
   Graph* g = CommonGraph(a, b);
   const Tensor& av = a.value();
   const Tensor& bv = b.value();
-  SSIN_CHECK_EQ(av.rank(), 2);
-  SSIN_CHECK_EQ(bv.rank(), 2);
-  SSIN_CHECK_EQ(av.dim(1), bv.dim(0));
-  Tensor out({av.dim(0), bv.dim(1)});
-  MatMulAcc(av, bv, &out);
+  Tensor out;
+  MatMulInto(av, bv, &out);
   const bool needs = g->requires_grad(a.id) || g->requires_grad(b.id);
   const int out_id = g->size();
   const int a_id = a.id, b_id = b.id;
@@ -450,26 +498,8 @@ Var LayerNorm(Var x, Var gamma, Var beta, double eps) {
   auto inv_std = std::make_shared<std::vector<double>>(m);
 
   Tensor out({m, n});
-  const Tensor& gv = gamma.value();
-  const Tensor& bv = beta.value();
-  for (int i = 0; i < m; ++i) {
-    double mean = 0.0;
-    for (int j = 0; j < n; ++j) mean += xv.At(i, j);
-    mean /= n;
-    double var = 0.0;
-    for (int j = 0; j < n; ++j) {
-      const double d = xv.At(i, j) - mean;
-      var += d * d;
-    }
-    var /= n;
-    const double istd = 1.0 / std::sqrt(var + eps);
-    (*inv_std)[i] = istd;
-    for (int j = 0; j < n; ++j) {
-      const double xh = (xv.At(i, j) - mean) * istd;
-      xhat->At(i, j) = xh;
-      out.At(i, j) = xh * gv[j] + bv[j];
-    }
-  }
+  LayerNormForward(xv, gamma.value(), beta.value(), eps, &out, xhat.get(),
+                   inv_std.get());
 
   const bool needs = g->requires_grad(x.id) || g->requires_grad(gamma.id) ||
                      g->requires_grad(beta.id);

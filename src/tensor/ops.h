@@ -40,6 +40,20 @@ MatMulConfig GetMatMulConfig();
 /// Matrix product: a [m,k] x b [k,n] -> [m,n].
 Var MatMul(Var a, Var b);
 
+/// Graph-free kernels backing the inference engine. Each one runs the
+/// *same* arithmetic as the forward half of the matching autograd op (they
+/// share the kernel implementations), so a graph-free forward pass is
+/// numerically identical to an autograd forward over the same inputs.
+///
+/// out is resized to [a.dim(0), b.dim(1)] and overwritten with a*b
+/// (honors the process-wide MatMulConfig, like MatMul).
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out is resized to x's shape and overwritten with the layer norm of x
+/// over its last dimension — the forward half of LayerNorm below.
+void LayerNormInto(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   double eps, Tensor* out);
+
 /// Elementwise sum of two same-shape tensors.
 Var Add(Var a, Var b);
 

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
+#include "common/json_writer.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/timer.h"
@@ -131,6 +133,47 @@ TEST(TimerTest, MeasuresElapsedTime) {
   EXPECT_GE(timer.Seconds(), first);  // Monotone.
   timer.Reset();
   EXPECT_LE(timer.Seconds(), first + 1.0);
+}
+
+TEST(JsonWriterTest, NestedStructureAndCommas) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name");
+  json.String("bench");
+  json.Key("values");
+  json.BeginArray();
+  json.Int(1);
+  json.Int(2);
+  json.BeginObject();
+  json.Key("ok");
+  json.Bool(true);
+  json.EndObject();
+  json.EndArray();
+  json.Key("none");
+  json.Null();
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"bench\",\"values\":[1,2,{\"ok\":true}],"
+            "\"none\":null}");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  // JSON has no inf/nan tokens; a bench report with an undefined metric
+  // (e.g. NSE on constant truth) must still parse.
+  JsonWriter json;
+  json.BeginArray();
+  json.Number(1.5);
+  json.Number(std::numeric_limits<double>::quiet_NaN());
+  json.Number(std::numeric_limits<double>::infinity());
+  json.Number(-std::numeric_limits<double>::infinity());
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[1.5,null,null,null]");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter json;
+  json.String("a \"b\"\\\n\t");
+  EXPECT_EQ(json.str(), "\"a \\\"b\\\"\\\\\\n\\t\"");
 }
 
 }  // namespace

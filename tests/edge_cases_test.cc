@@ -157,10 +157,11 @@ TEST(GeneratorEdgeTest, MinimumViableRegion) {
 
 // -------------------------------------------------------------------- eval
 
-TEST(MetricsEdgeTest, ConstantTruthGivesNegInfNse) {
+TEST(MetricsEdgeTest, ConstantTruthGivesNanNse) {
+  // Zero truth variance leaves NSE undefined: the contract is NaN (not
+  // -inf), which renderers turn into "n/a" and JSON writers into null.
   const Metrics m = ComputeMetrics({2, 2, 2}, {1, 2, 3});
-  EXPECT_TRUE(std::isinf(m.nse));
-  EXPECT_LT(m.nse, 0.0);
+  EXPECT_TRUE(std::isnan(m.nse));
   EXPECT_GT(m.rmse, 0.0);
 }
 

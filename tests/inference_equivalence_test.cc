@@ -1,0 +1,265 @@
+/// Pins the contract of the graph-free inference engine: SpaFormer::Predict
+/// (through SsinInterpolator::InterpolateTimestamp / InterpolateBatch)
+/// reproduces the autograd reference forward to <= 1e-12 across SRPE
+/// layouts, fill modes and thread counts, and the layout cache serves
+/// repeated station sets without rebuilding plans or embeddings — until a
+/// weight mutation invalidates it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/inference_engine.h"
+#include "core/ssin_interpolator.h"
+#include "data/rainfall_generator.h"
+#include "eval/runner.h"
+#include "nn/inference.h"
+#include "tensor/attention_kernels.h"
+
+namespace ssin {
+namespace {
+
+RainfallRegionConfig TinyRegion() {
+  RainfallRegionConfig config = HkRegionConfig();
+  config.num_gauges = 24;
+  config.width_km = 30.0;
+  config.height_km = 24.0;
+  return config;
+}
+
+SpaFormerConfig TinyModel(bool packed_srpe) {
+  SpaFormerConfig config;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.d_model = 8;
+  config.d_k = 8;
+  config.d_ff = 32;
+  config.packed_srpe = packed_srpe;
+  return config;
+}
+
+TrainConfig FastTraining(bool mean_fill) {
+  TrainConfig config;
+  config.epochs = 2;
+  config.masks_per_sequence = 2;
+  config.batch_size = 8;
+  config.warmup_steps = 20;
+  config.lr_factor = 0.2;
+  config.seed = 13;
+  config.mean_fill = mean_fill;
+  return config;
+}
+
+struct Fixture {
+  Fixture() : generator(TinyRegion()), data(generator.GenerateHours(16, 7)) {
+    for (int i = 0; i < data.num_stations(); ++i) {
+      (i % 4 == 3 ? query_ids : observed_ids).push_back(i);
+    }
+  }
+
+  RainfallGenerator generator;
+  SpatialDataset data;
+  std::vector<int> observed_ids;
+  std::vector<int> query_ids;
+};
+
+// ------------------------------------------- engine == autograd reference
+
+struct EquivalenceParams {
+  bool packed_srpe;
+  bool mean_fill;
+};
+
+class InferenceEquivalence
+    : public ::testing::TestWithParam<EquivalenceParams> {};
+
+TEST_P(InferenceEquivalence, EngineMatchesAutogradReference) {
+  const EquivalenceParams p = GetParam();
+  Fixture f;
+  SsinInterpolator ssin(TinyModel(p.packed_srpe), FastTraining(p.mean_fill));
+  ssin.Fit(f.data, f.observed_ids);
+
+  for (int t = 0; t < 6; ++t) {
+    const std::vector<double> reference = ssin.InterpolateTimestampAutograd(
+        f.data.Values(t), f.observed_ids, f.query_ids);
+    const std::vector<double> engine = ssin.InterpolateTimestamp(
+        f.data.Values(t), f.observed_ids, f.query_ids);
+    ASSERT_EQ(reference.size(), engine.size());
+    for (size_t q = 0; q < reference.size(); ++q) {
+      EXPECT_NEAR(engine[q], reference[q], 1e-12)
+          << "timestamp " << t << " query " << q;
+    }
+  }
+}
+
+TEST_P(InferenceEquivalence, BatchMatchesSerialAcrossThreadCounts) {
+  const EquivalenceParams p = GetParam();
+  Fixture f;
+  SsinInterpolator ssin(TinyModel(p.packed_srpe), FastTraining(p.mean_fill));
+  ssin.Fit(f.data, f.observed_ids);
+
+  std::vector<const std::vector<double>*> batch;
+  for (int t = 0; t < f.data.num_timestamps(); ++t) {
+    batch.push_back(&f.data.Values(t));
+  }
+  const std::vector<std::vector<double>> serial =
+      ssin.InterpolateBatch(batch, f.observed_ids, f.query_ids,
+                            /*num_threads=*/1);
+  const std::vector<std::vector<double>> parallel =
+      ssin.InterpolateBatch(batch, f.observed_ids, f.query_ids,
+                            /*num_threads=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    const std::vector<double> single = ssin.InterpolateTimestamp(
+        *batch[i], f.observed_ids, f.query_ids);
+    ASSERT_EQ(serial[i].size(), parallel[i].size());
+    ASSERT_EQ(serial[i].size(), single.size());
+    for (size_t q = 0; q < serial[i].size(); ++q) {
+      EXPECT_NEAR(parallel[i][q], serial[i][q], 1e-12);
+      EXPECT_NEAR(single[q], serial[i][q], 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SrpeLayoutsAndFillModes, InferenceEquivalence,
+    ::testing::Values(EquivalenceParams{true, true},
+                      EquivalenceParams{true, false},
+                      EquivalenceParams{false, true},
+                      EquivalenceParams{false, false}),
+    [](const ::testing::TestParamInfo<EquivalenceParams>& info) {
+      return std::string(info.param.packed_srpe ? "Packed" : "Dense") +
+             (info.param.mean_fill ? "MeanFill" : "ZeroFill");
+    });
+
+TEST(InferenceEquivalenceSape, SapeAblationAlsoMatches) {
+  Fixture f;
+  SpaFormerConfig config = TinyModel(/*packed_srpe=*/true);
+  config.position_mode = SpaFormerConfig::PositionMode::kSape;
+  SsinInterpolator ssin(config, FastTraining(/*mean_fill=*/true));
+  ssin.Fit(f.data, f.observed_ids);
+
+  const std::vector<double> reference = ssin.InterpolateTimestampAutograd(
+      f.data.Values(0), f.observed_ids, f.query_ids);
+  const std::vector<double> engine = ssin.InterpolateTimestamp(
+      f.data.Values(0), f.observed_ids, f.query_ids);
+  ASSERT_EQ(reference.size(), engine.size());
+  for (size_t q = 0; q < reference.size(); ++q) {
+    EXPECT_NEAR(engine[q], reference[q], 1e-12);
+  }
+}
+
+// ------------------------------------------------------- layout caching
+
+TEST(LayoutCacheBehavior, RepeatedStationSetHitsWithoutPlanRebuild) {
+  Fixture f;
+  SsinInterpolator ssin(TinyModel(/*packed_srpe=*/true),
+                        FastTraining(/*mean_fill=*/true));
+  ssin.Fit(f.data, f.observed_ids);
+  EXPECT_EQ(ssin.layout_cache().size(), 0u);
+
+  ssin.InterpolateTimestamp(f.data.Values(0), f.observed_ids, f.query_ids);
+  EXPECT_EQ(ssin.layout_cache().misses(), 1);
+  EXPECT_EQ(ssin.layout_cache().hits(), 0);
+  EXPECT_EQ(ssin.layout_cache().size(), 1u);
+
+  // Repeated timestamps with the same station set: the layout (plan,
+  // geometry, embedded SRPE) is served from the cache — no plan rebuild.
+  const int64_t plans_before = AttentionPlanBuildCount();
+  ssin.InterpolateTimestamp(f.data.Values(1), f.observed_ids, f.query_ids);
+  ssin.InterpolateTimestamp(f.data.Values(2), f.observed_ids, f.query_ids);
+  EXPECT_EQ(AttentionPlanBuildCount(), plans_before);
+  EXPECT_EQ(ssin.layout_cache().hits(), 2);
+  EXPECT_EQ(ssin.layout_cache().misses(), 1);
+
+  // A different station split is a different layout.
+  std::vector<int> fewer_observed(f.observed_ids.begin(),
+                                  f.observed_ids.end() - 1);
+  ssin.InterpolateTimestamp(f.data.Values(0), fewer_observed, f.query_ids);
+  EXPECT_EQ(ssin.layout_cache().misses(), 2);
+  EXPECT_EQ(ssin.layout_cache().size(), 2u);
+}
+
+TEST(LayoutCacheBehavior, WeightMutationsInvalidate) {
+  Fixture f;
+  SsinInterpolator ssin(TinyModel(/*packed_srpe=*/true),
+                        FastTraining(/*mean_fill=*/true));
+  ssin.Fit(f.data, f.observed_ids);
+  ssin.InterpolateTimestamp(f.data.Values(0), f.observed_ids, f.query_ids);
+  EXPECT_EQ(ssin.layout_cache().size(), 1u);
+
+  // Continued training rewrites the weights the cached SRPE was embedded
+  // with — the cache must drop it and rebuild on the next request.
+  ssin.ContinueTraining(f.data, f.observed_ids);
+  EXPECT_EQ(ssin.layout_cache().size(), 0u);
+  const std::vector<double> after_training = ssin.InterpolateTimestamp(
+      f.data.Values(0), f.observed_ids, f.query_ids);
+  const std::vector<double> reference = ssin.InterpolateTimestampAutograd(
+      f.data.Values(0), f.observed_ids, f.query_ids);
+  for (size_t q = 0; q < reference.size(); ++q) {
+    EXPECT_NEAR(after_training[q], reference[q], 1e-12);
+  }
+
+  // Parameter copy from another model likewise invalidates.
+  SsinInterpolator other(TinyModel(/*packed_srpe=*/true),
+                         FastTraining(/*mean_fill=*/true));
+  other.Fit(f.data, f.observed_ids);
+  ssin.CopyParametersFrom(other);
+  EXPECT_EQ(ssin.layout_cache().size(), 0u);
+  const std::vector<double> copied = ssin.InterpolateTimestamp(
+      f.data.Values(0), f.observed_ids, f.query_ids);
+  const std::vector<double> other_pred = other.InterpolateTimestamp(
+      f.data.Values(0), f.observed_ids, f.query_ids);
+  for (size_t q = 0; q < copied.size(); ++q) {
+    EXPECT_NEAR(copied[q], other_pred[q], 1e-12);
+  }
+}
+
+// ------------------------------------------------- workspace + validation
+
+TEST(InferenceWorkspaceTest, ArenaReusesSlotsAfterReset) {
+  InferenceWorkspace ws;
+  Tensor* a = ws.Acquire({4, 8});
+  Tensor* b = ws.Acquire({4, 8});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ws.num_slots(), 2u);
+
+  ws.Reset();
+  Tensor* a2 = ws.Acquire({4, 8});
+  Tensor* b2 = ws.Acquire({4, 8});
+  EXPECT_EQ(a, a2);  // Same storage handed out again.
+  EXPECT_EQ(b, b2);
+  EXPECT_EQ(ws.num_slots(), 2u);  // Steady state: no growth.
+
+  ws.Reset();
+  Tensor* c = ws.Acquire({2, 3});  // Shape change reshapes in place.
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(c->dim(0), 2);
+  EXPECT_EQ(c->dim(1), 3);
+}
+
+TEST(InferenceValidationDeath, RejectsMalformedIdLists) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Fixture f;
+  SsinInterpolator ssin(TinyModel(/*packed_srpe=*/true),
+                        FastTraining(/*mean_fill=*/true));
+  ssin.Fit(f.data, f.observed_ids);
+  const std::vector<double>& values = f.data.Values(0);
+
+  EXPECT_DEATH(ssin.InterpolateTimestamp(values, {0, 1, 9999}, {2}),
+               "outside station network");
+  EXPECT_DEATH(ssin.InterpolateTimestamp(values, {0, 1, -1}, {2}),
+               "outside station network");
+  EXPECT_DEATH(ssin.InterpolateTimestamp(values, {0, 1, 1}, {2}),
+               "duplicate observed id");
+  EXPECT_DEATH(ssin.InterpolateTimestamp(values, {0, 1, 2}, {2}),
+               "both observed and queried");
+  EXPECT_DEATH(ssin.InterpolateTimestamp(values, {0, 1, 2}, {3, 3}),
+               "queried twice");
+  EXPECT_DEATH(ssin.InterpolateTimestamp(values, {}, {2}),
+               "at least one observed");
+}
+
+}  // namespace
+}  // namespace ssin

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <set>
 
+#include "core/interpolation.h"
 #include "core/masking.h"
 
 namespace ssin {
@@ -115,6 +116,16 @@ TEST(DestandardizeTest, RoundTrip) {
   const double raw = 7.25;
   const double z = (raw - stats.mean) / stats.std;
   EXPECT_NEAR(Destandardize(z, stats), raw, 1e-12);
+}
+
+TEST(DestandardizeTest, NonNegativeClampAppliesOnlyWhenEnabled) {
+  // Interpolators clamp destandardized predictions of physically
+  // non-negative quantities (rainfall) at zero; signed quantities pass
+  // through untouched.
+  EXPECT_DOUBLE_EQ(ApplyNonNegative(-0.4, /*enabled=*/true), 0.0);
+  EXPECT_DOUBLE_EQ(ApplyNonNegative(-0.4, /*enabled=*/false), -0.4);
+  EXPECT_DOUBLE_EQ(ApplyNonNegative(1.7, /*enabled=*/true), 1.7);
+  EXPECT_DOUBLE_EQ(ApplyNonNegative(0.0, /*enabled=*/true), 0.0);
 }
 
 }  // namespace
