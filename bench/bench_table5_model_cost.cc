@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "common/json_writer.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
 
 int main() {
@@ -82,6 +83,12 @@ int main() {
   training.epochs = 2;
   SsinInterpolator ssin(SpaFormerConfig::Paper(), training);
   ssin.Fit(setup.data, setup.split.train_ids);
+
+  // Record serve-phase telemetry (latency histogram, cache counters,
+  // spans) for the timed section below; the snapshot is embedded in the
+  // JSON under "telemetry".
+  telemetry::SetEnabled(true);
+  telemetry::ResetAll();
 
   const int reps = Scaled(40);
   std::vector<const std::vector<double>*> batch;
@@ -165,9 +172,16 @@ int main() {
   json.Int(ssin.layout_cache().hits());
   json.Key("misses");
   json.Int(ssin.layout_cache().misses());
+  json.Key("evictions");
+  json.Int(ssin.layout_cache().evictions());
+  json.Key("invalidations");
+  json.Int(ssin.layout_cache().invalidations());
   json.Key("entries");
   json.Int(static_cast<int64_t>(ssin.layout_cache().size()));
   json.EndObject();
+
+  json.Key("telemetry");
+  telemetry::WriteSnapshotJson(&json);
   json.EndObject();
 
   std::printf("layout cache: %lld hits / %lld misses (%zu entries)\n",

@@ -7,6 +7,8 @@
 /// coordinate-only methods (TIN, TPS, OK) clearly behind, TIN/TPS worst.
 
 #include "bench/bench_util.h"
+#include "common/json_writer.h"
+#include "common/telemetry.h"
 
 int main() {
   using namespace ssin;
@@ -46,6 +48,10 @@ int main() {
   }
 
   std::printf("running SpaFormer...\n");
+  // Record the SpaFormer run's telemetry; the snapshot lands in
+  // BENCH_traffic.json under "telemetry".
+  telemetry::SetEnabled(true);
+  telemetry::ResetAll();
   TrainConfig training = ReducedTraining();
   training.epochs = std::max(2, Scaled(5));  // Longer sequences: fewer epochs.
   SsinInterpolator ssin(SpaFormerConfig::Paper(), training);
@@ -53,6 +59,49 @@ int main() {
 
   PrintResultsTable("Table 9: traffic interpolation (synthetic PEMS-BAY)",
                     {"speed"}, rows);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("bench_table9_traffic");
+  json.Key("num_sensors");
+  json.Int(data.num_stations());
+  json.Key("num_timestamps");
+  json.Int(data.num_timestamps());
+  json.Key("results");
+  json.BeginArray();
+  for (const auto& row : rows) {
+    for (const EvalResult& r : row) {
+      json.BeginObject();
+      json.Key("method");
+      json.String(r.method);
+      json.Key("rmse");
+      json.Number(r.metrics.rmse);
+      json.Key("mae");
+      json.Number(r.metrics.mae);
+      json.Key("nse");
+      json.Number(r.metrics.nse);
+      json.Key("fit_seconds");
+      json.Number(r.fit_seconds);
+      json.Key("interpolate_seconds");
+      json.Number(r.interpolate_seconds);
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.Key("telemetry");
+  telemetry::WriteSnapshotJson(&json);
+  json.EndObject();
+
+  const char* json_path = std::getenv("SSIN_BENCH_TRAFFIC_JSON");
+  const std::string out_path =
+      json_path != nullptr ? json_path : "BENCH_traffic.json";
+  if (WriteFile(out_path, json.str() + "\n")) {
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", out_path.c_str());
+  }
+  std::fflush(stdout);
 
   PrintPaperReference("Table 9 (PEMS-BAY)",
                       {{"TIN", {20.4678, 10.1869, -3.4126}},

@@ -1,0 +1,179 @@
+/// Measures the wall-clock cost of the telemetry layer: the same fixed
+/// training + serving workload runs with the telemetry runtime disabled
+/// and enabled, interleaved over several repetitions, and the reported
+/// overhead is the relative gap between the best-of runs. The design
+/// budget is <2% (src/common/telemetry.h); scripts/check_overhead.sh
+/// fails the build above 5%.
+///
+/// Flags:
+///   --smoke                tiny workload, no threshold — a ctest tier1
+///                          sanity check that both modes run and agree
+///                          bit-identically.
+///   --max-overhead-pct=P   exit 1 if measured overhead exceeds P percent.
+///
+/// Writes BENCH_telemetry_overhead.json (override the path with
+/// SSIN_BENCH_TELEMETRY_JSON).
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json_writer.h"
+#include "common/telemetry.h"
+#include "common/timer.h"
+
+namespace {
+
+using namespace ssin;
+using namespace ssin::bench;
+
+struct Workload {
+  int hours = 0;
+  int epochs = 0;
+  int serve_reps = 0;
+};
+
+/// One full train + serve pass; returns (seconds, flattened parameters).
+std::pair<double, std::vector<double>> RunOnce(const RainfallSetup& setup,
+                                               const Workload& workload,
+                                               bool telemetry_on) {
+  telemetry::SetEnabled(telemetry_on);
+  telemetry::ResetAll();
+
+  TrainConfig training = ReducedTraining();
+  training.epochs = workload.epochs;
+
+  Timer timer;
+  SsinInterpolator ssin(SpaFormerConfig::Paper(), training);
+  ssin.Fit(setup.data, setup.split.train_ids);
+  std::vector<const std::vector<double>*> batch;
+  batch.reserve(workload.serve_reps);
+  for (int r = 0; r < workload.serve_reps; ++r) {
+    batch.push_back(&setup.data.Values(r % setup.data.num_timestamps()));
+  }
+  ssin.InterpolateBatch(batch, setup.split.train_ids, setup.split.test_ids,
+                        /*num_threads=*/1);
+  const double seconds = timer.Seconds();
+
+  std::vector<double> flat;
+  for (Parameter* p : ssin.model()->Parameters()) {
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      flat.push_back(p->value[i]);
+    }
+  }
+  return {seconds, flat};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  double max_overhead_pct = -1.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--max-overhead-pct=", 19) == 0) {
+      max_overhead_pct = std::atof(argv[i] + 19);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  Banner("bench_telemetry_overhead",
+         "telemetry overhead budget (DESIGN.md, <2% design / <5% gate)");
+
+  Workload workload;
+  workload.hours = smoke ? 8 : Scaled(60);
+  workload.epochs = smoke ? 1 : 3;
+  workload.serve_reps = smoke ? 4 : Scaled(40);
+  const int reps = smoke ? 1 : 3;
+
+  RainfallSetup setup(HkRegionConfig(), workload.hours, /*data_seed=*/21);
+  if (!telemetry::CompiledIn()) {
+    std::printf("telemetry compiled out (SSIN_TELEMETRY=OFF): both modes "
+                "run the disabled path; overhead is 0 by construction.\n");
+  }
+
+  // Interleave OFF/ON runs so thermal / cache drift hits both equally;
+  // compare the best (least-noise) run of each mode.
+  double best_off = -1.0, best_on = -1.0;
+  std::vector<double> params_off, params_on;
+  for (int r = 0; r < reps; ++r) {
+    const auto [off_seconds, off_params] =
+        RunOnce(setup, workload, /*telemetry_on=*/false);
+    const auto [on_seconds, on_params] =
+        RunOnce(setup, workload, /*telemetry_on=*/true);
+    if (best_off < 0.0 || off_seconds < best_off) best_off = off_seconds;
+    if (best_on < 0.0 || on_seconds < best_on) best_on = on_seconds;
+    params_off = off_params;
+    params_on = on_params;
+    std::printf("rep %d: off %.3fs  on %.3fs\n", r + 1, off_seconds,
+                on_seconds);
+    std::fflush(stdout);
+  }
+  telemetry::SetEnabled(false);
+
+  // The determinism contract, re-checked here end to end: instrumentation
+  // must not change a single parameter bit.
+  if (params_off.size() != params_on.size()) {
+    std::printf("FAIL: parameter count differs between modes\n");
+    return 1;
+  }
+  for (size_t i = 0; i < params_off.size(); ++i) {
+    if (params_off[i] != params_on[i]) {
+      std::printf("FAIL: parameter scalar %zu differs with telemetry on\n",
+                  i);
+      return 1;
+    }
+  }
+
+  const double overhead_pct =
+      best_off > 0.0 ? (best_on - best_off) / best_off * 100.0 : 0.0;
+  std::printf("\nbest off %.3fs  best on %.3fs  overhead %+.2f%%\n",
+              best_off, best_on, overhead_pct);
+  std::printf("parameters bit-identical across modes: yes\n");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("telemetry_version");
+  json.Int(telemetry::kTelemetryVersion);
+  json.Key("bench");
+  json.String("bench_telemetry_overhead");
+  json.Key("smoke");
+  json.Bool(smoke);
+  json.Key("compiled_in");
+  json.Bool(telemetry::CompiledIn());
+  json.Key("reps");
+  json.Int(reps);
+  json.Key("epochs");
+  json.Int(workload.epochs);
+  json.Key("hours");
+  json.Int(workload.hours);
+  json.Key("best_off_seconds");
+  json.Number(best_off);
+  json.Key("best_on_seconds");
+  json.Number(best_on);
+  json.Key("overhead_pct");
+  json.Number(overhead_pct);
+  json.EndObject();
+
+  const char* json_path = std::getenv("SSIN_BENCH_TELEMETRY_JSON");
+  const std::string out_path =
+      json_path != nullptr ? json_path : "BENCH_telemetry_overhead.json";
+  if (WriteFile(out_path, json.str() + "\n")) {
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", out_path.c_str());
+  }
+  std::fflush(stdout);
+
+  if (max_overhead_pct >= 0.0 && overhead_pct > max_overhead_pct) {
+    std::printf("FAIL: overhead %.2f%% exceeds the %.2f%% budget\n",
+                overhead_pct, max_overhead_pct);
+    return 1;
+  }
+  return 0;
+}

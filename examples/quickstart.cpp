@@ -6,10 +6,11 @@
 ///   ./build/examples/quickstart
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/ssin_interpolator.h"
 #include "data/rainfall_generator.h"
-#include "eval/metrics.h"
+#include "eval/runner.h"
 
 int main() {
   using namespace ssin;
@@ -42,24 +43,24 @@ int main() {
   training.verbose = true;
 
   SsinInterpolator ssin(model, training);
+
+  // 4. Train, then interpolate every test gauge at every hour and score.
+  //    Setting SSIN_TELEMETRY_DIR (e.g. to ".") additionally writes
+  //    telemetry_train.json and telemetry_serve.json there — versioned
+  //    metric reports that load in chrome://tracing / Perfetto (see the
+  //    README "Profiling a run" section).
+  EvalOptions options;
+  if (const char* dir = std::getenv("SSIN_TELEMETRY_DIR")) {
+    options.telemetry = true;
+    options.telemetry_dir = dir;
+  }
   std::printf("training SpaFormer...\n");
-  ssin.Fit(data, split.train_ids);
+  const EvalResult result = EvaluateInterpolator(&ssin, data, split, options);
   std::printf("model has %lld parameters\n",
               static_cast<long long>(ssin.model()->ParameterCount()));
-
-  // 4. Interpolate every test gauge at every hour and score.
-  MetricsAccumulator acc;
-  for (int t = 0; t < data.num_timestamps(); ++t) {
-    std::vector<double> predictions = ssin.InterpolateTimestamp(
-        data.Values(t), split.train_ids, split.test_ids);
-    for (size_t q = 0; q < split.test_ids.size(); ++q) {
-      acc.Add(data.Value(t, split.test_ids[q]), predictions[q]);
-    }
-  }
-  const Metrics metrics = acc.Compute();
   std::printf("\nSpaFormer on held-out gauges:  RMSE %.4f  MAE %.4f  "
               "NSE %.4f\n",
-              metrics.rmse, metrics.mae, metrics.nse);
+              result.metrics.rmse, result.metrics.mae, result.metrics.nse);
 
   // 5. Spot-check one hour.
   const int hour = 0;

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Enforces the telemetry overhead budget: runs a fixed small training +
+# serving workload with the telemetry runtime off and on (interleaved
+# repetitions, best-of comparison) and fails if enabling telemetry costs
+# more than 5% wall clock. The design target is <2% (src/common/
+# telemetry.h); the 5% gate absorbs machine noise.
+#
+#   scripts/check_overhead.sh [build-dir] [max-overhead-pct]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+MAX_PCT="${2:-5}"
+
+cmake --build "$BUILD" -j --target bench_telemetry_overhead
+
+"$BUILD"/bench/bench_telemetry_overhead --max-overhead-pct="$MAX_PCT"
+
+echo "Telemetry overhead within the ${MAX_PCT}% budget."

@@ -5,8 +5,13 @@
 #    L=123, T=3, H=2, d_k=16) -> BENCH_attention.json
 #  * the model-cost bench (paper Table 5) with the serving-throughput
 #    section comparing the graph-free inference engine against the
-#    autograd forward -> BENCH_inference.json
-# Both JSON reports land in the repo root and are checked in.
+#    autograd forward -> BENCH_inference.json (includes an embedded
+#    "telemetry" snapshot of the serving phase)
+#  * the telemetry overhead bench -> BENCH_telemetry_overhead.json
+#  * a telemetry-instrumented evaluation pass -> telemetry_train.json and
+#    telemetry_serve.json (versioned metric reports that are also Chrome
+#    trace_event files — load them in chrome://tracing or Perfetto)
+# All JSON reports land in the repo root and are checked in.
 #
 #   scripts/run_bench.sh [build-dir] [extra benchmark flags...]
 #
@@ -19,7 +24,8 @@ BUILD=${1:-build}
 shift || true
 
 cmake --build "$BUILD" -j --target bench_fig7_attention_kernel \
-  --target bench_table5_model_cost
+  --target bench_table5_model_cost --target bench_telemetry_overhead \
+  --target quickstart
 
 "$BUILD"/bench/bench_fig7_attention_kernel \
   --benchmark_out=BENCH_attention.json \
@@ -33,3 +39,15 @@ SSIN_BENCH_INFERENCE_JSON=BENCH_inference.json \
   "$BUILD"/bench/bench_table5_model_cost
 
 echo "Wrote BENCH_inference.json"
+
+SSIN_BENCH_TELEMETRY_JSON=BENCH_telemetry_overhead.json \
+  "$BUILD"/bench/bench_telemetry_overhead
+
+echo "Wrote BENCH_telemetry_overhead.json"
+
+# Telemetry reports from an instrumented end-to-end run (the quickstart
+# example runs EvaluateInterpolator with EvalOptions::telemetry on when
+# SSIN_TELEMETRY_DIR is set).
+SSIN_TELEMETRY_DIR=. "$BUILD"/examples/quickstart >/dev/null
+
+echo "Wrote telemetry_train.json and telemetry_serve.json"

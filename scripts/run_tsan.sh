@@ -13,10 +13,13 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "${BUILD_DIR}" -S . -DSSIN_THREAD_SANITIZER=ON
 cmake --build "${BUILD_DIR}" -j --target thread_pool_test \
   parallel_equivalence_test packed_srpe_equivalence_test \
-  inference_equivalence_test
+  inference_equivalence_test telemetry_test
 
 echo "== thread_pool_test (TSan) =="
 "${BUILD_DIR}/tests/thread_pool_test"
+
+echo "== telemetry_test (TSan) =="
+"${BUILD_DIR}/tests/telemetry_test"
 
 echo "== parallel_equivalence_test (TSan) =="
 "${BUILD_DIR}/tests/parallel_equivalence_test"

@@ -1,0 +1,593 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "common/json_writer.h"
+
+namespace ssin {
+namespace telemetry {
+
+namespace {
+
+/// Default fixed bucket bounds: the 1-2-5 series over 1e-9 .. 1e9.
+std::vector<double> DefaultBounds() {
+  std::vector<double> bounds;
+  for (int exp = -9; exp <= 9; ++exp) {
+    const double decade = std::pow(10.0, exp);
+    for (double m : {1.0, 2.0, 5.0}) bounds.push_back(m * decade);
+  }
+  return bounds;
+}
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+#ifndef SSIN_TELEMETRY_DISABLED
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+#endif
+
+int64_t NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point anchor = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              anchor)
+      .count();
+}
+
+int ThreadShardIndex() {
+  static std::atomic<int> next{0};
+  thread_local const int index =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return index;
+}
+
+// ---------------------------------------------------------------------------
+// Counter.
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+
+Histogram::Histogram(std::string name, const HistogramOptions& options)
+    : name_(std::move(name)),
+      bounds_(options.bucket_bounds.empty() ? DefaultBounds()
+                                            : options.bucket_bounds),
+      reservoir_capacity_(std::max<size_t>(1, options.reservoir_capacity)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    SSIN_CHECK_LT(bounds_[i - 1], bounds_[i])
+        << "histogram bucket bounds must be strictly ascending";
+  }
+  shards_.reserve(kShards);
+  for (int s = 0; s < kShards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->buckets.assign(bounds_.size() + 1, 0);
+    shard->rng = 0x5851f42d4c957f2dull ^ static_cast<uint64_t>(s);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void Histogram::Observe(double value) {
+  Shard& shard = *shards_[ThreadShardIndex()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.count;
+  shard.sum += value;
+  shard.min = std::min(shard.min, value);
+  shard.max = std::max(shard.max, value);
+  // Inclusive upper bounds (Prometheus "le" semantics): value lands in the
+  // first bucket whose bound is >= value.
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  ++shard.buckets[bucket];
+  if (shard.reservoir.size() < reservoir_capacity_) {
+    shard.reservoir.push_back(value);
+  } else {
+    // Algorithm R: keep a uniform subsample once the reservoir is full.
+    const uint64_t slot =
+        SplitMix64(&shard.rng) % static_cast<uint64_t>(shard.count);
+    if (slot < reservoir_capacity_) {
+      shard.reservoir[static_cast<size_t>(slot)] = value;
+    }
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.name = name_;
+  snap.bucket_bounds = bounds_;
+  snap.bucket_counts.assign(bounds_.size() + 1, 0);
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    snap.count += shard.count;
+    snap.sum += shard.sum;
+    snap.min = std::min(snap.min, shard.min);
+    snap.max = std::max(snap.max, shard.max);
+    for (size_t b = 0; b < shard.buckets.size(); ++b) {
+      snap.bucket_counts[b] += shard.buckets[b];
+    }
+    snap.samples.insert(snap.samples.end(), shard.reservoir.begin(),
+                        shard.reservoir.end());
+  }
+  std::sort(snap.samples.begin(), snap.samples.end());
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.count = 0;
+    shard.sum = 0.0;
+    shard.min = std::numeric_limits<double>::infinity();
+    shard.max = -std::numeric_limits<double>::infinity();
+    std::fill(shard.buckets.begin(), shard.buckets.end(), 0);
+    shard.reservoir.clear();
+  }
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (samples.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double position = q * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(position);
+  if (lo + 1 >= samples.size()) return samples.back();
+  const double fraction = position - static_cast<double>(lo);
+  return samples[lo] + fraction * (samples[lo + 1] - samples[lo]);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry.
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Leaked.
+  return *registry;
+}
+
+namespace {
+
+template <typename T, typename Make>
+T* FindOrInsert(std::vector<std::unique_ptr<T>>* items,
+                const std::string& name, const Make& make) {
+  auto it = std::lower_bound(
+      items->begin(), items->end(), name,
+      [](const std::unique_ptr<T>& m, const std::string& n) {
+        return m->name() < n;
+      });
+  if (it != items->end() && (*it)->name() == name) return it->get();
+  return items->insert(it, make())->get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrInsert(&counters_, name, [&] {
+    return std::unique_ptr<Counter>(new Counter(name));
+  });
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrInsert(&gauges_, name, [&] {
+    return std::unique_ptr<Gauge>(new Gauge(name));
+  });
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrInsert(&histograms_, name, [&] {
+    return std::unique_ptr<Histogram>(new Histogram(name, options));
+  });
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& c : counters_) snap.counters.emplace_back(c->name(),
+                                                             c->Value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& g : gauges_) snap.gauges.emplace_back(g->name(),
+                                                         g->Value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& h : histograms_) snap.histograms.push_back(h->Snapshot());
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : counters_) {
+    for (Counter::Shard& shard : c->shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (const auto& g : gauges_) g->Set(0.0);
+  for (const auto& h : histograms_) h->Reset();
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder.
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // Leaked.
+  return *recorder;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  if (buffer == nullptr) {
+    buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer->tid = static_cast<int>(buffers_.size());
+    buffers_.push_back(buffer);
+  }
+  return buffer.get();
+}
+
+void TraceRecorder::Record(const char* name, int64_t begin_ns, int64_t end_ns,
+                           int depth) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  const SpanEvent event{name, begin_ns, end_ns, depth};
+  if (buffer->ring.size() < kRingCapacity) {
+    buffer->ring.push_back(event);
+  } else {
+    buffer->ring[static_cast<size_t>(buffer->total % kRingCapacity)] = event;
+  }
+  ++buffer->total;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->ring.clear();
+    buffer->total = 0;
+  }
+}
+
+std::vector<ThreadTrace> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ThreadTrace> traces;
+  traces.reserve(buffers_.size());
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    ThreadTrace trace;
+    trace.tid = buffer->tid;
+    trace.total_recorded = buffer->total;
+    if (buffer->total <= static_cast<int64_t>(kRingCapacity)) {
+      trace.events = buffer->ring;
+    } else {
+      // Wrapped: oldest retained event sits at total % capacity.
+      const size_t head = static_cast<size_t>(buffer->total % kRingCapacity);
+      trace.events.reserve(kRingCapacity);
+      trace.events.insert(trace.events.end(), buffer->ring.begin() + head,
+                          buffer->ring.end());
+      trace.events.insert(trace.events.end(), buffer->ring.begin(),
+                          buffer->ring.begin() + head);
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+int64_t TraceRecorder::TotalDropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    dropped += std::max<int64_t>(
+        0, buffer->total - static_cast<int64_t>(buffer->ring.size()));
+  }
+  return dropped;
+}
+
+#ifndef SSIN_TELEMETRY_DISABLED
+namespace internal {
+namespace {
+thread_local int t_span_depth = 0;
+}  // namespace
+
+int EnterSpan() { return ++t_span_depth; }
+void ExitSpan() { --t_span_depth; }
+}  // namespace internal
+#endif
+
+// ---------------------------------------------------------------------------
+// Export.
+
+namespace {
+
+/// Flat per-name span aggregate over the retained events.
+struct SpanAggregate {
+  int64_t count = 0;
+  int64_t total_ns = 0;
+};
+
+std::map<std::string, SpanAggregate> AggregateSpans(
+    const std::vector<ThreadTrace>& traces) {
+  std::map<std::string, SpanAggregate> by_name;
+  for (const ThreadTrace& trace : traces) {
+    for (const SpanEvent& event : trace.events) {
+      SpanAggregate& agg = by_name[event.name];
+      ++agg.count;
+      agg.total_ns += event.end_ns - event.begin_ns;
+    }
+  }
+  return by_name;
+}
+
+void WriteHistogramJson(JsonWriter* w, const HistogramSnapshot& h) {
+  w->BeginObject();
+  w->Key("count");
+  w->Int(h.count);
+  w->Key("sum");
+  w->Number(h.sum);
+  w->Key("min");
+  w->Number(h.count > 0 ? h.min : 0.0);
+  w->Key("max");
+  w->Number(h.count > 0 ? h.max : 0.0);
+  w->Key("mean");
+  w->Number(h.mean());
+  w->Key("p50");
+  w->Number(h.Quantile(0.50));
+  w->Key("p90");
+  w->Number(h.Quantile(0.90));
+  w->Key("p99");
+  w->Number(h.Quantile(0.99));
+  // Only occupied buckets: the default bound series has ~58 buckets and
+  // most metrics touch a handful. `le: null` is the +inf overflow bucket
+  // (JsonWriter renders non-finite numbers as null by contract).
+  w->Key("buckets");
+  w->BeginArray();
+  for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+    if (h.bucket_counts[b] == 0) continue;
+    w->BeginObject();
+    w->Key("le");
+    w->Number(b < h.bucket_bounds.size()
+                  ? h.bucket_bounds[b]
+                  : std::numeric_limits<double>::infinity());
+    w->Key("count");
+    w->Int(h.bucket_counts[b]);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+void WriteSnapshotMembers(JsonWriter* w, const MetricsSnapshot& metrics,
+                          const std::vector<ThreadTrace>& traces) {
+  w->Key("counters");
+  w->BeginObject();
+  for (const auto& [name, value] : metrics.counters) {
+    w->Key(name);
+    w->Int(value);
+  }
+  w->EndObject();
+
+  w->Key("gauges");
+  w->BeginObject();
+  for (const auto& [name, value] : metrics.gauges) {
+    w->Key(name);
+    w->Number(value);
+  }
+  w->EndObject();
+
+  w->Key("histograms");
+  w->BeginObject();
+  for (const HistogramSnapshot& h : metrics.histograms) {
+    w->Key(h.name);
+    WriteHistogramJson(w, h);
+  }
+  w->EndObject();
+
+  w->Key("spans");
+  w->BeginObject();
+  for (const auto& [name, agg] : AggregateSpans(traces)) {
+    w->Key(name);
+    w->BeginObject();
+    w->Key("count");
+    w->Int(agg.count);
+    w->Key("total_ms");
+    w->Number(static_cast<double>(agg.total_ns) / 1e6);
+    w->EndObject();
+  }
+  w->EndObject();
+}
+
+void WriteTraceEvents(JsonWriter* w, const std::vector<ThreadTrace>& traces) {
+  w->Key("traceEvents");
+  w->BeginArray();
+  for (const ThreadTrace& trace : traces) {
+    for (const SpanEvent& event : trace.events) {
+      w->BeginObject();
+      w->Key("name");
+      w->String(event.name);
+      w->Key("cat");
+      w->String("ssin");
+      w->Key("ph");
+      w->String("X");
+      w->Key("ts");
+      w->Number(static_cast<double>(event.begin_ns) / 1e3);  // microseconds
+      w->Key("dur");
+      w->Number(static_cast<double>(event.end_ns - event.begin_ns) / 1e3);
+      w->Key("pid");
+      w->Int(0);
+      w->Key("tid");
+      w->Int(trace.tid);
+      w->EndObject();
+    }
+  }
+  w->EndArray();
+}
+
+}  // namespace
+
+void MetricsSnapshot::WriteJson(JsonWriter* writer) const {
+  WriteSnapshotMembers(writer, *this, {});
+}
+
+void WriteSnapshotJson(JsonWriter* writer) {
+  const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
+  const std::vector<ThreadTrace> traces = TraceRecorder::Global().Snapshot();
+  writer->BeginObject();
+  writer->Key("telemetry_version");
+  writer->Int(kTelemetryVersion);
+  WriteSnapshotMembers(writer, metrics, traces);
+  writer->EndObject();
+}
+
+std::string ReportJson(const std::string& kind) {
+  const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
+  const std::vector<ThreadTrace> traces = TraceRecorder::Global().Snapshot();
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("telemetry_version");
+  w.Int(kTelemetryVersion);
+  w.Key("kind");
+  w.String(kind);
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  WriteSnapshotMembers(&w, metrics, traces);
+  w.Key("spans_dropped");
+  w.Int(TraceRecorder::Global().TotalDropped());
+  WriteTraceEvents(&w, traces);
+  w.EndObject();
+  return w.str();
+}
+
+bool WriteReport(const std::string& kind, const std::string& path) {
+  return WriteFile(path, ReportJson(kind) + "\n");
+}
+
+namespace {
+
+/// Aggregated call-tree node for the hierarchy breakdown.
+struct TreeNode {
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  std::map<std::string, TreeNode> children;
+};
+
+void BuildTree(const ThreadTrace& trace, TreeNode* root) {
+  // Events are recorded at span *end*, so parents follow their children in
+  // the buffer. Re-derive nesting from timestamps: sort by (begin asc,
+  // end desc) so a parent precedes everything it contains, then walk with
+  // a containment stack.
+  std::vector<const SpanEvent*> ordered;
+  ordered.reserve(trace.events.size());
+  for (const SpanEvent& event : trace.events) ordered.push_back(&event);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const SpanEvent* a, const SpanEvent* b) {
+                     if (a->begin_ns != b->begin_ns) {
+                       return a->begin_ns < b->begin_ns;
+                     }
+                     return a->end_ns > b->end_ns;
+                   });
+
+  struct Open {
+    int64_t end_ns;
+    TreeNode* node;
+  };
+  std::vector<Open> stack;
+  for (const SpanEvent* event : ordered) {
+    while (!stack.empty() && event->begin_ns >= stack.back().end_ns) {
+      stack.pop_back();
+    }
+    TreeNode* parent = stack.empty() ? root : stack.back().node;
+    TreeNode& node = parent->children[event->name];
+    ++node.count;
+    node.total_ns += event->end_ns - event->begin_ns;
+    stack.push_back({event->end_ns, &node});
+  }
+}
+
+void PrintTree(const TreeNode& node, int indent, int64_t parent_ns,
+               std::string* out) {
+  // Siblings ordered by total time, descending.
+  std::vector<std::pair<std::string, const TreeNode*>> ordered;
+  ordered.reserve(node.children.size());
+  for (const auto& [name, child] : node.children) {
+    ordered.emplace_back(name, &child);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              return a.second->total_ns > b.second->total_ns;
+            });
+  for (const auto& [name, child] : ordered) {
+    char line[256];
+    const double total_ms = static_cast<double>(child->total_ns) / 1e6;
+    const std::string label(static_cast<size_t>(indent) * 2, ' ');
+    if (parent_ns > 0) {
+      std::snprintf(line, sizeof(line), "%-40s %10lld x %12.3f ms  %5.1f%%\n",
+                    (label + name).c_str(),
+                    static_cast<long long>(child->count), total_ms,
+                    100.0 * static_cast<double>(child->total_ns) /
+                        static_cast<double>(parent_ns));
+    } else {
+      std::snprintf(line, sizeof(line), "%-40s %10lld x %12.3f ms\n",
+                    (label + name).c_str(),
+                    static_cast<long long>(child->count), total_ms);
+    }
+    *out += line;
+    PrintTree(*child, indent + 1, child->total_ns, out);
+  }
+}
+
+}  // namespace
+
+std::string HierarchyText() {
+  const std::vector<ThreadTrace> traces = TraceRecorder::Global().Snapshot();
+  TreeNode root;
+  for (const ThreadTrace& trace : traces) BuildTree(trace, &root);
+  std::string out;
+  if (root.children.empty()) {
+    out = "(no spans recorded)\n";
+    return out;
+  }
+  out += "span hierarchy (aggregated over threads; counts x total time,"
+         " % of parent)\n";
+  PrintTree(root, 0, 0, &out);
+  const int64_t dropped = TraceRecorder::Global().TotalDropped();
+  if (dropped > 0) {
+    char line[96];
+    std::snprintf(line, sizeof(line),
+                  "(+ %lld older spans dropped by ring wrap-around)\n",
+                  static_cast<long long>(dropped));
+    out += line;
+  }
+  return out;
+}
+
+void ResetAll() {
+  MetricsRegistry::Global().Reset();
+  TraceRecorder::Global().Clear();
+}
+
+}  // namespace telemetry
+}  // namespace ssin

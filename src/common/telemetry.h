@@ -1,0 +1,376 @@
+#ifndef SSIN_COMMON_TELEMETRY_H_
+#define SSIN_COMMON_TELEMETRY_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Process-wide telemetry: a metrics registry (counters, gauges,
+/// histograms) plus scoped trace spans, shared by the trainer, the thread
+/// pool, the inference engine and the evaluation runner.
+///
+/// Design constraints, in order:
+///  1. *Never* perturb numerics — instrumentation only reads program state,
+///     so every equivalence test passes bit-identically with telemetry on.
+///  2. Cheap enough to leave on (<2% wall-clock budget, enforced by
+///     scripts/check_overhead.sh at <5%): counters are lock-free relaxed
+///     atomics striped over per-thread shards, spans cost two clock reads
+///     plus one uncontended per-thread mutex, and everything expensive
+///     (aggregation, JSON export) happens at snapshot time.
+///  3. Compile-out path: configuring with -DSSIN_TELEMETRY=OFF defines
+///     SSIN_TELEMETRY_DISABLED, which turns SSIN_TRACE_SPAN into a no-op
+///     and pins Enabled() to a constexpr false so Enabled()-guarded probes
+///     dead-code-eliminate. The registry classes themselves stay compiled:
+///     components (e.g. the serving LayoutCache) use Counter as their
+///     always-on statistics API, and the report writers must keep working
+///     in disabled builds (they then export metrics with no spans).
+///
+/// Runtime model: recording is gated by a single process-wide flag
+/// (SetEnabled). TrainConfig::telemetry and EvalOptions::telemetry switch
+/// it on for their runs; enabling is sticky until SetEnabled(false).
+/// Counters and gauges record regardless of the flag — they are plain
+/// statistics, not timing probes — while spans and the Enabled()-guarded
+/// timing probes stay silent when the flag is off.
+
+namespace ssin {
+
+class JsonWriter;  // common/json_writer.h
+
+namespace telemetry {
+
+// ---------------------------------------------------------------------------
+// Enable switches.
+
+#ifdef SSIN_TELEMETRY_DISABLED
+/// Whether the telemetry instrumentation was compiled in.
+constexpr bool CompiledIn() { return false; }
+/// Disabled builds pin the runtime flag to false so guarded probes fold.
+constexpr bool Enabled() { return false; }
+inline void SetEnabled(bool) {}
+#else
+constexpr bool CompiledIn() { return true; }
+/// Whether span/timing recording is currently on (relaxed atomic load).
+bool Enabled();
+void SetEnabled(bool on);
+#endif
+
+/// Monotonic nanoseconds since an arbitrary process-start anchor. All span
+/// timestamps share this clock.
+int64_t NowNs();
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+/// Number of shards each counter/histogram stripes its state over. Threads
+/// map to shards by a sticky per-thread index, so with up to kShards
+/// concurrent threads the fast path is contention-free.
+constexpr int kShards = 16;
+
+/// Sticky shard index of the calling thread, in [0, kShards).
+int ThreadShardIndex();
+
+/// Monotonic event counter. Add() is lock-free (one relaxed fetch_add on
+/// this thread's shard); Value() sums the shards.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    shards_[ThreadShardIndex()].value.fetch_add(delta,
+                                                std::memory_order_relaxed);
+  }
+  int64_t Value() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  std::string name_;
+  Shard shards_[kShards];
+};
+
+/// Last-write-wins scalar. Set/Value are lock-free (the double travels as
+/// its bit pattern through one atomic word).
+class Gauge {
+ public:
+  void Set(double value) {
+    bits_.store(std::bit_cast<uint64_t>(value), std::memory_order_relaxed);
+  }
+  double Value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<uint64_t> bits_{0};  // 0 bits == 0.0.
+};
+
+struct HistogramOptions {
+  /// Ascending fixed bucket upper bounds; an implicit +inf overflow bucket
+  /// is appended. Empty selects the default 1-2-5 log series spanning
+  /// 1e-9 .. 1e9 (fits nanosecond-to-second latencies and typical scalar
+  /// statistics alike).
+  std::vector<double> bucket_bounds;
+  /// Per-shard streaming-quantile reservoir size. Quantiles are *exact*
+  /// while every shard has seen at most this many samples; beyond that the
+  /// shard switches to uniform reservoir subsampling (deterministic
+  /// per-shard splitmix64 stream) and quantiles become estimates.
+  size_t reservoir_capacity = 4096;
+};
+
+/// Aggregated view of one histogram at snapshot time.
+struct HistogramSnapshot {
+  std::string name;
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::vector<double> bucket_bounds;   ///< Upper bounds, +inf excluded.
+  std::vector<int64_t> bucket_counts;  ///< bucket_bounds.size() + 1 entries.
+  std::vector<double> samples;         ///< Merged reservoirs, sorted.
+
+  double mean() const { return count > 0 ? sum / count : 0.0; }
+  /// Linear-interpolated quantile of the retained samples, q in [0, 1].
+  /// Exact (equals the same formula applied to all observations) while no
+  /// shard overflowed its reservoir.
+  double Quantile(double q) const;
+};
+
+/// Fixed-bucket + streaming-quantile histogram. Observe() takes one
+/// uncontended per-shard mutex (threads own distinct shards up to kShards);
+/// Snapshot() merges the shards.
+class Histogram {
+ public:
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, const HistogramOptions& options);
+
+  struct Shard {
+    mutable std::mutex mu;
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    std::vector<int64_t> buckets;
+    std::vector<double> reservoir;
+    uint64_t rng = 0;  ///< splitmix64 state for reservoir replacement.
+  };
+
+  std::string name_;
+  std::vector<double> bounds_;
+  size_t reservoir_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Point-in-time aggregate of every registered metric, ordered by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Writes "counters"/"gauges"/"histograms" members into the writer's
+  /// currently open JSON object.
+  void WriteJson(JsonWriter* writer) const;
+};
+
+/// Process-wide, thread-safe metric registry. Get* registers on first use
+/// (mutex-guarded cold path) and returns a stable pointer — callers cache
+/// it and hit only the metric's own lock-free/sharded fast path afterwards.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (leaked singleton: safe to use from static
+  /// destructors and detached threads).
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          const HistogramOptions& options = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (registrations and cached pointers
+  /// stay valid). Concurrent Add()s may land before or after the zeroing.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  // Deterministically ordered so snapshots/exports are stable.
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shorthands for the global registry.
+inline Counter* GetCounter(const std::string& name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+inline Gauge* GetGauge(const std::string& name) {
+  return MetricsRegistry::Global().GetGauge(name);
+}
+inline Histogram* GetHistogram(const std::string& name,
+                               const HistogramOptions& options = {}) {
+  return MetricsRegistry::Global().GetHistogram(name, options);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans.
+
+/// One completed span. `name` must be a string literal (events store the
+/// pointer, never a copy).
+struct SpanEvent {
+  const char* name = nullptr;
+  int64_t begin_ns = 0;
+  int64_t end_ns = 0;
+  int depth = 0;  ///< Nesting depth on the recording thread (1 = root).
+};
+
+/// All spans retained for one thread, oldest first.
+struct ThreadTrace {
+  int tid = 0;
+  std::vector<SpanEvent> events;
+  int64_t total_recorded = 0;  ///< Including events the ring overwrote.
+};
+
+/// Collects spans into per-thread ring buffers. Each thread writes its own
+/// buffer under a dedicated (hence uncontended) mutex; the same mutex makes
+/// Snapshot() safe while other threads keep recording. The ring keeps the
+/// most recent kRingCapacity spans per thread — metrics are the complete
+/// record, the trace is a window.
+class TraceRecorder {
+ public:
+  static constexpr size_t kRingCapacity = 1 << 15;
+
+  static TraceRecorder& Global();
+
+  /// Appends a completed span for the calling thread.
+  void Record(const char* name, int64_t begin_ns, int64_t end_ns, int depth);
+
+  /// Drops all retained spans (threads stay registered).
+  void Clear();
+
+  /// Copies every thread's retained spans, in ring (time) order.
+  std::vector<ThreadTrace> Snapshot() const;
+
+  /// Spans overwritten by ring wrap-around, summed over threads.
+  int64_t TotalDropped() const;
+
+ private:
+  TraceRecorder() = default;
+
+  struct ThreadBuffer {
+    std::mutex mu;
+    int tid = 0;
+    std::vector<SpanEvent> ring;  ///< Grows to kRingCapacity, then wraps.
+    int64_t total = 0;
+  };
+
+  ThreadBuffer* BufferForThisThread();
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+#ifndef SSIN_TELEMETRY_DISABLED
+
+namespace internal {
+/// Current span nesting depth of this thread; Enter returns the new depth.
+int EnterSpan();
+void ExitSpan();
+}  // namespace internal
+
+/// RAII span: records [construction, destruction) into the trace recorder
+/// when telemetry is enabled. The enabled check is latched at construction
+/// so a mid-span toggle cannot produce an unbalanced event.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (!Enabled()) return;
+    name_ = name;
+    depth_ = internal::EnterSpan();
+    begin_ns_ = NowNs();
+  }
+  ~ScopedSpan() {
+    if (name_ == nullptr) return;
+    const int64_t end_ns = NowNs();
+    TraceRecorder::Global().Record(name_, begin_ns_, end_ns, depth_);
+    internal::ExitSpan();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  int64_t begin_ns_ = 0;
+  int depth_ = 0;
+};
+
+#define SSIN_TELEMETRY_CONCAT_INNER(a, b) a##b
+#define SSIN_TELEMETRY_CONCAT(a, b) SSIN_TELEMETRY_CONCAT_INNER(a, b)
+/// Scoped trace span: SSIN_TRACE_SPAN("train.epoch"); the argument must be
+/// a string literal. Compiles to nothing under -DSSIN_TELEMETRY=OFF.
+#define SSIN_TRACE_SPAN(name)                                        \
+  ::ssin::telemetry::ScopedSpan SSIN_TELEMETRY_CONCAT(ssin_trace_span_, \
+                                                      __LINE__)(name)
+
+#else  // SSIN_TELEMETRY_DISABLED
+
+#define SSIN_TRACE_SPAN(name) static_cast<void>(0)
+
+#endif  // SSIN_TELEMETRY_DISABLED
+
+// ---------------------------------------------------------------------------
+// Export / reports.
+
+/// Schema version stamped into every telemetry JSON document.
+constexpr int kTelemetryVersion = 1;
+
+/// Writes a versioned snapshot object — {"telemetry_version": 1, counters,
+/// gauges, histograms, spans} — as the *value* following an open Key().
+/// Used by the benches to embed telemetry into their BENCH_*.json files.
+void WriteSnapshotJson(JsonWriter* writer);
+
+/// Complete telemetry report: the snapshot above plus the Chrome
+/// trace_event list ("traceEvents", loadable in chrome://tracing and
+/// Perfetto — extra top-level keys are ignored by both) and a "kind" tag
+/// ("train"/"serve"). Returns the JSON document.
+std::string ReportJson(const std::string& kind);
+
+/// Writes ReportJson(kind) to `path`. Returns false on IO failure.
+bool WriteReport(const std::string& kind, const std::string& path);
+
+/// Human-readable hierarchical time breakdown of the retained spans:
+/// children nested under the spans that contained them (by timestamp),
+/// aggregated across threads, siblings ordered by total time, with
+/// per-node count / total / share-of-parent.
+std::string HierarchyText();
+
+/// Resets the global registry and clears the trace recorder — the benches
+/// and RunEvaluation call this between the train and serve phases so each
+/// report covers exactly one phase.
+void ResetAll();
+
+}  // namespace telemetry
+}  // namespace ssin
+
+#endif  // SSIN_COMMON_TELEMETRY_H_

@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace ssin {
 
@@ -12,6 +13,33 @@ namespace {
 // any pool detect it and degrade to an inline serial loop instead of
 // waiting on a queue their own worker is blocking.
 thread_local bool t_inside_pool_task = false;
+
+// Pool telemetry, aggregated across every pool in the process. The
+// queue-wait and busy probes only fire for tasks whose enqueue stamped a
+// timestamp (telemetry enabled), so a disabled run never reads the clock.
+telemetry::Counter* TasksRunCounter() {
+  static telemetry::Counter* counter =
+      telemetry::GetCounter("thread_pool.tasks_run");
+  return counter;
+}
+
+telemetry::Counter* BusyNsCounter() {
+  static telemetry::Counter* counter =
+      telemetry::GetCounter("thread_pool.busy_ns");
+  return counter;
+}
+
+telemetry::Counter* WorkerNsCounter() {
+  static telemetry::Counter* counter =
+      telemetry::GetCounter("thread_pool.worker_ns");
+  return counter;
+}
+
+telemetry::Histogram* QueueWaitHistogram() {
+  static telemetry::Histogram* histogram =
+      telemetry::GetHistogram("thread_pool.queue_wait_us");
+  return histogram;
+}
 
 }  // namespace
 
@@ -53,18 +81,35 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop() {
+  const int64_t worker_start_ns = telemetry::NowNs();
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained.
+      if (queue_.empty()) break;  // stopping_ and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const bool instrumented = task.enqueue_ns >= 0;
+    int64_t run_start_ns = 0;
+    if (instrumented) {
+      run_start_ns = telemetry::NowNs();
+      QueueWaitHistogram()->Observe(
+          static_cast<double>(run_start_ns - task.enqueue_ns) / 1e3);
+    }
     t_inside_pool_task = true;
-    task();
+    task.fn();
     t_inside_pool_task = false;
+    if (instrumented) {
+      TasksRunCounter()->Add(1);
+      BusyNsCounter()->Add(telemetry::NowNs() - run_start_ns);
+    }
+  }
+  if (telemetry::Enabled()) {
+    // Per-worker busy fraction = busy_ns / worker_ns, aggregated over all
+    // workers of all pools (each worker contributes its lifetime here).
+    WorkerNsCounter()->Add(telemetry::NowNs() - worker_start_ns);
   }
 }
 
@@ -113,10 +158,13 @@ void ThreadPool::ParallelFor(int64_t n,
   }
 
   state.pending = state.chunks;
+  const int64_t enqueue_ns =
+      telemetry::Enabled() ? telemetry::NowNs() : -1;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     for (int chunk = 1; chunk < state.chunks; ++chunk) {
-      queue_.push_back([&state, chunk] { RunChunk(&state, chunk); });
+      queue_.push_back(
+          Task{[&state, chunk] { RunChunk(&state, chunk); }, enqueue_ns});
     }
   }
   queue_cv_.notify_all();

@@ -48,6 +48,14 @@ class ThreadPool {
  private:
   struct ForState;
 
+  /// A queued work item. `enqueue_ns` is the telemetry enqueue timestamp
+  /// (-1 when telemetry was disabled at enqueue time, which skips the
+  /// queue-wait/busy-time probes for this task).
+  struct Task {
+    std::function<void()> fn;
+    int64_t enqueue_ns = -1;
+  };
+
   void WorkerLoop();
   static void RunChunk(ForState* state, int chunk);
 
@@ -56,7 +64,7 @@ class ThreadPool {
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   bool stopping_ = false;
 };
 

@@ -2,10 +2,38 @@
 
 #include <utility>
 
+#include "common/telemetry.h"
 #include "core/spaformer.h"
 #include "core/spatial_context.h"
 
 namespace ssin {
+
+namespace {
+
+// Process-wide aggregates across every LayoutCache instance; the
+// per-instance atomics back the hits()/misses() accessors.
+telemetry::Counter* CacheCounter(const char* which) {
+  return telemetry::GetCounter(std::string("serve.layout_cache.") + which);
+}
+
+telemetry::Counter* HitsCounter() {
+  static telemetry::Counter* counter = CacheCounter("hits");
+  return counter;
+}
+telemetry::Counter* MissesCounter() {
+  static telemetry::Counter* counter = CacheCounter("misses");
+  return counter;
+}
+telemetry::Counter* EvictionsCounter() {
+  static telemetry::Counter* counter = CacheCounter("evictions");
+  return counter;
+}
+telemetry::Counter* InvalidationsCounter() {
+  static telemetry::Counter* counter = CacheCounter("invalidations");
+  return counter;
+}
+
+}  // namespace
 
 std::shared_ptr<const SequenceLayout> BuildSequenceLayout(
     SpaFormer* model, const SpatialContext& context,
@@ -39,39 +67,38 @@ std::shared_ptr<const SequenceLayout> LayoutCache::Lookup(
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(Key(node_ids, num_observed));
   if (it == entries_.end()) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    MissesCounter()->Add(1);
     return nullptr;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  HitsCounter()->Add(1);
   return it->second;
 }
 
 void LayoutCache::Insert(std::shared_ptr<const SequenceLayout> layout) {
   SSIN_CHECK(layout != nullptr);
   std::lock_guard<std::mutex> lock(mutex_);
-  if (entries_.size() >= capacity_) entries_.clear();
+  if (entries_.size() >= capacity_) {
+    evictions_.fetch_add(static_cast<int64_t>(entries_.size()),
+                         std::memory_order_relaxed);
+    EvictionsCounter()->Add(static_cast<int64_t>(entries_.size()));
+    entries_.clear();
+  }
   entries_.emplace(Key(layout->node_ids, layout->num_observed),
                    std::move(layout));
 }
 
 void LayoutCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  InvalidationsCounter()->Add(1);
   entries_.clear();
 }
 
 size_t LayoutCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
-}
-
-int64_t LayoutCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
-}
-
-int64_t LayoutCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
 }
 
 }  // namespace ssin

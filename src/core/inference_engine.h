@@ -1,6 +1,7 @@
 #ifndef SSIN_CORE_INFERENCE_ENGINE_H_
 #define SSIN_CORE_INFERENCE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -79,14 +80,28 @@ class LayoutCache {
 
   /// Inserts a layout under its own (node_ids, num_observed) key. If two
   /// threads race to insert the same key, the first one wins and both
-  /// proceed with a valid layout.
+  /// proceed with a valid layout. Insertion past capacity first drops every
+  /// entry (counted as evictions).
   void Insert(std::shared_ptr<const SequenceLayout> layout);
 
+  /// Drops all entries (a weight-mutation invalidation).
   void Clear();
 
   size_t size() const;
-  int64_t hits() const;
-  int64_t misses() const;
+
+  /// Statistics. The counters are atomics mirrored into the process-wide
+  /// telemetry registry (serve.layout_cache.*), so serving threads mutate
+  /// them under the entry mutex while test/bench code reads them from any
+  /// thread without synchronization hazards. Per-instance values here;
+  /// process-wide aggregates in the registry.
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  int64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
 
  private:
   using Key = std::pair<std::vector<int>, int>;
@@ -94,8 +109,10 @@ class LayoutCache {
   const size_t capacity_;
   mutable std::mutex mutex_;
   std::map<Key, std::shared_ptr<const SequenceLayout>> entries_;
-  mutable int64_t hits_ = 0;
-  mutable int64_t misses_ = 0;
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};      ///< Entries dropped at capacity.
+  std::atomic<int64_t> invalidations_{0};  ///< Clear() calls.
 };
 
 }  // namespace ssin

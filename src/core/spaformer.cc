@@ -1,5 +1,6 @@
 #include "core/spaformer.h"
 
+#include "common/telemetry.h"
 #include "core/inference_engine.h"
 
 namespace ssin {
@@ -101,12 +102,17 @@ Var SpaFormer::ApplyEmbedding(Linear* linear, Fcn2* fcn, Var in) {
 Var SpaFormer::Forward(Graph* graph, const Tensor& x, const Tensor& relpos,
                        const Tensor& abspos,
                        const std::vector<uint8_t>& observed) {
+  SSIN_TRACE_SPAN("spaformer.forward");
   const int length = x.dim(0);
   SSIN_CHECK_EQ(x.dim(1), 1);
   SSIN_CHECK_EQ(static_cast<int>(observed.size()), length);
 
   // Input Embedding Module.
-  Var e = ApplyEmbedding(value_linear_, value_fcn_, graph->Constant(x));
+  Var e;
+  {
+    SSIN_TRACE_SPAN("spaformer.embed");
+    e = ApplyEmbedding(value_linear_, value_fcn_, graph->Constant(x));
+  }
 
   // One legal-pair plan per sequence, shared by every layer/head kernel
   // invocation and kept alive by the backward closures that capture it.
@@ -115,6 +121,7 @@ Var SpaFormer::Forward(Graph* graph, const Tensor& x, const Tensor& relpos,
 
   Var srpe;  // Stays invalid in SAPE mode.
   if (config_.position_mode == SpaFormerConfig::PositionMode::kSrpe) {
+    SSIN_TRACE_SPAN("spaformer.srpe");
     SSIN_CHECK_EQ(relpos.dim(0), length * length);
     SSIN_CHECK_EQ(relpos.dim(1), 2);
     if (config_.packed_srpe) {
@@ -137,6 +144,7 @@ Var SpaFormer::Forward(Graph* graph, const Tensor& x, const Tensor& relpos,
                             graph->Constant(relpos));
     }
   } else {
+    SSIN_TRACE_SPAN("spaformer.sape");
     SSIN_CHECK_EQ(abspos.dim(0), length);
     SSIN_CHECK_EQ(abspos.dim(1), 2);
     Var sape = ApplyEmbedding(position_linear_, position_fcn_,
@@ -145,6 +153,7 @@ Var SpaFormer::Forward(Graph* graph, const Tensor& x, const Tensor& relpos,
   }
 
   Var h = encoder_.Forward(e, srpe, std::move(plan));
+  SSIN_TRACE_SPAN("spaformer.head");
   return prediction_.Forward(h);  // [L, 1]
 }
 
@@ -155,6 +164,7 @@ Tensor& SpaFormer::InferEmbedding(Linear* linear, Fcn2* fcn, const Tensor& in,
 
 void SpaFormer::EmbedLayoutPositions(SequenceLayout* layout,
                                      InferenceWorkspace* ws) {
+  SSIN_TRACE_SPAN("spaformer.embed_positions");
   ws->Reset();
   if (config_.position_mode == SpaFormerConfig::PositionMode::kSrpe) {
     const int length = layout->length();
@@ -187,6 +197,7 @@ void SpaFormer::EmbedLayoutPositions(SequenceLayout* layout,
 
 const Tensor& SpaFormer::Predict(const Tensor& x, const SequenceLayout& layout,
                                  InferenceWorkspace* ws) {
+  SSIN_TRACE_SPAN("spaformer.predict");
   const int length = x.dim(0);
   SSIN_CHECK_EQ(x.dim(1), 1);
   SSIN_CHECK_EQ(layout.length(), length);

@@ -1,11 +1,28 @@
 #include "core/ssin_interpolator.h"
 
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "core/masking.h"
 #include "nn/serialize.h"
 #include "tensor/ops.h"
 
 namespace ssin {
+
+namespace {
+
+telemetry::Histogram* PredictLatencyHistogram() {
+  static telemetry::Histogram* histogram =
+      telemetry::GetHistogram("serve.predict_us");
+  return histogram;
+}
+
+telemetry::Gauge* WorkspaceArenaGauge() {
+  static telemetry::Gauge* gauge =
+      telemetry::GetGauge("serve.workspace_arena_bytes");
+  return gauge;
+}
+
+}  // namespace
 
 SsinInterpolator::SsinInterpolator(const SpaFormerConfig& model_config,
                                    const TrainConfig& train_config)
@@ -101,6 +118,8 @@ std::shared_ptr<const SequenceLayout> SsinInterpolator::LayoutFor(
 std::vector<double> SsinInterpolator::PredictWithLayout(
     const std::vector<double>& all_values, const SequenceLayout& layout,
     InferenceWorkspace* ws) {
+  SSIN_TRACE_SPAN("serve.predict");
+  const int64_t begin_ns = telemetry::Enabled() ? telemetry::NowNs() : -1;
   std::vector<double> observed_values;
   observed_values.reserve(layout.num_observed);
   for (int i = 0; i < layout.num_observed; ++i) {
@@ -124,6 +143,11 @@ std::vector<double> SsinInterpolator::PredictWithLayout(
     out.push_back(ApplyNonNegative(
         Destandardize(values[position - layout.num_observed], seq.stats),
         non_negative_));
+  }
+  if (begin_ns >= 0) {
+    PredictLatencyHistogram()->Observe(
+        static_cast<double>(telemetry::NowNs() - begin_ns) / 1e3);
+    WorkspaceArenaGauge()->Set(static_cast<double>(ws->ArenaBytes()));
   }
   return out;
 }
@@ -187,6 +211,7 @@ std::vector<std::vector<double>> SsinInterpolator::InterpolateBatch(
     const std::vector<int>& observed_ids, const std::vector<int>& query_ids,
     int num_threads) {
   SSIN_CHECK(prepared_) << "call Fit() first";
+  SSIN_TRACE_SPAN("serve.batch");
   std::vector<std::vector<double>> out(batch_values.size());
   if (batch_values.empty()) return out;
 

@@ -1,15 +1,67 @@
 #include "core/trainer.h"
 
-#include <cstdio>
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
 #include <numeric>
 
+#include "common/log.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "nn/serialize.h"
 #include "tensor/ops.h"
 
 namespace ssin {
+
+namespace {
+
+// Training metrics (train.*). Counters record unconditionally (they are
+// the trainer's statistics API); gauges/histograms and the grad-norm probe
+// only when the telemetry runtime is enabled.
+telemetry::Counter* StepsCounter() {
+  static telemetry::Counter* counter = telemetry::GetCounter("train.steps");
+  return counter;
+}
+
+telemetry::Counter* ExamplesCounter() {
+  static telemetry::Counter* counter =
+      telemetry::GetCounter("train.examples");
+  return counter;
+}
+
+telemetry::Counter* MaskedNodesCounter() {
+  static telemetry::Counter* counter =
+      telemetry::GetCounter("train.masked_nodes");
+  return counter;
+}
+
+telemetry::Histogram* GradNormHistogram() {
+  static telemetry::Histogram* histogram =
+      telemetry::GetHistogram("train.grad_norm");
+  return histogram;
+}
+
+telemetry::Histogram* CheckpointSecondsHistogram() {
+  static telemetry::Histogram* histogram =
+      telemetry::GetHistogram("train.checkpoint_write_seconds");
+  return histogram;
+}
+
+// L2 norm over every parameter gradient. Read-only: safe to run between
+// backward and the optimizer step without perturbing training.
+double GlobalGradNorm(const std::vector<Parameter*>& params) {
+  double sum_sq = 0.0;
+  for (const Parameter* p : params) {
+    const double* g = p->grad.data();
+    const int64_t n = p->grad.numel();
+    for (int64_t i = 0; i < n; ++i) sum_sq += g[i] * g[i];
+  }
+  return std::sqrt(sum_sq);
+}
+
+}  // namespace
 
 /// Data-parallel training state, allocated once per Train() call when
 /// config.num_threads != 1: the worker pool, the flat parameter list, one
@@ -55,6 +107,8 @@ SsinTrainer::SsinTrainer(SpaFormer* model, const SpatialContext* context,
 
 TrainStats SsinTrainer::Train(const SpatialDataset& data,
                               const std::vector<int>& train_ids) {
+  if (config_.telemetry) telemetry::SetEnabled(true);
+  SSIN_TRACE_SPAN("train.run");
   const int num_sequences = data.num_timestamps();
   const int length = static_cast<int>(train_ids.size());
   SSIN_CHECK_GT(num_sequences, 0);
@@ -143,6 +197,7 @@ TrainStats SsinTrainer::Train(const SpatialDataset& data,
 
   TrainStats stats;
   for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
+    SSIN_TRACE_SPAN("train.epoch");
     Timer epoch_timer;
     rng_.Shuffle(&item_order_);
     double loss_sum = 0.0;
@@ -150,33 +205,59 @@ TrainStats SsinTrainer::Train(const SpatialDataset& data,
 
     for (size_t start = 0; start < item_order_.size();
          start += config_.batch_size) {
+      SSIN_TRACE_SPAN("train.batch");
       const size_t end =
           std::min(item_order_.size(), start + config_.batch_size);
       model_->ZeroGrad();
       RunBatch(item_order_, start, end, sequences, static_masks_, relpos,
                abspos, mask_options, parallel.get(), &loss_sum, &loss_count);
+      if (telemetry::Enabled()) {
+        // Read-only probe of the reduced (pre-step) batch gradient.
+        GradNormHistogram()->Observe(GlobalGradNorm(model_->Parameters()));
+      }
       schedule_->Step(&optimizer_);
       optimizer_.Step();
       ++stats.steps;
+      StepsCounter()->Add(1);
+      ExamplesCounter()->Add(static_cast<int64_t>(end - start));
     }
 
     stats.epoch_loss.push_back(loss_sum /
                                static_cast<double>(std::max<int64_t>(
                                    1, loss_count)));
     stats.epoch_seconds.push_back(epoch_timer.Seconds());
+    if (telemetry::Enabled()) {
+      telemetry::GetGauge("train.epoch_loss")->Set(stats.epoch_loss.back());
+      telemetry::GetGauge("train.lr")->Set(optimizer_.learning_rate());
+      const double secs = stats.epoch_seconds.back();
+      telemetry::GetGauge("train.examples_per_sec")
+          ->Set(secs > 0.0 ? static_cast<double>(num_items) / secs : 0.0);
+    }
     if (config_.verbose) {
-      std::fprintf(stderr, "[ssin] epoch %3d  loss %.5f  (%.1fs, lr %.2e)\n",
-                   epoch + 1, stats.epoch_loss.back(),
-                   stats.epoch_seconds.back(), optimizer_.learning_rate());
+      SSIN_LOG(Info) << "epoch " << epoch + 1 << "  loss "
+                     << stats.epoch_loss.back() << "  ("
+                     << stats.epoch_seconds.back() << "s, lr "
+                     << optimizer_.learning_rate() << ")";
     }
 
     epochs_completed_ = epoch + 1;
     if (!config_.checkpoint_path.empty() &&
         ((epoch + 1) % std::max(1, config_.checkpoint_every_epochs) == 0 ||
          epoch + 1 == config_.epochs)) {
-      if (!SaveCheckpoint(config_.checkpoint_path)) {
-        std::fprintf(stderr, "[ssin] WARNING: checkpoint write to %s failed\n",
-                     config_.checkpoint_path.c_str());
+      SSIN_TRACE_SPAN("train.checkpoint");
+      Timer checkpoint_timer;
+      errno = 0;
+      const bool saved = SaveCheckpoint(config_.checkpoint_path);
+      if (telemetry::Enabled()) {
+        CheckpointSecondsHistogram()->Observe(checkpoint_timer.Seconds());
+      }
+      if (!saved) {
+        const int err = errno;
+        SSIN_LOG(Warn) << "checkpoint write to " << config_.checkpoint_path
+                       << " failed"
+                       << (err != 0
+                               ? std::string(": ") + std::strerror(err)
+                               : std::string());
       }
     }
   }
@@ -264,6 +345,7 @@ void SsinTrainer::RunBatch(const std::vector<int>& items, size_t start,
           config_.dynamic_masking
               ? SampleMask(length, config_.mask_ratio, &rng_)
               : static_masks[item];
+      MaskedNodesCounter()->Add(static_cast<int64_t>(mask.size()));
       MaskedSequence seq =
           BuildMaskedSequence(sequences[t], mask, mask_options);
 
@@ -294,6 +376,8 @@ void SsinTrainer::RunBatch(const std::vector<int>& items, size_t start,
     } else {
       parallel->item_masks[bi] = &static_masks[items[start + bi]];
     }
+    MaskedNodesCounter()->Add(
+        static_cast<int64_t>(parallel->item_masks[bi]->size()));
   }
 
   parallel->pool.ParallelFor(

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/log.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
 
 namespace ssin {
@@ -21,16 +23,36 @@ std::vector<int> SelectedTimestamps(const SpatialDataset& data,
 
 namespace {
 
+// Writes one phase's TelemetryReport and logs on failure; then resets the
+// registry + span buffers so the next phase starts from zero.
+void FlushTelemetryPhase(const EvalOptions& options, const char* kind) {
+  const std::string path = options.telemetry_dir + "/telemetry_" + kind +
+                           ".json";
+  if (!telemetry::WriteReport(kind, path)) {
+    SSIN_LOG(Warn) << "telemetry report write to " << path << " failed";
+  }
+  telemetry::ResetAll();
+}
+
 EvalResult RunEvaluation(SpatialInterpolator* method,
                          const SpatialDataset& data, const NodeSplit& split,
                          const EvalOptions& options, bool fit) {
   EvalResult result;
   result.method = method->Name();
 
+  if (options.telemetry) {
+    telemetry::SetEnabled(true);
+    telemetry::ResetAll();  // Scope each report to this evaluation.
+  }
+
   if (fit) {
     Timer fit_timer;
-    method->Fit(data, split.train_ids);
+    {
+      SSIN_TRACE_SPAN("eval.fit");
+      method->Fit(data, split.train_ids);
+    }
     result.fit_seconds = fit_timer.Seconds();
+    if (options.telemetry) FlushTelemetryPhase(options, "train");
   }
 
   // One timestamp-selection path and one serving call for every thread
@@ -43,8 +65,12 @@ EvalResult RunEvaluation(SpatialInterpolator* method,
   std::vector<const std::vector<double>*> batch;
   batch.reserve(timestamps.size());
   for (int t : timestamps) batch.push_back(&data.Values(t));
-  const std::vector<std::vector<double>> predictions = method->InterpolateBatch(
-      batch, split.train_ids, split.test_ids, options.num_threads);
+  std::vector<std::vector<double>> predictions;
+  {
+    SSIN_TRACE_SPAN("eval.interpolate");
+    predictions = method->InterpolateBatch(
+        batch, split.train_ids, split.test_ids, options.num_threads);
+  }
   for (size_t i = 0; i < timestamps.size(); ++i) {
     SSIN_CHECK_EQ(predictions[i].size(), split.test_ids.size());
     for (size_t q = 0; q < split.test_ids.size(); ++q) {
@@ -55,6 +81,7 @@ EvalResult RunEvaluation(SpatialInterpolator* method,
   }
   result.interpolate_seconds = interp_timer.Seconds();
   result.metrics = acc.Compute();
+  if (options.telemetry) FlushTelemetryPhase(options, "serve");
   return result;
 }
 

@@ -21,6 +21,18 @@ struct EvalOptions {
   /// timestamp order, so results are identical to a serial run). Fit()
   /// itself always runs on the calling thread.
   int num_threads = 1;
+
+  /// Run telemetry: when true, the evaluation enables the process-wide
+  /// telemetry runtime and writes one TelemetryReport per phase —
+  /// `telemetry_train.json` after Fit() (when a fit runs) and
+  /// `telemetry_serve.json` after the interpolation sweep — into
+  /// `telemetry_dir`. Each file is a versioned metrics report that is also
+  /// a Chrome trace_event JSON (load it in chrome://tracing or Perfetto).
+  /// The registry and span buffers are reset at each phase boundary so a
+  /// report covers exactly its phase. Instrumentation never changes
+  /// numeric results (pinned by the equivalence tests).
+  bool telemetry = false;
+  std::string telemetry_dir = ".";
 };
 
 /// Result of evaluating one method on one dataset.

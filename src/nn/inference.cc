@@ -2,6 +2,14 @@
 
 namespace ssin {
 
+size_t InferenceWorkspace::ArenaBytes() const {
+  size_t bytes = 0;
+  for (const auto& slot : slots_) {
+    bytes += static_cast<size_t>(slot->numel()) * sizeof(double);
+  }
+  return bytes;
+}
+
 Tensor* InferenceWorkspace::Acquire(const std::vector<int>& shape) {
   if (cursor_ == slots_.size()) {
     slots_.push_back(std::make_unique<Tensor>(shape));

@@ -44,6 +44,10 @@ class InferenceWorkspace {
   /// must not grow it).
   size_t num_slots() const { return slots_.size(); }
 
+  /// Total bytes held by the arena tensors (telemetry:
+  /// serve.workspace_arena_bytes gauges the per-call maximum).
+  size_t ArenaBytes() const;
+
  private:
   // unique_ptr slots: the vector may grow while earlier tensors are still
   // referenced by the caller, so the tensors themselves must not move.

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "common/telemetry.h"
+
 namespace ssin {
 
 EncoderLayer::EncoderLayer(int d_model, int num_heads, int d_k, int d_ff,
@@ -18,7 +20,12 @@ EncoderLayer::EncoderLayer(int d_model, int num_heads, int d_k, int d_ff,
 
 Var EncoderLayer::Forward(Var x, Var srpe,
                           std::shared_ptr<const AttentionPlan> plan) {
-  Var attn = attention_.Forward(x, srpe, std::move(plan));
+  Var attn;
+  {
+    SSIN_TRACE_SPAN("encoder.attention");
+    attn = attention_.Forward(x, srpe, std::move(plan));
+  }
+  SSIN_TRACE_SPAN("encoder.ffn");
   x = norm1_.Forward(Add(x, attn));
   Var ff = ffn_.Forward(x);
   return norm2_.Forward(Add(x, ff));
@@ -29,9 +36,14 @@ Tensor& EncoderLayer::Infer(const Tensor& x, const Tensor* srpe,
                             InferenceWorkspace* ws) {
   // Residual sums run in place on the sublayer output (IEEE addition is
   // commutative, so x + attn and attn += x round identically).
-  Tensor& attn = attention_.Infer(x, srpe, plan, ws);
-  attn.Accumulate(x);
-  Tensor& x1 = norm1_.Infer(attn, ws);
+  Tensor* attn;
+  {
+    SSIN_TRACE_SPAN("encoder.attention");
+    attn = &attention_.Infer(x, srpe, plan, ws);
+  }
+  SSIN_TRACE_SPAN("encoder.ffn");
+  attn->Accumulate(x);
+  Tensor& x1 = norm1_.Infer(*attn, ws);
   Tensor& ff = ffn_.Infer(x1, ws);
   ff.Accumulate(x1);
   return norm2_.Infer(ff, ws);
@@ -41,17 +53,22 @@ Tensor& EncoderLayer::InferTail(const Tensor& x, const Tensor* srpe,
                                 const AttentionPlan& plan, int tail_begin,
                                 InferenceWorkspace* ws) {
   const int d = x.dim(1);
-  Tensor& attn = attention_.InferTail(x, srpe, plan, tail_begin, ws);
+  Tensor* attn;
+  {
+    SSIN_TRACE_SPAN("encoder.attention");
+    attn = &attention_.InferTail(x, srpe, plan, tail_begin, ws);
+  }
+  SSIN_TRACE_SPAN("encoder.ffn");
   // Residual against the matching trailing rows of x; row r pairs with
   // sequence row tail_begin + r, so the sums round exactly as in Infer.
-  const int num_queries = attn.dim(0);
+  const int num_queries = attn->dim(0);
   for (int r = 0; r < num_queries; ++r) {
     const double* x_row =
         x.data() + static_cast<int64_t>(tail_begin + r) * d;
-    double* a_row = attn.data() + static_cast<int64_t>(r) * d;
+    double* a_row = attn->data() + static_cast<int64_t>(r) * d;
     for (int e = 0; e < d; ++e) a_row[e] += x_row[e];
   }
-  Tensor& x1 = norm1_.Infer(attn, ws);
+  Tensor& x1 = norm1_.Infer(*attn, ws);
   Tensor& ff = ffn_.Infer(x1, ws);
   ff.Accumulate(x1);
   return norm2_.Infer(ff, ws);

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/telemetry.h"
+
 namespace ssin {
 
 const Tensor& Var::value() const {
@@ -73,6 +75,7 @@ void Graph::AccumulateGrad(int id, const Tensor& delta) {
 }
 
 void Graph::Backward(Var loss) {
+  SSIN_TRACE_SPAN("autograd.backward");
   SSIN_CHECK(loss.valid() && loss.graph == this);
   SSIN_CHECK_EQ(value(loss.id).numel(), 1)
       << "Backward() expects a scalar loss";

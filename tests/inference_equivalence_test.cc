@@ -10,6 +10,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "core/inference_engine.h"
 #include "core/ssin_interpolator.h"
 #include "data/rainfall_generator.h"
@@ -132,6 +133,49 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(info.param.packed_srpe ? "Packed" : "Dense") +
              (info.param.mean_fill ? "MeanFill" : "ZeroFill");
     });
+
+TEST(InferenceEquivalenceTelemetry, TelemetryOnChangesNoPrediction) {
+  // The serve-path instrumentation (latency histogram, spans, cache
+  // counters) is read-only: predictions with telemetry enabled are
+  // bit-identical to a disabled run, serial and parallel.
+  Fixture f;
+  SsinInterpolator ssin(TinyModel(/*packed_srpe=*/true),
+                        FastTraining(/*mean_fill=*/true));
+  ssin.Fit(f.data, f.observed_ids);
+
+  std::vector<const std::vector<double>*> batch;
+  for (int t = 0; t < f.data.num_timestamps(); ++t) {
+    batch.push_back(&f.data.Values(t));
+  }
+  telemetry::SetEnabled(false);
+  const std::vector<std::vector<double>> off =
+      ssin.InterpolateBatch(batch, f.observed_ids, f.query_ids,
+                            /*num_threads=*/1);
+  telemetry::SetEnabled(true);
+  const std::vector<std::vector<double>> on_serial =
+      ssin.InterpolateBatch(batch, f.observed_ids, f.query_ids,
+                            /*num_threads=*/1);
+  const std::vector<std::vector<double>> on_parallel =
+      ssin.InterpolateBatch(batch, f.observed_ids, f.query_ids,
+                            /*num_threads=*/4);
+  telemetry::SetEnabled(false);
+
+  ASSERT_EQ(off.size(), on_serial.size());
+  ASSERT_EQ(off.size(), on_parallel.size());
+  for (size_t i = 0; i < off.size(); ++i) {
+    ASSERT_EQ(off[i].size(), on_serial[i].size());
+    for (size_t q = 0; q < off[i].size(); ++q) {
+      EXPECT_EQ(on_serial[i][q], off[i][q]);  // Bit-identical.
+      EXPECT_NEAR(on_parallel[i][q], off[i][q], 1e-12);
+    }
+  }
+  if (telemetry::CompiledIn()) {
+    // The per-call latency histogram saw every prediction of the two
+    // enabled sweeps.
+    EXPECT_GE(telemetry::GetHistogram("serve.predict_us")->Snapshot().count,
+              static_cast<int64_t>(2 * batch.size()));
+  }
+}
 
 TEST(InferenceEquivalenceSape, SapeAblationAlsoMatches) {
   Fixture f;

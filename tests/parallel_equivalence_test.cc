@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "baselines/idw.h"
+#include "common/telemetry.h"
 #include "core/ssin_interpolator.h"
 #include "data/rainfall_generator.h"
 #include "eval/crossval.h"
@@ -183,6 +184,33 @@ TEST(ParallelEvalEquivalence, CrossValidationMatchesSerialBitwise) {
   EXPECT_DOUBLE_EQ(a.pooled.rmse, b.pooled.rmse);
   EXPECT_DOUBLE_EQ(a.pooled.mae, b.pooled.mae);
   EXPECT_DOUBLE_EQ(a.pooled.nse, b.pooled.nse);
+}
+
+TEST(ParallelTrainingEquivalenceMisc, TelemetryOnPreservesEquivalence) {
+  // The parallel-vs-serial contract holds with telemetry recording: the
+  // thread-pool probes, spans and train.* metrics never touch numerics.
+  RainfallGenerator gen(TinyRegion());
+  SpatialDataset data = gen.GenerateHours(12, 8);
+  std::vector<int> train_ids;
+  for (int i = 0; i < 16; ++i) train_ids.push_back(i);
+
+  telemetry::SetEnabled(false);
+  const auto [off_loss, off_params] =
+      TrainOnce(data, train_ids, /*num_threads=*/1, /*dynamic=*/true);
+  telemetry::SetEnabled(true);
+  const auto [on_loss, on_params] =
+      TrainOnce(data, train_ids, /*num_threads=*/4, /*dynamic=*/true);
+  telemetry::SetEnabled(false);
+
+  ASSERT_EQ(off_loss.size(), on_loss.size());
+  for (size_t e = 0; e < off_loss.size(); ++e) {
+    EXPECT_NEAR(on_loss[e], off_loss[e], 1e-12) << "epoch " << e;
+  }
+  ASSERT_EQ(off_params.size(), on_params.size());
+  for (size_t i = 0; i < off_params.size(); ++i) {
+    EXPECT_NEAR(on_params[i], off_params[i], 1e-12)
+        << "parameter scalar " << i;
+  }
 }
 
 TEST(ParallelTrainingEquivalenceMisc, HardwareThreadCountAlsoMatches) {

@@ -1,0 +1,521 @@
+/// Tests of the telemetry layer (common/telemetry.h): metric correctness
+/// (counters, gauges, exact streaming quantiles against a sorted
+/// reference), multi-thread shard aggregation under the ThreadPool, span
+/// nesting exported as well-formed Chrome trace_event JSON, report
+/// writing, and the pin that enabling telemetry changes no training
+/// result (the instrumentation is read-only).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/telemetry.h"
+#include "common/thread_pool.h"
+#include "core/ssin_interpolator.h"
+#include "data/rainfall_generator.h"
+
+namespace ssin {
+namespace {
+
+using telemetry::GetCounter;
+using telemetry::GetGauge;
+using telemetry::GetHistogram;
+using telemetry::HistogramSnapshot;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON well-formedness checker (strict enough for our exports:
+// no leading zeros / unicode escapes are not validated, but structure,
+// string escaping, and token grammar are).
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!ParseValue()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseString() {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // Closing quote.
+    return true;
+  }
+
+  bool ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return ParseNumber();
+  }
+
+  bool ParseObject() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      if (!ParseString()) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      if (!ParseValue()) return false;
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray() {
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (!ParseValue()) return false;
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+int CountOccurrences(const std::string& text, const std::string& needle) {
+  int count = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// Fresh global state for every test: metrics zeroed, spans dropped,
+// recording off until the test opts in.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::SetEnabled(false);
+    telemetry::ResetAll();
+  }
+  void TearDown() override {
+    telemetry::SetEnabled(false);
+    telemetry::ResetAll();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+TEST_F(TelemetryTest, CounterAddsAndResets) {
+  telemetry::Counter* counter = GetCounter("test.counter");
+  EXPECT_EQ(counter->Value(), 0);
+  counter->Add();
+  counter->Add(41);
+  EXPECT_EQ(counter->Value(), 42);
+  // Same name -> same counter.
+  EXPECT_EQ(GetCounter("test.counter"), counter);
+  telemetry::MetricsRegistry::Global().Reset();
+  EXPECT_EQ(counter->Value(), 0);
+}
+
+TEST_F(TelemetryTest, CounterRecordsEvenWhenRuntimeDisabled) {
+  // Counters are statistics, not probes: the LayoutCache hit/miss API
+  // depends on them recording regardless of SetEnabled.
+  ASSERT_FALSE(telemetry::Enabled() && telemetry::CompiledIn());
+  telemetry::Counter* counter = GetCounter("test.always_on");
+  counter->Add(3);
+  EXPECT_EQ(counter->Value(), 3);
+}
+
+TEST_F(TelemetryTest, GaugeLastWriteWins) {
+  telemetry::Gauge* gauge = GetGauge("test.gauge");
+  EXPECT_EQ(gauge->Value(), 0.0);
+  gauge->Set(2.5);
+  gauge->Set(-17.75);
+  EXPECT_EQ(gauge->Value(), -17.75);
+}
+
+TEST_F(TelemetryTest, HistogramCountsSumAndBuckets) {
+  telemetry::HistogramOptions options;
+  options.bucket_bounds = {1.0, 10.0, 100.0};
+  telemetry::Histogram* histogram =
+      GetHistogram("test.histogram_buckets", options);
+  for (double v : {0.5, 1.0, 5.0, 50.0, 500.0, 5000.0}) {
+    histogram->Observe(v);
+  }
+  const HistogramSnapshot snap = histogram->Snapshot();
+  EXPECT_EQ(snap.count, 6);
+  EXPECT_NEAR(snap.sum, 5556.5, 1e-9);
+  EXPECT_EQ(snap.min, 0.5);
+  EXPECT_EQ(snap.max, 5000.0);
+  ASSERT_EQ(snap.bucket_counts.size(), 4u);  // 3 bounds + overflow.
+  EXPECT_EQ(snap.bucket_counts[0], 2);       // 0.5, 1.0 (<= 1).
+  EXPECT_EQ(snap.bucket_counts[1], 1);       // 5.0.
+  EXPECT_EQ(snap.bucket_counts[2], 1);       // 50.0.
+  EXPECT_EQ(snap.bucket_counts[3], 2);       // 500, 5000 (overflow).
+}
+
+TEST_F(TelemetryTest, QuantilesExactAgainstSortedReference) {
+  // Below the reservoir capacity the quantiles are exact: identical (to
+  // 1e-9) to the linear-interpolation formula on the full sorted sample.
+  telemetry::Histogram* histogram = GetHistogram("test.histogram_quantiles");
+  std::vector<double> values;
+  uint64_t state = 12345;
+  for (int i = 0; i < 1000; ++i) {
+    // Deterministic pseudo-random values (xorshift), wide dynamic range.
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    const double v =
+        static_cast<double>(state % 1000000) / 1000.0 - 200.0;
+    values.push_back(v);
+    histogram->Observe(v);
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+
+  const HistogramSnapshot snap = histogram->Snapshot();
+  ASSERT_EQ(snap.count, 1000);
+  ASSERT_EQ(snap.samples.size(), 1000u);  // Nothing subsampled.
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    const double expected = sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+    EXPECT_NEAR(snap.Quantile(q), expected, 1e-9) << "q=" << q;
+  }
+}
+
+TEST_F(TelemetryTest, ReservoirSubsamplingKeepsCountExact) {
+  telemetry::HistogramOptions options;
+  options.reservoir_capacity = 64;
+  telemetry::Histogram* histogram =
+      GetHistogram("test.histogram_overflow", options);
+  for (int i = 0; i < 10000; ++i) histogram->Observe(static_cast<double>(i));
+  const HistogramSnapshot snap = histogram->Snapshot();
+  EXPECT_EQ(snap.count, 10000);  // count/sum/min/max stay exact.
+  EXPECT_EQ(snap.min, 0.0);
+  EXPECT_EQ(snap.max, 9999.0);
+  EXPECT_LE(snap.samples.size(), 64u);  // One shard overflowed at 64.
+  // Quantiles remain plausible estimates of the uniform ramp.
+  EXPECT_GE(snap.Quantile(0.5), 0.0);
+  EXPECT_LE(snap.Quantile(0.5), 9999.0);
+}
+
+TEST_F(TelemetryTest, ShardAggregationUnderThreadPool) {
+  // Hammer one counter and one histogram from a pool; per-thread shards
+  // must aggregate without losing a single event. Run under TSan via
+  // scripts/run_tsan.sh.
+  telemetry::Counter* counter = GetCounter("test.mt_counter");
+  telemetry::Histogram* histogram = GetHistogram("test.mt_histogram");
+  telemetry::Gauge* gauge = GetGauge("test.mt_gauge");
+  constexpr int64_t kItems = 20000;
+  ThreadPool pool(4);
+  pool.ParallelFor(kItems, [&](int64_t i, int slot) {
+    counter->Add(1);
+    histogram->Observe(static_cast<double>(i % 100));
+    gauge->Set(static_cast<double>(slot));
+  });
+  EXPECT_EQ(counter->Value(), kItems);
+  const HistogramSnapshot snap = histogram->Snapshot();
+  EXPECT_EQ(snap.count, kItems);
+  EXPECT_EQ(snap.min, 0.0);
+  EXPECT_EQ(snap.max, 99.0);
+  EXPECT_GE(gauge->Value(), 0.0);
+  EXPECT_LE(gauge->Value(), 3.0);
+}
+
+TEST_F(TelemetryTest, SnapshotOrdersMetricsByName) {
+  GetCounter("test.z");
+  GetCounter("test.a");
+  GetCounter("test.m");
+  const telemetry::MetricsSnapshot snap =
+      telemetry::MetricsRegistry::Global().Snapshot();
+  ASSERT_GE(snap.counters.size(), 3u);
+  for (size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans.
+
+TEST_F(TelemetryTest, SpansRecordNestingWhenEnabled) {
+  if (!telemetry::CompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  telemetry::SetEnabled(true);
+  {
+    SSIN_TRACE_SPAN("outer");
+    {
+      SSIN_TRACE_SPAN("inner");
+    }
+    {
+      SSIN_TRACE_SPAN("inner");
+    }
+  }
+  const std::vector<telemetry::ThreadTrace> traces =
+      telemetry::TraceRecorder::Global().Snapshot();
+  // This thread's trace holds inner, inner, outer (recorded at span end).
+  int outer_count = 0, inner_count = 0;
+  for (const telemetry::ThreadTrace& trace : traces) {
+    for (const telemetry::SpanEvent& event : trace.events) {
+      ASSERT_LE(event.begin_ns, event.end_ns);
+      if (std::string(event.name) == "outer") {
+        ++outer_count;
+        EXPECT_EQ(event.depth, 1);
+      } else if (std::string(event.name) == "inner") {
+        ++inner_count;
+        EXPECT_EQ(event.depth, 2);
+      }
+    }
+  }
+  EXPECT_EQ(outer_count, 1);
+  EXPECT_EQ(inner_count, 2);
+}
+
+TEST_F(TelemetryTest, SpansSilentWhenRuntimeDisabled) {
+  ASSERT_FALSE(telemetry::Enabled());
+  {
+    SSIN_TRACE_SPAN("should_not_record");
+  }
+  for (const telemetry::ThreadTrace& trace :
+       telemetry::TraceRecorder::Global().Snapshot()) {
+    EXPECT_TRUE(trace.events.empty());
+  }
+}
+
+TEST_F(TelemetryTest, HierarchyTextAggregatesNestedSpans) {
+  if (!telemetry::CompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  telemetry::SetEnabled(true);
+  {
+    SSIN_TRACE_SPAN("phase_a");
+    {
+      SSIN_TRACE_SPAN("phase_a_child");
+    }
+  }
+  {
+    SSIN_TRACE_SPAN("phase_b");
+  }
+  const std::string text = telemetry::HierarchyText();
+  EXPECT_NE(text.find("phase_a"), std::string::npos);
+  EXPECT_NE(text.find("phase_a_child"), std::string::npos);
+  EXPECT_NE(text.find("phase_b"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Export.
+
+TEST_F(TelemetryTest, ReportIsWellFormedVersionedChromeTrace) {
+  if (telemetry::CompiledIn()) telemetry::SetEnabled(true);
+  GetCounter("test.report_counter")->Add(7);
+  GetGauge("test.report_gauge")->Set(1.5);
+  GetHistogram("test.report_histogram")->Observe(3.25);
+  {
+    SSIN_TRACE_SPAN("report_outer");
+    {
+      SSIN_TRACE_SPAN("report_inner");
+    }
+  }
+  const std::string report = telemetry::ReportJson("serve");
+  JsonChecker checker(report);
+  EXPECT_TRUE(checker.Valid()) << report;
+  // JsonWriter emits compact JSON: no space after ':'.
+  EXPECT_NE(report.find("\"telemetry_version\":1"), std::string::npos);
+  EXPECT_NE(report.find("\"kind\":\"serve\""), std::string::npos);
+  EXPECT_NE(report.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(report.find("\"test.report_counter\""), std::string::npos);
+  EXPECT_NE(report.find("\"test.report_gauge\""), std::string::npos);
+  EXPECT_NE(report.find("\"test.report_histogram\""), std::string::npos);
+  if (telemetry::CompiledIn()) {
+    // Chrome trace_event complete events for both spans.
+    EXPECT_NE(report.find("\"report_outer\""), std::string::npos);
+    EXPECT_NE(report.find("\"report_inner\""), std::string::npos);
+    EXPECT_GE(CountOccurrences(report, "\"ph\":\"X\""), 2);
+    EXPECT_GE(CountOccurrences(report, "\"cat\":\"ssin\""), 2);
+    EXPECT_GE(CountOccurrences(report, "\"dur\":"), 2);
+  }
+}
+
+TEST_F(TelemetryTest, WriteReportRoundTripsThroughDisk) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ssin_telemetry_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "telemetry_train.json").string();
+  GetCounter("test.disk_counter")->Add(1);
+  ASSERT_TRUE(telemetry::WriteReport("train", path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string report = buffer.str();
+  JsonChecker checker(report);
+  EXPECT_TRUE(checker.Valid());
+  EXPECT_NE(report.find("\"kind\":\"train\""), std::string::npos);
+  EXPECT_NE(report.find("\"test.disk_counter\""), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(TelemetryTest, ResetAllClearsMetricsAndSpans) {
+  if (telemetry::CompiledIn()) telemetry::SetEnabled(true);
+  GetCounter("test.reset_counter")->Add(5);
+  {
+    SSIN_TRACE_SPAN("reset_span");
+  }
+  telemetry::ResetAll();
+  EXPECT_EQ(GetCounter("test.reset_counter")->Value(), 0);
+  for (const telemetry::ThreadTrace& trace :
+       telemetry::TraceRecorder::Global().Snapshot()) {
+    EXPECT_TRUE(trace.events.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The no-perturbation pin: telemetry ON changes no training numerics.
+
+RainfallRegionConfig TinyRegion() {
+  RainfallRegionConfig config = HkRegionConfig();
+  config.num_gauges = 16;
+  config.width_km = 30.0;
+  config.height_km = 24.0;
+  return config;
+}
+
+SpaFormerConfig TinyModel() {
+  SpaFormerConfig config;
+  config.num_layers = 1;
+  config.num_heads = 1;
+  config.d_model = 8;
+  config.d_k = 8;
+  config.d_ff = 16;
+  return config;
+}
+
+std::pair<std::vector<double>, std::vector<double>> TrainTiny(
+    const SpatialDataset& data, const std::vector<int>& train_ids,
+    bool with_telemetry) {
+  TrainConfig config;
+  config.epochs = 2;
+  config.masks_per_sequence = 2;
+  config.batch_size = 4;
+  config.warmup_steps = 4;
+  config.lr_factor = 0.2;
+  config.seed = 23;
+  config.telemetry = with_telemetry;
+  SsinInterpolator ssin(TinyModel(), config);
+  ssin.Fit(data, train_ids);
+  std::vector<double> flat;
+  for (Parameter* p : ssin.model()->Parameters()) {
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      flat.push_back(p->value[i]);
+    }
+  }
+  return {ssin.train_stats().epoch_loss, flat};
+}
+
+TEST_F(TelemetryTest, TrainingBitIdenticalWithTelemetryOnAndOff) {
+  RainfallGenerator gen(TinyRegion());
+  SpatialDataset data = gen.GenerateHours(8, 9);
+  std::vector<int> train_ids;
+  for (int i = 0; i < 12; ++i) train_ids.push_back(i);
+
+  telemetry::SetEnabled(false);
+  const auto [off_loss, off_params] =
+      TrainTiny(data, train_ids, /*with_telemetry=*/false);
+  ASSERT_FALSE(telemetry::Enabled());
+
+  const auto [on_loss, on_params] =
+      TrainTiny(data, train_ids, /*with_telemetry=*/true);
+  if (telemetry::CompiledIn()) {
+    EXPECT_TRUE(telemetry::Enabled());  // TrainConfig::telemetry opted in.
+    EXPECT_GT(GetCounter("train.steps")->Value(), 0);
+  }
+
+  // Bit-identical, not just close: the instrumentation only reads state.
+  ASSERT_EQ(off_loss.size(), on_loss.size());
+  for (size_t e = 0; e < off_loss.size(); ++e) {
+    EXPECT_EQ(off_loss[e], on_loss[e]) << "epoch " << e;
+  }
+  ASSERT_EQ(off_params.size(), on_params.size());
+  for (size_t i = 0; i < off_params.size(); ++i) {
+    EXPECT_EQ(off_params[i], on_params[i]) << "parameter scalar " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ssin
