@@ -19,14 +19,20 @@
 /// d_k=16: the `Baseline` variant runs the historical pipeline (dense
 /// [L*L, d_k] SRPE embedding, reference matmul kernels), the `Optimized`
 /// variant the current one (legal-pair-packed SRPE, cache-blocked
-/// matmuls). scripts/run_bench.sh drives this binary and records
-/// BENCH_attention.json.
+/// matmuls). BM_ServeHotPath_* times the graph-free serving arithmetic at
+/// the same configuration three ways — scalar-reference f64, SIMD f64 and
+/// SIMD f32 — so the per-ISA kernel speedup is visible next to the
+/// training numbers. scripts/run_bench.sh drives this binary and records
+/// BENCH_attention.json (including the active ISA and the derived
+/// speedups).
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <memory>
+#include <vector>
 
+#include "common/simd.h"
 #include "core/spaformer.h"
 #include "tensor/attention_kernels.h"
 #include "tensor/ops.h"
@@ -178,6 +184,122 @@ void BM_SpaFormerSeq_OptimizedMT(benchmark::State& state) {
                            /*num_threads=*/static_cast<int>(state.range(0))});
 }
 
+// ------------------------------------------------------ serving hot path
+
+/// One graph-free serving pass at the paper configuration (L=123, T=3,
+/// H=2, d_k=16, d_ff=256), composed directly from the shared kernel
+/// templates so the scalar-reference and SIMD arithmetic can be timed
+/// side by side, in both precisions. Mirrors the per-layer work of
+/// SpaFormer::Predict: per-head q/k/v projections, the packed shielded
+/// attention kernel, head concat + output projection, two residual layer
+/// norms and the position-wise FFN. Single thread: serving sequences are
+/// below the matmul parallel threshold, so this is the arithmetic the
+/// inference engine actually runs per sequence.
+template <typename T, typename Ops, bool kBlockedMatMul>
+void RunServeHotPath(benchmark::State& state) {
+  constexpr int kLayers = 3;
+  constexpr int kHeads = 2;
+  constexpr int kDff = 256;
+  const int length = kObserved;      // L = 123 HK stations.
+  const int num_observed = 113;      // 10 query stations, a serving mix.
+  const int d = kDk;
+  std::vector<uint8_t> observed(length, 0);
+  for (int i = 0; i < num_observed; ++i) observed[i] = 1;
+  AttentionPlan plan;
+  BuildAttentionPlan(observed, /*shielded=*/true, &plan);
+  const int pairs = static_cast<int>(plan.num_pairs());
+
+  auto fill = [](std::vector<T>* v, int64_t salt) {
+    for (size_t i = 0; i < v->size(); ++i) {
+      (*v)[i] = static_cast<T>(
+          0.01 * ((static_cast<int64_t>(i) * 37 + salt) % 101) - 0.5);
+    }
+  };
+  auto matmul = [](const std::vector<T>& a, const std::vector<T>& b,
+                   std::vector<T>* out, int m, int k, int n) {
+    std::fill(out->begin(), out->end(), T(0));
+    if constexpr (kBlockedMatMul) {
+      simd::MatMulAccRows<T, Ops>(a.data(), b.data(), out->data(), k, n, 0,
+                                  m);
+    } else {
+      simd::MatMulAccRef(a.data(), b.data(), out->data(), m, k, n);
+    }
+  };
+
+  // Per-layer weights (identical values across layers are fine for
+  // timing; softmax keeps activations bounded).
+  std::vector<T> wq(d * d), wk(d * d), wv(d * d);
+  std::vector<T> wo(kHeads * d * d), w1(d * kDff), w2(kDff * d);
+  std::vector<T> gamma(d), beta(d);
+  std::vector<T> srpe(static_cast<size_t>(pairs) * d);
+  fill(&wq, 11);
+  fill(&wk, 12);
+  fill(&wv, 13);
+  fill(&wo, 14);
+  fill(&w1, 15);
+  fill(&w2, 16);
+  fill(&srpe, 17);
+  std::fill(gamma.begin(), gamma.end(), T(1));
+  std::fill(beta.begin(), beta.end(), T(0));
+
+  const size_t numel = static_cast<size_t>(length) * d;
+  std::vector<T> x0(numel), x(numel), q(numel), k(numel), v(numel);
+  std::vector<T> z(numel), concat(static_cast<size_t>(length) * kHeads * d);
+  std::vector<T> attn(numel), h1(static_cast<size_t>(length) * kDff);
+  std::vector<T> ff(numel), scores;
+  fill(&x0, 1);
+
+  for (auto _ : state) {
+    std::copy(x0.begin(), x0.end(), x.begin());
+    for (int layer = 0; layer < kLayers; ++layer) {
+      for (int head = 0; head < kHeads; ++head) {
+        matmul(x, wq, &q, length, d, d);
+        matmul(x, wk, &k, length, d, d);
+        matmul(x, wv, &v, length, d, d);
+        PackedAttentionForwardRows<T, Ops>(
+            q.data(), k.data(), v.data(), srpe.data(), plan,
+            /*packed_srpe=*/true, d, /*tail_begin=*/0, &scores,
+            /*alpha_out=*/nullptr, z.data());
+        for (int i = 0; i < length; ++i) {
+          std::copy(z.begin() + static_cast<int64_t>(i) * d,
+                    z.begin() + static_cast<int64_t>(i + 1) * d,
+                    concat.begin() +
+                        (static_cast<int64_t>(i) * kHeads + head) * d);
+        }
+      }
+      matmul(concat, wo, &attn, length, kHeads * d, d);
+      Ops::Add(x.data(), attn.data(), static_cast<int>(numel));
+      simd::LayerNormRows<T, Ops>(attn.data(), gamma.data(), beta.data(),
+                                  static_cast<T>(1e-5), length, d, x.data(),
+                                  /*xhat=*/nullptr, /*inv_std=*/nullptr);
+      matmul(x, w1, &h1, length, d, kDff);
+      Ops::Relu(h1.data(), static_cast<int>(h1.size()));
+      matmul(h1, w2, &ff, length, kDff, d);
+      Ops::Add(x.data(), ff.data(), static_cast<int>(numel));
+      simd::LayerNormRows<T, Ops>(ff.data(), gamma.data(), beta.data(),
+                                  static_cast<T>(1e-5), length, d, x.data(),
+                                  /*xhat=*/nullptr, /*inv_std=*/nullptr);
+    }
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["ns_per_pair"] =
+      NsPerPair(static_cast<int64_t>(pairs) * kLayers * kHeads);
+}
+
+void BM_ServeHotPath_Scalar(benchmark::State& state) {
+  // Historical serving arithmetic: branchy reference matmuls, strictly
+  // sequential reductions.
+  RunServeHotPath<double, simd::ScalarOps, /*kBlockedMatMul=*/false>(state);
+}
+
+void BM_ServeHotPath_Simd(benchmark::State& state) {
+  RunServeHotPath<double, simd::VecOps, /*kBlockedMatMul=*/true>(state);
+}
+
+void BM_ServeHotPath_SimdF32(benchmark::State& state) {
+  RunServeHotPath<float, simd::VecOps, /*kBlockedMatMul=*/true>(state);
+}
+
 }  // namespace
 
 BENCHMARK(BM_BuildPlan)
@@ -213,4 +335,18 @@ BENCHMARK(BM_SpaFormerSeq_OptimizedMT)
     ->Arg(2)
     ->Arg(4);
 
-BENCHMARK_MAIN();
+BENCHMARK(BM_ServeHotPath_Scalar)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ServeHotPath_Simd)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ServeHotPath_SimdF32)->Unit(benchmark::kMicrosecond);
+
+// Custom main (instead of BENCHMARK_MAIN) so the JSON context records
+// which ISA the build dispatches to — a BENCH_attention.json is then
+// self-describing about what "Simd" meant on the machine that wrote it.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("simd_isa", ssin::simd::IsaName());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "common/json_writer.h"
+#include "common/simd.h"
 #include "common/telemetry.h"
 #include "common/timer.h"
 
@@ -119,6 +120,29 @@ int main() {
   std::printf("%-28s %10.3f ms/seq  (%.2fx vs autograd)\n",
               "inference engine (1 thread)", engine_ms, speedup);
 
+  // Float32 serving: the same batch through the same engine after the
+  // accuracy-gated switch (weights narrowed once into the f32 snapshot).
+  // Restored to f64 afterwards so the thread-scaling section below times
+  // the default precision.
+  const double kF32Gate = 1e-3;  // mm of rainfall; see ROADMAP gates.
+  const double f32_delta = ssin.EnableF32Serving(
+      batch, setup.split.train_ids, setup.split.test_ids, kF32Gate);
+  const bool f32_enabled = ssin.serving_precision() ==
+                           SsinInterpolator::ServingPrecision::kFloat32;
+  double f32_ms = 0.0;
+  if (f32_enabled) {
+    Timer f32_timer;
+    ssin.InterpolateBatch(batch, setup.split.train_ids,
+                          setup.split.test_ids, /*num_threads=*/1);
+    f32_ms = f32_timer.Millis() / reps;
+    ssin.set_serving_precision(SsinInterpolator::ServingPrecision::kFloat64);
+  }
+  std::printf("%-28s %10.3f ms/seq  (%.2fx vs f64 engine, max |delta| "
+              "%.2e mm, gate %.0e)\n",
+              f32_enabled ? "engine f32 (1 thread)" : "engine f32 REJECTED",
+              f32_ms, f32_ms > 0.0 ? engine_ms / f32_ms : 0.0, f32_delta,
+              kF32Gate);
+
   JsonWriter json;
   json.BeginObject();
   json.Key("bench");
@@ -141,6 +165,23 @@ int main() {
   json.Number(engine_ms);
   json.Key("engine_speedup_vs_autograd");
   json.Number(speedup);
+  json.Key("simd_isa");
+  json.String(simd::IsaName());
+  json.Key("serving_f32");
+  json.BeginObject();
+  json.Key("enabled");
+  json.Bool(f32_enabled);
+  json.Key("accuracy_gate_mm");
+  json.Number(kF32Gate);
+  json.Key("measured_max_abs_delta_mm");
+  json.Number(f32_delta);
+  json.Key("ms_per_seq");
+  json.Number(f32_ms);
+  json.Key("speedup_vs_f64_engine");
+  json.Number(f32_ms > 0.0 ? engine_ms / f32_ms : 0.0);
+  json.Key("weight_conversions");
+  json.Int(ssin.f32_weights().conversions());
+  json.EndObject();
 
   // Batched thread scaling on the shared layout.
   std::printf("%-10s %14s %10s\n", "Threads", "ms/seq", "Speedup");

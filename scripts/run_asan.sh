@@ -15,7 +15,13 @@ BUILD_DIR="${1:-build-asan}"
 
 cmake -B "${BUILD_DIR}" -S . -DSSIN_ADDRESS_SANITIZER=ON
 cmake --build "${BUILD_DIR}" -j --target serialize_test csv_loader_test \
-  checkpoint_resume_test inference_equivalence_test
+  checkpoint_resume_test inference_equivalence_test \
+  kernel_differential_test
+
+echo "== kernel_differential_test (ASan+UBSan) =="
+# The SIMD kernels' unrolled tails and row-split partitions must not read
+# or write a single byte out of bounds at any sweep shape.
+"${BUILD_DIR}/tests/kernel_differential_test"
 
 echo "== serialize_test (ASan+UBSan) =="
 "${BUILD_DIR}/tests/serialize_test"

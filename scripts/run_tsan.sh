@@ -13,7 +13,7 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "${BUILD_DIR}" -S . -DSSIN_THREAD_SANITIZER=ON
 cmake --build "${BUILD_DIR}" -j --target thread_pool_test \
   parallel_equivalence_test packed_srpe_equivalence_test \
-  inference_equivalence_test telemetry_test
+  inference_equivalence_test telemetry_test kernel_differential_test
 
 echo "== thread_pool_test (TSan) =="
 "${BUILD_DIR}/tests/thread_pool_test"
@@ -26,6 +26,11 @@ echo "== parallel_equivalence_test (TSan) =="
 
 echo "== packed_srpe_equivalence_test (TSan) =="
 "${BUILD_DIR}/tests/packed_srpe_equivalence_test"
+
+echo "== kernel_differential_test (TSan) =="
+# Exercises the threaded MatMulInto dispatch (1 vs 4 threads) over the
+# SIMD kernels.
+"${BUILD_DIR}/tests/kernel_differential_test"
 
 echo "== inference_equivalence_test (TSan) =="
 # Death tests fork, which TSan dislikes; run the concurrency-relevant ones.

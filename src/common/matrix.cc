@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "common/simd.h"
+
 namespace ssin {
 
 Matrix Matrix::Transposed() const {
@@ -16,15 +18,12 @@ Matrix Matrix::Transposed() const {
 Matrix Matrix::operator*(const Matrix& other) const {
   SSIN_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
-  for (int i = 0; i < rows_; ++i) {
-    for (int k = 0; k < cols_; ++k) {
-      const double aik = (*this)(i, k);
-      if (aik == 0.0) continue;
-      for (int j = 0; j < other.cols_; ++j) {
-        out(i, j) += aik * other(k, j);
-      }
-    }
-  }
+  // Same blocked kernel as the tensor matmuls (vectorized per the build's
+  // ISA); kriging-style solves build dense Gram products where it pays.
+  simd::MatMulAccRows<double, simd::VecOps>(data_.data(),
+                                            other.data_.data(),
+                                            out.data_.data(), cols_,
+                                            other.cols_, 0, rows_);
   return out;
 }
 

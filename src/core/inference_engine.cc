@@ -59,6 +59,11 @@ std::shared_ptr<const SequenceLayout> BuildSequenceLayout(
   layout->abspos = context.AbsposFor(layout->node_ids);
 
   model->EmbedLayoutPositions(layout.get(), ws);
+  // Converting the embedded positions up front (an empty tensor converts
+  // to an empty tensor) keeps the layout usable by either precision
+  // without re-touching model weights.
+  layout->srpe_f32 = TensorF32::FromTensor(layout->srpe);
+  layout->sape_f32 = TensorF32::FromTensor(layout->sape);
   return layout;
 }
 

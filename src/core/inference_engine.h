@@ -47,6 +47,11 @@ struct SequenceLayout {
   Tensor srpe;
   Tensor sape;
 
+  /// Float32 copies of srpe/sape, converted once at layout build so the
+  /// f32 serving path (SpaFormer::PredictF32) never narrows per call.
+  TensorF32 srpe_f32;
+  TensorF32 sape_f32;
+
   int length() const { return static_cast<int>(node_ids.size()); }
 };
 

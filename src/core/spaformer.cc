@@ -1,5 +1,6 @@
 #include "core/spaformer.h"
 
+#include "common/simd.h"
 #include "common/telemetry.h"
 #include "core/inference_engine.h"
 
@@ -219,6 +220,47 @@ const Tensor& SpaFormer::Predict(const Tensor& x, const SequenceLayout& layout,
   // bit-identical to a full-sequence evaluation.
   Tensor& h = encoder_.Infer(e, srpe, *layout.plan, ws, layout.num_observed);
   return prediction_.Infer(h, ws);  // [L - num_observed, 1]
+}
+
+const TensorF32& SpaFormer::PredictF32(const Tensor& x,
+                                       const SequenceLayout& layout,
+                                       const F32WeightCache::Map& w,
+                                       InferenceWorkspace* ws) {
+  SSIN_TRACE_SPAN("spaformer.predict_f32");
+  const int length = x.dim(0);
+  SSIN_CHECK_EQ(x.dim(1), 1);
+  SSIN_CHECK_EQ(layout.length(), length);
+  SSIN_CHECK(layout.plan != nullptr);
+  ws->Reset();
+
+  // Narrow the input values once; everything downstream stays f32.
+  TensorF32* x32 = ws->AcquireF32(x.shape());
+  const double* src = x.data();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x32->data()[i] = static_cast<float>(src[i]);
+  }
+
+  TensorF32* e;
+  if (value_linear_ != nullptr) {
+    e = &value_linear_->InferF32(*x32, w, ws);
+  } else {
+    e = &value_fcn_->InferF32(*x32, w, ws);
+  }
+
+  const TensorF32* srpe = nullptr;
+  if (config_.position_mode == SpaFormerConfig::PositionMode::kSrpe) {
+    SSIN_CHECK(!layout.srpe_f32.empty())
+        << "layout lacks converted f32 positions";
+    srpe = &layout.srpe_f32;
+  } else {
+    SSIN_CHECK(layout.sape_f32.SameShape(*e));
+    simd::VecOps::Add(layout.sape_f32.data(), e->data(),
+                      static_cast<int>(e->numel()));
+  }
+
+  TensorF32& h =
+      encoder_.InferF32(*e, srpe, *layout.plan, w, ws, layout.num_observed);
+  return prediction_.InferF32(h, w, ws);  // [L - num_observed, 1]
 }
 
 }  // namespace ssin

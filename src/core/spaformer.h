@@ -86,6 +86,18 @@ class SpaFormer : public Module {
   const Tensor& Predict(const Tensor& x, const SequenceLayout& layout,
                         InferenceWorkspace* ws);
 
+  /// Float32 serving forward: the same network as Predict evaluated in
+  /// single precision — the f64 input is narrowed once, the layout's
+  /// pre-converted srpe_f32/sape_f32 feed the encoder, and every weight
+  /// comes from the converted snapshot `w` (see F32WeightCache). Returns
+  /// the [L - num_observed, 1] standardized query predictions; callers
+  /// destandardize in f64. Roughly half the memory traffic and twice the
+  /// SIMD lane width of Predict, at single-precision accuracy — gate with
+  /// SsinInterpolator::MeasureF32ServingDelta before enabling.
+  const TensorF32& PredictF32(const Tensor& x, const SequenceLayout& layout,
+                              const F32WeightCache::Map& w,
+                              InferenceWorkspace* ws);
+
   /// Fills layout->srpe (SRPE mode; packed or dense per the config) or
   /// layout->sape (SAPE mode) by running the position-embedding module on
   /// the layout's geometry with the *current* weights. The layout's

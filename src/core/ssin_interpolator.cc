@@ -1,5 +1,7 @@
 #include "core/ssin_interpolator.h"
 
+#include <cmath>
+
 #include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "core/masking.h"
@@ -30,6 +32,11 @@ SsinInterpolator::SsinInterpolator(const SpaFormerConfig& model_config,
 
 SsinInterpolator::~SsinInterpolator() = default;
 
+void SsinInterpolator::InvalidateServingCaches() {
+  layout_cache_.Clear();
+  f32_weights_.Clear();
+}
+
 void SsinInterpolator::Prepare(const SpatialDataset& data,
                                const std::vector<int>& train_ids) {
   context_.Build(data, train_ids);
@@ -38,7 +45,7 @@ void SsinInterpolator::Prepare(const SpatialDataset& data,
   trainer_ =
       std::make_unique<SsinTrainer>(model_.get(), &context_, train_config_);
   non_negative_ = data.non_negative();
-  layout_cache_.Clear();  // Fresh weights invalidate embedded layouts.
+  InvalidateServingCaches();  // Fresh weights invalidate serving caches.
   prepared_ = true;
 }
 
@@ -46,14 +53,14 @@ void SsinInterpolator::Fit(const SpatialDataset& data,
                            const std::vector<int>& train_ids) {
   Prepare(data, train_ids);
   train_stats_ = trainer_->Train(data, train_ids);
-  layout_cache_.Clear();
+  InvalidateServingCaches();
 }
 
 TrainStats SsinInterpolator::ContinueTraining(
     const SpatialDataset& data, const std::vector<int>& train_ids) {
   SSIN_CHECK(prepared_) << "call Fit() or Prepare() first";
   TrainStats stats = trainer_->Train(data, train_ids);
-  layout_cache_.Clear();
+  InvalidateServingCaches();
   for (double l : stats.epoch_loss) train_stats_.epoch_loss.push_back(l);
   for (double s : stats.epoch_seconds) {
     train_stats_.epoch_seconds.push_back(s);
@@ -72,7 +79,7 @@ void SsinInterpolator::CopyParametersFrom(SsinInterpolator& source) {
         << "architecture mismatch at " << dst[i]->name;
     dst[i]->value = src[i]->value;
   }
-  layout_cache_.Clear();
+  InvalidateServingCaches();
 }
 
 bool SsinInterpolator::Save(const std::string& path) {
@@ -82,7 +89,7 @@ bool SsinInterpolator::Save(const std::string& path) {
 
 bool SsinInterpolator::Load(const std::string& path) {
   SSIN_CHECK(prepared_) << "call Prepare() with the target dataset first";
-  layout_cache_.Clear();
+  InvalidateServingCaches();
   return LoadModule(model_.get(), path);
 }
 
@@ -93,7 +100,7 @@ bool SsinInterpolator::SaveTrainerCheckpoint(const std::string& path) {
 
 bool SsinInterpolator::ResumeTrainerFrom(const std::string& path) {
   SSIN_CHECK(prepared_) << "call Prepare() with the target dataset first";
-  layout_cache_.Clear();
+  InvalidateServingCaches();
   return trainer_->ResumeFrom(path);
 }
 
@@ -134,15 +141,30 @@ std::vector<double> SsinInterpolator::PredictWithLayout(
   if (seq.target_positions.empty()) return {};
 
   // Predict returns the query (trailing) rows only; target position p is
-  // its row p - num_observed.
-  const Tensor& values = model_->Predict(seq.input, layout, ws);
-
+  // its row p - num_observed. The f32 path reads the same converted-weight
+  // snapshot from every thread and destandardizes/clamps in f64, so only
+  // the network arithmetic narrows.
   std::vector<double> out;
   out.reserve(seq.target_positions.size());
-  for (int position : seq.target_positions) {
-    out.push_back(ApplyNonNegative(
-        Destandardize(values[position - layout.num_observed], seq.stats),
-        non_negative_));
+  if (serving_precision_ == ServingPrecision::kFloat32) {
+    std::shared_ptr<const F32WeightCache::Map> weights =
+        f32_weights_.EnsureFrom(model_.get());
+    const TensorF32& values =
+        model_->PredictF32(seq.input, layout, *weights, ws);
+    for (int position : seq.target_positions) {
+      out.push_back(ApplyNonNegative(
+          Destandardize(static_cast<double>(
+                            values[position - layout.num_observed]),
+                        seq.stats),
+          non_negative_));
+    }
+  } else {
+    const Tensor& values = model_->Predict(seq.input, layout, ws);
+    for (int position : seq.target_positions) {
+      out.push_back(ApplyNonNegative(
+          Destandardize(values[position - layout.num_observed], seq.stats),
+          non_negative_));
+    }
   }
   if (begin_ns >= 0) {
     PredictLatencyHistogram()->Observe(
@@ -204,6 +226,42 @@ std::vector<double> SsinInterpolator::InterpolateTimestampAutograd(
                                    non_negative_));
   }
   return out;
+}
+
+double SsinInterpolator::MeasureF32ServingDelta(
+    const std::vector<const std::vector<double>*>& batch_values,
+    const std::vector<int>& observed_ids,
+    const std::vector<int>& query_ids) {
+  SSIN_CHECK(prepared_) << "call Fit() first";
+  const ServingPrecision saved = serving_precision_;
+  serving_precision_ = ServingPrecision::kFloat64;
+  std::vector<std::vector<double>> ref =
+      InterpolateBatch(batch_values, observed_ids, query_ids);
+  serving_precision_ = ServingPrecision::kFloat32;
+  std::vector<std::vector<double>> f32 =
+      InterpolateBatch(batch_values, observed_ids, query_ids);
+  serving_precision_ = saved;
+
+  double max_delta = 0.0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    SSIN_CHECK_EQ(ref[i].size(), f32[i].size());
+    for (size_t j = 0; j < ref[i].size(); ++j) {
+      const double d = std::fabs(ref[i][j] - f32[i][j]);
+      if (d > max_delta) max_delta = d;
+    }
+  }
+  return max_delta;
+}
+
+double SsinInterpolator::EnableF32Serving(
+    const std::vector<const std::vector<double>*>& batch_values,
+    const std::vector<int>& observed_ids, const std::vector<int>& query_ids,
+    double max_abs_delta) {
+  const double delta =
+      MeasureF32ServingDelta(batch_values, observed_ids, query_ids);
+  serving_precision_ = delta <= max_abs_delta ? ServingPrecision::kFloat32
+                                              : ServingPrecision::kFloat64;
+  return delta;
 }
 
 std::vector<std::vector<double>> SsinInterpolator::InterpolateBatch(

@@ -104,6 +104,39 @@ class SsinInterpolator : public SpatialInterpolator {
   /// layouts hold positions embedded with those weights.
   const LayoutCache& layout_cache() const { return layout_cache_; }
 
+  /// Arithmetic precision of the graph-free serving path. kFloat64 (the
+  /// default) is bit-identical to the autograd reference; kFloat32 runs
+  /// the SIMD kernels at twice the lane width on converted weights.
+  enum class ServingPrecision { kFloat64, kFloat32 };
+
+  /// Switches serving precision directly (no accuracy check). Training,
+  /// checkpoints and InterpolateTimestampAutograd always stay f64.
+  void set_serving_precision(ServingPrecision precision) {
+    serving_precision_ = precision;
+  }
+  ServingPrecision serving_precision() const { return serving_precision_; }
+
+  /// Runs `batch_values` through both precisions and returns the largest
+  /// absolute f64-vs-f32 difference across every prediction, in output
+  /// units (mm of rainfall). The serving precision is left unchanged.
+  double MeasureF32ServingDelta(
+      const std::vector<const std::vector<double>*>& batch_values,
+      const std::vector<int>& observed_ids,
+      const std::vector<int>& query_ids);
+
+  /// Accuracy-gated switch to f32 serving: measures the delta on the probe
+  /// batch and enables kFloat32 only when it is within `max_abs_delta`
+  /// (otherwise the precision stays f64). Returns the measured delta.
+  double EnableF32Serving(
+      const std::vector<const std::vector<double>*>& batch_values,
+      const std::vector<int>& observed_ids,
+      const std::vector<int>& query_ids, double max_abs_delta);
+
+  /// The converted-weight snapshot cache behind f32 serving
+  /// (conversion/invalidation counters for tests). Cleared alongside the
+  /// layout cache on every weight mutation.
+  const F32WeightCache& f32_weights() const { return f32_weights_; }
+
   /// Overrides the non-negative output clamp captured from the dataset at
   /// Fit()/Prepare() time.
   void set_non_negative(bool non_negative) { non_negative_ = non_negative; }
@@ -121,6 +154,10 @@ class SsinInterpolator : public SpatialInterpolator {
                                         const SequenceLayout& layout,
                                         InferenceWorkspace* ws);
 
+  /// Invalidates every weight-derived serving cache (layouts and f32
+  /// weight snapshots). Must run on each weight mutation.
+  void InvalidateServingCaches();
+
   SpaFormerConfig model_config_;
   TrainConfig train_config_;
   std::unique_ptr<SpaFormer> model_;
@@ -128,6 +165,8 @@ class SsinInterpolator : public SpatialInterpolator {
   SpatialContext context_;
   TrainStats train_stats_;
   LayoutCache layout_cache_;
+  F32WeightCache f32_weights_;
+  ServingPrecision serving_precision_ = ServingPrecision::kFloat64;
   bool non_negative_ = false;
   bool prepared_ = false;
 };

@@ -77,6 +77,46 @@ Tensor& MultiHeadSpaAttention::Infer(const Tensor& e, const Tensor* srpe,
   return output_proj_->Infer(*concat, ws);
 }
 
+TensorF32& MultiHeadSpaAttention::InferF32(const TensorF32& e,
+                                           const TensorF32* srpe,
+                                           const AttentionPlan& plan,
+                                           const F32WeightCache::Map& w,
+                                           InferenceWorkspace* ws) {
+  const int length = e.dim(0);
+  const float* c = srpe != nullptr ? srpe->data() : nullptr;
+  if (heads_.size() == 1) {
+    auto& head = heads_[0];
+    TensorF32& q = head.wq->InferF32(e, w, ws);
+    TensorF32& k = head.wk->InferF32(e, w, ws);
+    TensorF32& v = head.wv->InferF32(e, w, ws);
+    TensorF32* z = ws->AcquireF32({length, q.dim(1)});
+    PackedAttentionForwardRows<float, simd::VecOps>(
+        q.data(), k.data(), v.data(), c, plan, config_.packed_srpe, q.dim(1),
+        /*tail_begin=*/0, ws->f32_scores(), /*alpha_out=*/nullptr, z->data());
+    return output_proj_->InferF32(*z, w, ws);
+  }
+  TensorF32* concat = ws->AcquireF32({length, output_proj_->in_features()});
+  int col = 0;
+  for (auto& head : heads_) {
+    TensorF32& q = head.wq->InferF32(e, w, ws);
+    TensorF32& k = head.wk->InferF32(e, w, ws);
+    TensorF32& v = head.wv->InferF32(e, w, ws);
+    const int d = q.dim(1);
+    TensorF32* z = ws->AcquireF32({length, d});
+    PackedAttentionForwardRows<float, simd::VecOps>(
+        q.data(), k.data(), v.data(), c, plan, config_.packed_srpe, d,
+        /*tail_begin=*/0, ws->f32_scores(), /*alpha_out=*/nullptr, z->data());
+    const int total = concat->dim(1);
+    for (int i = 0; i < length; ++i) {
+      const float* src = z->data() + static_cast<int64_t>(i) * d;
+      float* dst = concat->data() + static_cast<int64_t>(i) * total + col;
+      for (int j = 0; j < d; ++j) dst[j] = src[j];
+    }
+    col += d;
+  }
+  return output_proj_->InferF32(*concat, w, ws);
+}
+
 Tensor& MultiHeadSpaAttention::InferTail(const Tensor& e, const Tensor* srpe,
                                          const AttentionPlan& plan,
                                          int tail_begin,
@@ -118,6 +158,53 @@ Tensor& MultiHeadSpaAttention::InferTail(const Tensor& e, const Tensor* srpe,
     col += d;
   }
   return output_proj_->Infer(*concat, ws);
+}
+
+TensorF32& MultiHeadSpaAttention::InferTailF32(const TensorF32& e,
+                                               const TensorF32* srpe,
+                                               const AttentionPlan& plan,
+                                               int tail_begin,
+                                               const F32WeightCache::Map& w,
+                                               InferenceWorkspace* ws) {
+  const int length = e.dim(0);
+  const int num_queries = length - tail_begin;
+  const float* c = srpe != nullptr ? srpe->data() : nullptr;
+  TensorF32* e_tail = ws->AcquireF32({num_queries, e.dim(1)});
+  std::copy(e.data() + static_cast<int64_t>(tail_begin) * e.dim(1),
+            e.data() + static_cast<int64_t>(length) * e.dim(1),
+            e_tail->data());
+  if (heads_.size() == 1) {
+    auto& head = heads_[0];
+    TensorF32& q = head.wq->InferF32(*e_tail, w, ws);
+    TensorF32& k = head.wk->InferF32(e, w, ws);
+    TensorF32& v = head.wv->InferF32(e, w, ws);
+    TensorF32* z = ws->AcquireF32({num_queries, q.dim(1)});
+    PackedAttentionForwardRows<float, simd::VecOps>(
+        q.data(), k.data(), v.data(), c, plan, config_.packed_srpe, q.dim(1),
+        tail_begin, ws->f32_scores(), /*alpha_out=*/nullptr, z->data());
+    return output_proj_->InferF32(*z, w, ws);
+  }
+  TensorF32* concat =
+      ws->AcquireF32({num_queries, output_proj_->in_features()});
+  int col = 0;
+  for (auto& head : heads_) {
+    TensorF32& q = head.wq->InferF32(*e_tail, w, ws);
+    TensorF32& k = head.wk->InferF32(e, w, ws);
+    TensorF32& v = head.wv->InferF32(e, w, ws);
+    const int d = q.dim(1);
+    TensorF32* z = ws->AcquireF32({num_queries, d});
+    PackedAttentionForwardRows<float, simd::VecOps>(
+        q.data(), k.data(), v.data(), c, plan, config_.packed_srpe, d,
+        tail_begin, ws->f32_scores(), /*alpha_out=*/nullptr, z->data());
+    const int total = concat->dim(1);
+    for (int i = 0; i < num_queries; ++i) {
+      const float* src = z->data() + static_cast<int64_t>(i) * d;
+      float* dst = concat->data() + static_cast<int64_t>(i) * total + col;
+      for (int j = 0; j < d; ++j) dst[j] = src[j];
+    }
+    col += d;
+  }
+  return output_proj_->InferF32(*concat, w, ws);
 }
 
 }  // namespace ssin

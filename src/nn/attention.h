@@ -46,6 +46,18 @@ class MultiHeadSpaAttention : public Module {
                     const AttentionPlan& plan, int tail_begin,
                     InferenceWorkspace* ws);
 
+  /// Float32 serving forwards, structurally identical to Infer/InferTail
+  /// with projections from the converted weight snapshot `w` and the f32
+  /// attention kernel (the softmax weights are not recorded — serving
+  /// never reads them back).
+  TensorF32& InferF32(const TensorF32& e, const TensorF32* srpe,
+                      const AttentionPlan& plan, const F32WeightCache::Map& w,
+                      InferenceWorkspace* ws);
+  TensorF32& InferTailF32(const TensorF32& e, const TensorF32* srpe,
+                          const AttentionPlan& plan, int tail_begin,
+                          const F32WeightCache::Map& w,
+                          InferenceWorkspace* ws);
+
   const AttentionConfig& config() const { return config_; }
   int num_heads() const { return static_cast<int>(heads_.size()); }
 

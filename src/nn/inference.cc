@@ -1,11 +1,16 @@
 #include "nn/inference.h"
 
+#include "nn/module.h"
+
 namespace ssin {
 
 size_t InferenceWorkspace::ArenaBytes() const {
   size_t bytes = 0;
   for (const auto& slot : slots_) {
     bytes += static_cast<size_t>(slot->numel()) * sizeof(double);
+  }
+  for (const auto& slot : f32_slots_) {
+    bytes += static_cast<size_t>(slot->numel()) * sizeof(float);
   }
   return bytes;
 }
@@ -17,6 +22,47 @@ Tensor* InferenceWorkspace::Acquire(const std::vector<int>& shape) {
   Tensor* t = slots_[cursor_++].get();
   if (t->shape() != shape) *t = Tensor(shape);
   return t;
+}
+
+TensorF32* InferenceWorkspace::AcquireF32(const std::vector<int>& shape) {
+  if (f32_cursor_ == f32_slots_.size()) {
+    f32_slots_.push_back(std::make_unique<TensorF32>(shape));
+  }
+  TensorF32* t = f32_slots_[f32_cursor_++].get();
+  if (t->shape() != shape) *t = TensorF32(shape);
+  return t;
+}
+
+std::shared_ptr<const F32WeightCache::Map> F32WeightCache::EnsureFrom(
+    Module* module) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (snapshot_ != nullptr) return snapshot_;
+  }
+  // Convert outside the lock — parameters are stable while serving — then
+  // publish; if two threads race, the second build wins and both maps hold
+  // identical values.
+  auto map = std::make_shared<Map>();
+  for (Parameter* p : module->Parameters()) {
+    map->emplace(p, TensorF32::FromTensor(p->value));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (snapshot_ == nullptr) {
+    snapshot_ = std::move(map);
+    conversions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return snapshot_;
+}
+
+void F32WeightCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  snapshot_.reset();
+}
+
+bool F32WeightCache::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_ == nullptr;
 }
 
 }  // namespace ssin

@@ -1,13 +1,19 @@
 #ifndef SSIN_NN_INFERENCE_H_
 #define SSIN_NN_INFERENCE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor/attention_kernels.h"
 #include "tensor/tensor.h"
 
 namespace ssin {
+
+class Module;
+struct Parameter;
 
 /// Reusable activation buffers for one graph-free forward pass.
 ///
@@ -19,6 +25,11 @@ namespace ssin {
 /// forward pass with the same shapes runs allocation-free. A workspace is
 /// single-threaded by design — batched serving keeps one per thread-pool
 /// slot.
+///
+/// The float32 serving mode draws its activations from a parallel arena of
+/// TensorF32 slots (AcquireF32) with its own cursor, so mixed f64/f32 use
+/// of one workspace — e.g. layout embedding in f64, then f32 serving —
+/// never aliases storage across precisions.
 class InferenceWorkspace {
  public:
   InferenceWorkspace() = default;
@@ -27,7 +38,10 @@ class InferenceWorkspace {
 
   /// Rewinds the arena; previously acquired tensors may be handed out
   /// again. Call once at the start of each sequence.
-  void Reset() { cursor_ = 0; }
+  void Reset() {
+    cursor_ = 0;
+    f32_cursor_ = 0;
+  }
 
   /// Next arena tensor, reshaped to `shape` if it does not match.
   /// Contents are unspecified (kernels that accumulate must clear it —
@@ -36,15 +50,23 @@ class InferenceWorkspace {
   /// valid until the next Reset().
   Tensor* Acquire(const std::vector<int>& shape);
 
+  /// Float32 sibling of Acquire, backed by its own slot vector and cursor.
+  TensorF32* AcquireF32(const std::vector<int>& shape);
+
   /// Shared attention scratch (softmax weights + scores). Inference never
   /// reads it back, so one context serves every layer/head invocation.
   AttentionContext* attention_context() { return &attention_context_; }
 
+  /// Per-query score scratch for the f32 attention kernel (the f64 kernel
+  /// keeps its scratch inside the AttentionContext).
+  std::vector<float>* f32_scores() { return &f32_scores_; }
+
   /// Arena slots allocated so far (test hook: steady-state forward passes
   /// must not grow it).
   size_t num_slots() const { return slots_.size(); }
+  size_t num_f32_slots() const { return f32_slots_.size(); }
 
-  /// Total bytes held by the arena tensors (telemetry:
+  /// Total bytes held by the arena tensors, both precisions (telemetry:
   /// serve.workspace_arena_bytes gauges the per-call maximum).
   size_t ArenaBytes() const;
 
@@ -52,8 +74,51 @@ class InferenceWorkspace {
   // unique_ptr slots: the vector may grow while earlier tensors are still
   // referenced by the caller, so the tensors themselves must not move.
   std::vector<std::unique_ptr<Tensor>> slots_;
+  std::vector<std::unique_ptr<TensorF32>> f32_slots_;
   size_t cursor_ = 0;
+  size_t f32_cursor_ = 0;
   AttentionContext attention_context_;
+  std::vector<float> f32_scores_;
+};
+
+/// Float32 snapshots of a module's trained f64 parameters, converted once
+/// and shared immutably by every f32 forward pass.
+///
+/// The snapshot is keyed by Parameter pointer — the InferF32 chain looks
+/// its weights up with the same Parameter* it trains through, so there is
+/// no separate naming scheme to keep in sync. Like cached SequenceLayouts,
+/// a snapshot bakes in the weights it was converted from: the owning
+/// interpolator must Clear() on every weight mutation (training, load,
+/// parameter copy), and the hit/invalidation counters let tests pin that
+/// contract. Cleared snapshots stay alive for in-flight passes via
+/// shared_ptr.
+class F32WeightCache {
+ public:
+  using Map = std::unordered_map<const Parameter*, TensorF32>;
+
+  /// The current snapshot, converting `module`'s parameters first if none
+  /// exists (double-checked under a mutex; safe for concurrent servers).
+  std::shared_ptr<const Map> EnsureFrom(Module* module);
+
+  /// Drops the snapshot (a weight-mutation invalidation).
+  void Clear();
+
+  bool empty() const;
+
+  /// Statistics: conversions() counts snapshot builds, invalidations()
+  /// counts Clear() calls.
+  int64_t conversions() const {
+    return conversions_.load(std::memory_order_relaxed);
+  }
+  int64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const Map> snapshot_;
+  std::atomic<int64_t> conversions_{0};
+  std::atomic<int64_t> invalidations_{0};
 };
 
 }  // namespace ssin

@@ -23,6 +23,12 @@ class Linear : public Module {
   /// numerically identical to Forward's value on the same input.
   Tensor& Infer(const Tensor& x, InferenceWorkspace* ws);
 
+  /// Float32 serving forward: same kernel shapes as Infer, computed in
+  /// single precision against the converted weights in `w` (a
+  /// F32WeightCache snapshot of this module's parameters).
+  TensorF32& InferF32(const TensorF32& x, const F32WeightCache::Map& w,
+                      InferenceWorkspace* ws);
+
   int in_features() const { return in_features_; }
   int out_features() const { return out_features_; }
 
@@ -49,6 +55,10 @@ class Fcn2 : public Module {
   /// Graph-free forward; see Linear::Infer.
   Tensor& Infer(const Tensor& x, InferenceWorkspace* ws);
 
+  /// Float32 serving forward; see Linear::InferF32.
+  TensorF32& InferF32(const TensorF32& x, const F32WeightCache::Map& w,
+                      InferenceWorkspace* ws);
+
  private:
   Linear first_;
   Linear second_;
@@ -64,6 +74,10 @@ class LayerNormLayer : public Module {
 
   /// Graph-free forward; see Linear::Infer.
   Tensor& Infer(const Tensor& x, InferenceWorkspace* ws);
+
+  /// Float32 serving forward; see Linear::InferF32.
+  TensorF32& InferF32(const TensorF32& x, const F32WeightCache::Map& w,
+                      InferenceWorkspace* ws);
 
  private:
   Parameter* gamma_;

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/simd.h"
 #include "common/telemetry.h"
 
 namespace ssin {
@@ -74,6 +75,47 @@ Tensor& EncoderLayer::InferTail(const Tensor& x, const Tensor* srpe,
   return norm2_.Infer(ff, ws);
 }
 
+TensorF32& EncoderLayer::InferF32(const TensorF32& x, const TensorF32* srpe,
+                                  const AttentionPlan& plan,
+                                  const F32WeightCache::Map& w,
+                                  InferenceWorkspace* ws) {
+  TensorF32* attn;
+  {
+    SSIN_TRACE_SPAN("encoder.attention");
+    attn = &attention_.InferF32(x, srpe, plan, w, ws);
+  }
+  SSIN_TRACE_SPAN("encoder.ffn");
+  simd::VecOps::Add(x.data(), attn->data(), static_cast<int>(attn->numel()));
+  TensorF32& x1 = norm1_.InferF32(*attn, w, ws);
+  TensorF32& ff = ffn_.InferF32(x1, w, ws);
+  simd::VecOps::Add(x1.data(), ff.data(), static_cast<int>(ff.numel()));
+  return norm2_.InferF32(ff, w, ws);
+}
+
+TensorF32& EncoderLayer::InferTailF32(const TensorF32& x,
+                                      const TensorF32* srpe,
+                                      const AttentionPlan& plan,
+                                      int tail_begin,
+                                      const F32WeightCache::Map& w,
+                                      InferenceWorkspace* ws) {
+  const int d = x.dim(1);
+  TensorF32* attn;
+  {
+    SSIN_TRACE_SPAN("encoder.attention");
+    attn = &attention_.InferTailF32(x, srpe, plan, tail_begin, w, ws);
+  }
+  SSIN_TRACE_SPAN("encoder.ffn");
+  const int num_queries = attn->dim(0);
+  for (int r = 0; r < num_queries; ++r) {
+    simd::VecOps::Add(x.data() + static_cast<int64_t>(tail_begin + r) * d,
+                      attn->data() + static_cast<int64_t>(r) * d, d);
+  }
+  TensorF32& x1 = norm1_.InferF32(*attn, w, ws);
+  TensorF32& ff = ffn_.InferF32(x1, w, ws);
+  simd::VecOps::Add(x1.data(), ff.data(), static_cast<int>(ff.numel()));
+  return norm2_.InferF32(ff, w, ws);
+}
+
 Encoder::Encoder(int num_layers, int d_model, int num_heads, int d_k,
                  int d_ff, const AttentionConfig& config, Rng* rng) {
   SSIN_CHECK_GE(num_layers, 1);
@@ -106,6 +148,25 @@ Tensor& Encoder::Infer(const Tensor& x, const Tensor* srpe,
   }
   if (tail_begin >= 0) {
     out = &layers_.back()->InferTail(*cur, srpe, plan, tail_begin, ws);
+  }
+  SSIN_CHECK(out != nullptr);
+  return *out;
+}
+
+TensorF32& Encoder::InferF32(const TensorF32& x, const TensorF32* srpe,
+                             const AttentionPlan& plan,
+                             const F32WeightCache::Map& w,
+                             InferenceWorkspace* ws, int tail_begin) {
+  const TensorF32* cur = &x;
+  const size_t full_layers =
+      tail_begin >= 0 ? layers_.size() - 1 : layers_.size();
+  TensorF32* out = nullptr;
+  for (size_t t = 0; t < full_layers; ++t) {
+    out = &layers_[t]->InferF32(*cur, srpe, plan, w, ws);
+    cur = out;
+  }
+  if (tail_begin >= 0) {
+    out = &layers_.back()->InferTailF32(*cur, srpe, plan, tail_begin, w, ws);
   }
   SSIN_CHECK(out != nullptr);
   return *out;

@@ -33,6 +33,16 @@ class EncoderLayer : public Module {
                     const AttentionPlan& plan, int tail_begin,
                     InferenceWorkspace* ws);
 
+  /// Float32 serving forwards mirroring Infer/InferTail against the
+  /// converted weight snapshot `w`.
+  TensorF32& InferF32(const TensorF32& x, const TensorF32* srpe,
+                      const AttentionPlan& plan, const F32WeightCache::Map& w,
+                      InferenceWorkspace* ws);
+  TensorF32& InferTailF32(const TensorF32& x, const TensorF32* srpe,
+                          const AttentionPlan& plan, int tail_begin,
+                          const F32WeightCache::Map& w,
+                          InferenceWorkspace* ws);
+
  private:
   MultiHeadSpaAttention attention_;
   Fcn2 ffn_;
@@ -56,6 +66,11 @@ class Encoder : public Module {
   Tensor& Infer(const Tensor& x, const Tensor* srpe,
                 const AttentionPlan& plan, InferenceWorkspace* ws,
                 int tail_begin = -1);
+
+  /// Float32 serving forward through the stack; see Infer.
+  TensorF32& InferF32(const TensorF32& x, const TensorF32* srpe,
+                      const AttentionPlan& plan, const F32WeightCache::Map& w,
+                      InferenceWorkspace* ws, int tail_begin = -1);
 
   int num_layers() const { return static_cast<int>(layers_.size()); }
 

@@ -70,23 +70,27 @@ void BuildAttentionPlan(const std::vector<uint8_t>& observed, bool shielded,
 
 namespace {
 
-// Score of pair (i, j): sum_d(q_i ⊙ k_j ⊙ c_ij)/sqrt(d) or q_i·k_j/sqrt(d).
-inline double PairScore(const double* q_row, const double* k_row,
-                        const double* c_row, int d, double inv_sqrt_d) {
-  double score = 0.0;
-  if (c_row != nullptr) {
-    for (int t = 0; t < d; ++t) score += q_row[t] * k_row[t] * c_row[t];
-  } else {
-    for (int t = 0; t < d; ++t) score += q_row[t] * k_row[t];
-  }
-  return score * inv_sqrt_d;
-}
-
 // Row of c read by legal pair `t_global` (query i, key j): the packed
 // layout indexes by pair, the dense layout by i*L+j.
 inline int64_t SrpeRow(const AttentionPlan& plan, const AttentionConfig& cfg,
                        int64_t t_global) {
   return cfg.packed_srpe ? t_global : plan.pair_rows[t_global];
+}
+
+// Shape/config validation shared by the forward wrappers.
+void CheckForwardShapes(const Tensor& k, const Tensor* c,
+                        const AttentionPlan& plan,
+                        const AttentionConfig& cfg) {
+  const int length = k.dim(0);
+  const int d = k.dim(1);
+  SSIN_CHECK_EQ(plan.length, length);
+  if (cfg.use_srpe) {
+    SSIN_CHECK(c != nullptr);
+    SSIN_CHECK_EQ(c->dim(0), cfg.packed_srpe
+                                 ? plan.num_pairs()
+                                 : static_cast<int64_t>(length) * length);
+    SSIN_CHECK_EQ(c->dim(1), d);
+  }
 }
 
 }  // namespace
@@ -110,58 +114,17 @@ void PackedAttentionForwardInto(const Tensor& q, const Tensor& k,
   SSIN_CHECK(q.SameShape(k) && q.SameShape(v));
   const int length = q.dim(0);
   const int d = q.dim(1);
-  SSIN_CHECK_EQ(plan.length, length);
-  if (cfg.use_srpe) {
-    SSIN_CHECK(c != nullptr);
-    SSIN_CHECK_EQ(c->dim(0), cfg.packed_srpe
-                                 ? plan.num_pairs()
-                                 : static_cast<int64_t>(length) * length);
-    SSIN_CHECK_EQ(c->dim(1), d);
-  }
-  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(d));
+  CheckForwardShapes(k, c, plan, cfg);
 
   ctx->alpha.assign(static_cast<size_t>(plan.num_pairs()), 0.0);
 
   if (z_out->rank() != 2 || z_out->dim(0) != length || z_out->dim(1) != d) {
     *z_out = Tensor({length, d});
-  } else {
-    z_out->Fill(0.0);
   }
-  Tensor& z = *z_out;
-  std::vector<double>& scores = ctx->scores;
-  for (int i = 0; i < length; ++i) {
-    const int64_t begin = plan.offset[i];
-    const int64_t end = plan.offset[i + 1];
-    const int64_t count = end - begin;
-    SSIN_CHECK_GT(count, 0) << "query " << i << " has no legal keys";
-    scores.resize(static_cast<size_t>(count));
-
-    const double* q_row = q.data() + static_cast<int64_t>(i) * d;
-    double max_score = -std::numeric_limits<double>::infinity();
-    for (int64_t t = 0; t < count; ++t) {
-      const int j = plan.key_index[begin + t];
-      const double* k_row = k.data() + static_cast<int64_t>(j) * d;
-      const double* c_row =
-          cfg.use_srpe ? c->data() + SrpeRow(plan, cfg, begin + t) * d
-                       : nullptr;
-      scores[t] = PairScore(q_row, k_row, c_row, d, inv_sqrt_d);
-      if (scores[t] > max_score) max_score = scores[t];
-    }
-
-    double denom = 0.0;
-    for (int64_t t = 0; t < count; ++t) {
-      scores[t] = std::exp(scores[t] - max_score);
-      denom += scores[t];
-    }
-    double* z_row = z.data() + static_cast<int64_t>(i) * d;
-    for (int64_t t = 0; t < count; ++t) {
-      const double alpha = scores[t] / denom;
-      ctx->alpha[begin + t] = alpha;
-      const int j = plan.key_index[begin + t];
-      const double* v_row = v.data() + static_cast<int64_t>(j) * d;
-      for (int e = 0; e < d; ++e) z_row[e] += alpha * v_row[e];
-    }
-  }
+  PackedAttentionForwardRows<double, simd::VecOps>(
+      q.data(), k.data(), v.data(), cfg.use_srpe ? c->data() : nullptr, plan,
+      cfg.packed_srpe, d, /*tail_begin=*/0, &ctx->scores, ctx->alpha.data(),
+      z_out->data());
 }
 
 void PackedAttentionTailForwardInto(const Tensor& q, const Tensor& k,
@@ -177,57 +140,16 @@ void PackedAttentionTailForwardInto(const Tensor& q, const Tensor& k,
   const int num_queries = length - tail_begin;
   SSIN_CHECK_EQ(q.dim(0), num_queries);
   SSIN_CHECK_EQ(q.dim(1), d);
-  SSIN_CHECK_EQ(plan.length, length);
-  if (cfg.use_srpe) {
-    SSIN_CHECK(c != nullptr);
-    SSIN_CHECK_EQ(c->dim(0), cfg.packed_srpe
-                                 ? plan.num_pairs()
-                                 : static_cast<int64_t>(length) * length);
-    SSIN_CHECK_EQ(c->dim(1), d);
-  }
-  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(d));
+  CheckForwardShapes(k, c, plan, cfg);
 
   if (z_out->rank() != 2 || z_out->dim(0) != num_queries ||
       z_out->dim(1) != d) {
     *z_out = Tensor({num_queries, d});
-  } else {
-    z_out->Fill(0.0);
   }
-  Tensor& z = *z_out;
-  std::vector<double>& scores = ctx->scores;
-  for (int r = 0; r < num_queries; ++r) {
-    const int i = tail_begin + r;
-    const int64_t begin = plan.offset[i];
-    const int64_t end = plan.offset[i + 1];
-    const int64_t count = end - begin;
-    SSIN_CHECK_GT(count, 0) << "query " << i << " has no legal keys";
-    scores.resize(static_cast<size_t>(count));
-
-    const double* q_row = q.data() + static_cast<int64_t>(r) * d;
-    double max_score = -std::numeric_limits<double>::infinity();
-    for (int64_t t = 0; t < count; ++t) {
-      const int j = plan.key_index[begin + t];
-      const double* k_row = k.data() + static_cast<int64_t>(j) * d;
-      const double* c_row =
-          cfg.use_srpe ? c->data() + SrpeRow(plan, cfg, begin + t) * d
-                       : nullptr;
-      scores[t] = PairScore(q_row, k_row, c_row, d, inv_sqrt_d);
-      if (scores[t] > max_score) max_score = scores[t];
-    }
-
-    double denom = 0.0;
-    for (int64_t t = 0; t < count; ++t) {
-      scores[t] = std::exp(scores[t] - max_score);
-      denom += scores[t];
-    }
-    double* z_row = z.data() + static_cast<int64_t>(r) * d;
-    for (int64_t t = 0; t < count; ++t) {
-      const double alpha = scores[t] / denom;
-      const int j = plan.key_index[begin + t];
-      const double* v_row = v.data() + static_cast<int64_t>(j) * d;
-      for (int e = 0; e < d; ++e) z_row[e] += alpha * v_row[e];
-    }
-  }
+  PackedAttentionForwardRows<double, simd::VecOps>(
+      q.data(), k.data(), v.data(), cfg.use_srpe ? c->data() : nullptr, plan,
+      cfg.packed_srpe, d, tail_begin, &ctx->scores, /*alpha_out=*/nullptr,
+      z_out->data());
 }
 
 void PackedAttentionBackward(const Tensor& q, const Tensor& k,

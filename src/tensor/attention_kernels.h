@@ -1,9 +1,12 @@
 #ifndef SSIN_TENSOR_ATTENTION_KERNELS_H_
 #define SSIN_TENSOR_ATTENTION_KERNELS_H_
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
+#include "common/simd.h"
 #include "tensor/tensor.h"
 
 namespace ssin {
@@ -76,6 +79,69 @@ struct AttentionContext {
   /// a reused context (inference workspaces) never reallocate.
   std::vector<double> scores;
 };
+
+/// Raw packed-attention forward, templated on element type and on the
+/// kernel-primitive policy (simd::VecOps in production, simd::ScalarOps as
+/// the bit-exact reference for the differential kernel tests — the
+/// ScalarOps/double instantiation is the historical scalar kernel).
+///
+/// Computes attention outputs for queries [tail_begin, plan.length); row r
+/// of q and z corresponds to query tail_begin + r (pass tail_begin = 0 for
+/// the full sequence). k/v span the full sequence: [L, d] row-major.
+/// c: optional relative-position embeddings, packed [num_pairs, d] when
+/// packed_srpe, dense [L*L, d] otherwise; nullptr disables SRPE. scores is
+/// caller-owned per-query scratch (resized, never shrunk). alpha_out, when
+/// non-null, receives the softmax weight of legal pair t at alpha_out[t]
+/// (plan-global pair indexing; only pairs of the processed queries are
+/// written). z rows are overwritten.
+template <typename T, typename Ops>
+void PackedAttentionForwardRows(const T* q, const T* k, const T* v,
+                                const T* c, const AttentionPlan& plan,
+                                bool packed_srpe, int d, int tail_begin,
+                                std::vector<T>* scores, T* alpha_out, T* z) {
+  const T inv_sqrt_d = T(1) / std::sqrt(static_cast<T>(d));
+  const int num_queries = plan.length - tail_begin;
+  for (int r = 0; r < num_queries; ++r) {
+    const int i = tail_begin + r;
+    const int64_t begin = plan.offset[i];
+    const int64_t count = plan.offset[i + 1] - begin;
+    SSIN_CHECK_GT(count, 0) << "query " << i << " has no legal keys";
+    scores->resize(static_cast<size_t>(count));
+    T* score = scores->data();
+
+    const T* q_row = q + static_cast<int64_t>(r) * d;
+    T max_score = -std::numeric_limits<T>::infinity();
+    for (int64_t t = 0; t < count; ++t) {
+      const int j = plan.key_index[begin + t];
+      const T* k_row = k + static_cast<int64_t>(j) * d;
+      T s;
+      if (c != nullptr) {
+        const int64_t c_row =
+            packed_srpe ? begin + t
+                        : static_cast<int64_t>(plan.pair_rows[begin + t]);
+        s = Ops::Dot3(q_row, k_row, c + c_row * d, d);
+      } else {
+        s = Ops::Dot(q_row, k_row, d);
+      }
+      score[t] = s * inv_sqrt_d;
+      if (score[t] > max_score) max_score = score[t];
+    }
+
+    T denom = 0;
+    for (int64_t t = 0; t < count; ++t) {
+      score[t] = std::exp(score[t] - max_score);
+      denom += score[t];
+    }
+    T* z_row = z + static_cast<int64_t>(r) * d;
+    for (int e = 0; e < d; ++e) z_row[e] = T(0);
+    for (int64_t t = 0; t < count; ++t) {
+      const T alpha = score[t] / denom;
+      if (alpha_out != nullptr) alpha_out[begin + t] = alpha;
+      const int j = plan.key_index[begin + t];
+      Ops::Axpy(alpha, v + static_cast<int64_t>(j) * d, z_row, d);
+    }
+  }
+}
 
 /// Packed shielded attention with SRPE — the CPU analog of the paper's TVM
 /// CUDA kernel (§3.4.2). Visits only the O(mL) legal query-key pairs of

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace ssin {
@@ -22,6 +23,9 @@ Graph* CommonGraph(Var a, Var b) {
 // backward products. Each has a branchy serial reference implementation
 // (the historical kernels, kept for differential testing) and a
 // cache-blocked unrolled implementation selected by MatMulConfig. The
+// kernel bodies live in common/simd.h, shared with the f32 serving path
+// and the differential tests; the blocked ones are instantiated with
+// simd::VecOps so their inner loops run on the build's SIMD ISA. The
 // blocked kernels additionally support row-block parallelism on a shared
 // pool; every output element is always produced by exactly one thread with
 // a fixed inner order, so results are bit-identical across thread counts.
@@ -35,139 +39,40 @@ constexpr int64_t kMinParallelMadds = 1 << 15;
 
 // out[m,n] += a[m,k] * b[k,n], reference: skips zero a entries.
 void MatMulAccRef(const Tensor& a, const Tensor& b, Tensor* out) {
-  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  for (int i = 0; i < m; ++i) {
-    const double* a_row = a.data() + static_cast<int64_t>(i) * k;
-    double* out_row = out->data() + static_cast<int64_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      const double aip = a_row[p];
-      if (aip == 0.0) continue;
-      const double* b_row = b.data() + static_cast<int64_t>(p) * n;
-      for (int j = 0; j < n; ++j) out_row[j] += aip * b_row[j];
-    }
-  }
+  simd::MatMulAccRef(a.data(), b.data(), out->data(), a.dim(0), a.dim(1),
+                     b.dim(1));
 }
 
-// Blocked MatMulAcc over rows [i_lo, i_hi): the inner-product dimension is
-// unrolled by 4 so each pass streams four resident b rows through out_row
-// with no data-dependent branch.
 void MatMulAccRows(const Tensor& a, const Tensor& b, Tensor* out, int i_lo,
                    int i_hi) {
-  const int k = a.dim(1), n = b.dim(1);
-  const double* bd = b.data();
-  for (int i = i_lo; i < i_hi; ++i) {
-    const double* a_row = a.data() + static_cast<int64_t>(i) * k;
-    double* out_row = out->data() + static_cast<int64_t>(i) * n;
-    int p = 0;
-    for (; p + 4 <= k; p += 4) {
-      const double a0 = a_row[p], a1 = a_row[p + 1];
-      const double a2 = a_row[p + 2], a3 = a_row[p + 3];
-      const double* b0 = bd + static_cast<int64_t>(p) * n;
-      const double* b1 = b0 + n;
-      const double* b2 = b1 + n;
-      const double* b3 = b2 + n;
-      for (int j = 0; j < n; ++j) {
-        out_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-      }
-    }
-    for (; p < k; ++p) {
-      const double aip = a_row[p];
-      const double* b_row = bd + static_cast<int64_t>(p) * n;
-      for (int j = 0; j < n; ++j) out_row[j] += aip * b_row[j];
-    }
-  }
+  simd::MatMulAccRows<double, simd::VecOps>(a.data(), b.data(), out->data(),
+                                            a.dim(1), b.dim(1), i_lo, i_hi);
 }
 
 // out[m,k] += dC[m,n] * B^T (dA for C = A*B), reference.
 void MatMulAccBtRef(const Tensor& dc, const Tensor& b, Tensor* out) {
-  const int m = dc.dim(0), n = dc.dim(1), k = b.dim(0);
-  for (int i = 0; i < m; ++i) {
-    const double* dc_row = dc.data() + static_cast<int64_t>(i) * n;
-    double* out_row = out->data() + static_cast<int64_t>(i) * k;
-    for (int p = 0; p < k; ++p) {
-      const double* b_row = b.data() + static_cast<int64_t>(p) * n;
-      double sum = 0.0;
-      for (int j = 0; j < n; ++j) sum += dc_row[j] * b_row[j];
-      out_row[p] += sum;
-    }
-  }
+  simd::MatMulAccBtRef(dc.data(), b.data(), out->data(), dc.dim(0),
+                       dc.dim(1), b.dim(0));
 }
 
-// Blocked MatMulAccBt over rows [i_lo, i_hi): each out element is a dot
-// product, computed with four independent accumulators for ILP.
 void MatMulAccBtRows(const Tensor& dc, const Tensor& b, Tensor* out,
                      int i_lo, int i_hi) {
-  const int n = dc.dim(1), k = b.dim(0);
-  for (int i = i_lo; i < i_hi; ++i) {
-    const double* dc_row = dc.data() + static_cast<int64_t>(i) * n;
-    double* out_row = out->data() + static_cast<int64_t>(i) * k;
-    for (int p = 0; p < k; ++p) {
-      const double* b_row = b.data() + static_cast<int64_t>(p) * n;
-      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-      int j = 0;
-      for (; j + 4 <= n; j += 4) {
-        s0 += dc_row[j] * b_row[j];
-        s1 += dc_row[j + 1] * b_row[j + 1];
-        s2 += dc_row[j + 2] * b_row[j + 2];
-        s3 += dc_row[j + 3] * b_row[j + 3];
-      }
-      double sum = (s0 + s1) + (s2 + s3);
-      for (; j < n; ++j) sum += dc_row[j] * b_row[j];
-      out_row[p] += sum;
-    }
-  }
+  simd::MatMulAccBtRows<double, simd::VecOps>(
+      dc.data(), b.data(), out->data(), dc.dim(1), b.dim(0), i_lo, i_hi);
 }
 
 // out[k,n] += A^T[k,m] * dC[m,n] (dB for C = A*B), reference.
 void MatMulAccAtRef(const Tensor& a, const Tensor& dc, Tensor* out) {
-  const int m = a.dim(0), k = a.dim(1), n = dc.dim(1);
-  for (int i = 0; i < m; ++i) {
-    const double* a_row = a.data() + static_cast<int64_t>(i) * k;
-    const double* dc_row = dc.data() + static_cast<int64_t>(i) * n;
-    for (int p = 0; p < k; ++p) {
-      const double aip = a_row[p];
-      if (aip == 0.0) continue;
-      double* out_row = out->data() + static_cast<int64_t>(p) * n;
-      for (int j = 0; j < n; ++j) out_row[j] += aip * dc_row[j];
-    }
-  }
+  simd::MatMulAccAtRef(a.data(), dc.data(), out->data(), a.dim(0), a.dim(1),
+                       dc.dim(1));
 }
 
-// Blocked MatMulAccAt over *output* rows [p_lo, p_hi): the reduction
-// dimension m is tiled by 4, so four a/dc rows stay resident per pass and
-// each out row is written once per tile instead of once per i.
 void MatMulAccAtCols(const Tensor& a, const Tensor& dc, Tensor* out,
                      int p_lo, int p_hi) {
-  const int m = a.dim(0), k = a.dim(1), n = dc.dim(1);
-  const double* ad = a.data();
-  const double* dd = dc.data();
-  int i = 0;
-  for (; i + 4 <= m; i += 4) {
-    const double* a0 = ad + static_cast<int64_t>(i) * k;
-    const double* a1 = a0 + k;
-    const double* a2 = a1 + k;
-    const double* a3 = a2 + k;
-    const double* d0 = dd + static_cast<int64_t>(i) * n;
-    const double* d1 = d0 + n;
-    const double* d2 = d1 + n;
-    const double* d3 = d2 + n;
-    for (int p = p_lo; p < p_hi; ++p) {
-      const double w0 = a0[p], w1 = a1[p], w2 = a2[p], w3 = a3[p];
-      double* out_row = out->data() + static_cast<int64_t>(p) * n;
-      for (int j = 0; j < n; ++j) {
-        out_row[j] += w0 * d0[j] + w1 * d1[j] + w2 * d2[j] + w3 * d3[j];
-      }
-    }
-  }
-  for (; i < m; ++i) {
-    const double* a_row = ad + static_cast<int64_t>(i) * k;
-    const double* dc_row = dd + static_cast<int64_t>(i) * n;
-    for (int p = p_lo; p < p_hi; ++p) {
-      const double aip = a_row[p];
-      double* out_row = out->data() + static_cast<int64_t>(p) * n;
-      for (int j = 0; j < n; ++j) out_row[j] += aip * dc_row[j];
-    }
-  }
+  simd::MatMulAccAtCols<double, simd::VecOps>(a.data(), dc.data(),
+                                              out->data(), a.dim(0),
+                                              a.dim(1), dc.dim(1), p_lo,
+                                              p_hi);
 }
 
 // Fans contiguous row blocks of `body(lo, hi)` across the shared matmul
@@ -230,8 +135,9 @@ void MatMulAccAt(const Tensor& a, const Tensor& dc, Tensor* out) {
 
 // Shared forward half of LayerNorm: writes the normalized, scaled output
 // and optionally the saved statistics the backward pass needs. One
-// implementation serves both the autograd op and the graph-free
-// LayerNormInto so the two paths cannot drift numerically.
+// implementation (simd::LayerNormRows, vectorized per the build's ISA)
+// serves both the autograd op and the graph-free LayerNormInto so the two
+// paths cannot drift numerically.
 void LayerNormForward(const Tensor& x, const Tensor& gamma,
                       const Tensor& beta, double eps, Tensor* out,
                       Tensor* xhat, std::vector<double>* inv_std) {
@@ -239,24 +145,10 @@ void LayerNormForward(const Tensor& x, const Tensor& gamma,
   const int m = x.dim(0), n = x.dim(1);
   SSIN_CHECK_EQ(gamma.dim(0), n);
   SSIN_CHECK_EQ(beta.dim(0), n);
-  for (int i = 0; i < m; ++i) {
-    double mean = 0.0;
-    for (int j = 0; j < n; ++j) mean += x.At(i, j);
-    mean /= n;
-    double var = 0.0;
-    for (int j = 0; j < n; ++j) {
-      const double d = x.At(i, j) - mean;
-      var += d * d;
-    }
-    var /= n;
-    const double istd = 1.0 / std::sqrt(var + eps);
-    if (inv_std != nullptr) (*inv_std)[i] = istd;
-    for (int j = 0; j < n; ++j) {
-      const double xh = (x.At(i, j) - mean) * istd;
-      if (xhat != nullptr) xhat->At(i, j) = xh;
-      out->At(i, j) = xh * gamma[j] + beta[j];
-    }
-  }
+  simd::LayerNormRows<double, simd::VecOps>(
+      x.data(), gamma.data(), beta.data(), eps, m, n, out->data(),
+      xhat != nullptr ? xhat->data() : nullptr,
+      inv_std != nullptr ? inv_std->data() : nullptr);
 }
 
 }  // namespace

@@ -106,6 +106,64 @@ class Tensor {
   std::vector<double> data_;
 };
 
+/// Minimal float32 sibling of Tensor, used only by the float32 serving
+/// mode of the inference engine (converted weights, pre-embedded
+/// positions, and activation workspaces). It deliberately has no autograd
+/// hooks and no random initializers: f32 values are always *converted*
+/// from trained f64 tensors, never produced independently.
+class TensorF32 {
+ public:
+  TensorF32() = default;
+
+  explicit TensorF32(std::vector<int> shape, float fill = 0.0f)
+      : shape_(std::move(shape)) {
+    data_.assign(static_cast<size_t>(Tensor::Numel(shape_)), fill);
+  }
+
+  /// Narrowing copy of an f64 tensor (round-to-nearest per element).
+  static TensorF32 FromTensor(const Tensor& t) {
+    TensorF32 out;
+    out.shape_ = t.shape();
+    out.data_.resize(static_cast<size_t>(t.numel()));
+    const double* src = t.data();
+    for (size_t i = 0; i < out.data_.size(); ++i) {
+      out.data_[i] = static_cast<float>(src[i]);
+    }
+    return out;
+  }
+
+  const std::vector<int>& shape() const { return shape_; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const {
+    SSIN_DCHECK(i >= 0 && i < rank());
+    return shape_[i];
+  }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](int64_t i) {
+    SSIN_DCHECK(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    SSIN_DCHECK(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  bool SameShape(const TensorF32& other) const {
+    return shape_ == other.shape_;
+  }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
 }  // namespace ssin
 
 #endif  // SSIN_TENSOR_TENSOR_H_

@@ -260,6 +260,135 @@ TEST(LayoutCacheBehavior, WeightMutationsInvalidate) {
   }
 }
 
+// ------------------------------------------------- float32 serving mode
+
+// Accuracy budget for f32 serving on the tiny fixture, in output units
+// (mm): single-precision arithmetic through a 2-layer encoder stays well
+// under this, and a regression (e.g. accidental f32 accumulation in the
+// destandardize path) blows through it.
+constexpr double kF32ServingGate = 1e-3;
+
+TEST(F32ServingTest, GatedEnableMatchesF64WithinBudget) {
+  Fixture f;
+  SsinInterpolator ssin(TinyModel(/*packed_srpe=*/true),
+                        FastTraining(/*mean_fill=*/true));
+  ssin.Fit(f.data, f.observed_ids);
+
+  std::vector<const std::vector<double>*> batch;
+  for (int t = 0; t < f.data.num_timestamps(); ++t) {
+    batch.push_back(&f.data.Values(t));
+  }
+
+  // Measuring alone must not switch the precision.
+  const double delta =
+      ssin.MeasureF32ServingDelta(batch, f.observed_ids, f.query_ids);
+  EXPECT_LE(delta, kF32ServingGate);
+  EXPECT_EQ(ssin.serving_precision(),
+            SsinInterpolator::ServingPrecision::kFloat64);
+
+  // An unreachable gate keeps f64; the checked-in gate enables f32.
+  ssin.EnableF32Serving(batch, f.observed_ids, f.query_ids,
+                        /*max_abs_delta=*/-1.0);
+  EXPECT_EQ(ssin.serving_precision(),
+            SsinInterpolator::ServingPrecision::kFloat64);
+  const double enabled_delta = ssin.EnableF32Serving(
+      batch, f.observed_ids, f.query_ids, kF32ServingGate);
+  EXPECT_LE(enabled_delta, kF32ServingGate);
+  EXPECT_EQ(ssin.serving_precision(),
+            SsinInterpolator::ServingPrecision::kFloat32);
+
+  // f32 serving is deterministic: serial == parallel bit-for-bit, and both
+  // stay within the gate of the f64 reference.
+  const std::vector<std::vector<double>> serial =
+      ssin.InterpolateBatch(batch, f.observed_ids, f.query_ids,
+                            /*num_threads=*/1);
+  const std::vector<std::vector<double>> parallel =
+      ssin.InterpolateBatch(batch, f.observed_ids, f.query_ids,
+                            /*num_threads=*/4);
+  ssin.set_serving_precision(SsinInterpolator::ServingPrecision::kFloat64);
+  const std::vector<std::vector<double>> reference =
+      ssin.InterpolateBatch(batch, f.observed_ids, f.query_ids,
+                            /*num_threads=*/1);
+  ASSERT_EQ(serial.size(), reference.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].size(), reference[i].size());
+    for (size_t q = 0; q < serial[i].size(); ++q) {
+      EXPECT_EQ(serial[i][q], parallel[i][q]);
+      EXPECT_NEAR(serial[i][q], reference[i][q], kF32ServingGate);
+    }
+  }
+}
+
+TEST(F32ServingTest, NonNegativeClampAppliesInF32) {
+  Fixture f;
+  SsinInterpolator ssin(TinyModel(/*packed_srpe=*/true),
+                        FastTraining(/*mean_fill=*/true));
+  ssin.Fit(f.data, f.observed_ids);
+  ssin.set_non_negative(true);
+  ssin.set_serving_precision(SsinInterpolator::ServingPrecision::kFloat32);
+
+  // Rainfall data is non-negative, so the fitted dataset turns the clamp
+  // on; the f32 path must apply the same f64-side clamp.
+  for (int t = 0; t < f.data.num_timestamps(); ++t) {
+    const std::vector<double> out = ssin.InterpolateTimestamp(
+        f.data.Values(t), f.observed_ids, f.query_ids);
+    for (double v : out) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(F32ServingTest, WeightSnapshotConvertsOnceAndInvalidates) {
+  Fixture f;
+  SsinInterpolator ssin(TinyModel(/*packed_srpe=*/true),
+                        FastTraining(/*mean_fill=*/true));
+  ssin.Fit(f.data, f.observed_ids);
+  // Fit leaves no stale snapshot and nothing converted yet.
+  EXPECT_TRUE(ssin.f32_weights().empty());
+  EXPECT_EQ(ssin.f32_weights().conversions(), 0);
+
+  ssin.set_serving_precision(SsinInterpolator::ServingPrecision::kFloat32);
+  ssin.InterpolateTimestamp(f.data.Values(0), f.observed_ids, f.query_ids);
+  ssin.InterpolateTimestamp(f.data.Values(1), f.observed_ids, f.query_ids);
+  // One conversion serves every subsequent prediction.
+  EXPECT_FALSE(ssin.f32_weights().empty());
+  EXPECT_EQ(ssin.f32_weights().conversions(), 1);
+
+  // Weight mutations evict the snapshot: continued training...
+  const int64_t invalidations_before = ssin.f32_weights().invalidations();
+  ssin.ContinueTraining(f.data, f.observed_ids);
+  EXPECT_TRUE(ssin.f32_weights().empty());
+  EXPECT_GT(ssin.f32_weights().invalidations(), invalidations_before);
+
+  // ...and the next prediction reconverts from the *new* weights: it must
+  // agree with the fresh f64 reference, not the stale pre-training one.
+  const std::vector<double> f32_pred = ssin.InterpolateTimestamp(
+      f.data.Values(0), f.observed_ids, f.query_ids);
+  EXPECT_EQ(ssin.f32_weights().conversions(), 2);
+  ssin.set_serving_precision(SsinInterpolator::ServingPrecision::kFloat64);
+  const std::vector<double> f64_pred = ssin.InterpolateTimestamp(
+      f.data.Values(0), f.observed_ids, f.query_ids);
+  ASSERT_EQ(f32_pred.size(), f64_pred.size());
+  for (size_t q = 0; q < f32_pred.size(); ++q) {
+    EXPECT_NEAR(f32_pred[q], f64_pred[q], kF32ServingGate);
+  }
+
+  // Checkpoint load and trainer resume are weight mutations too.
+  const std::string model_path = ::testing::TempDir() + "f32_model.ssin";
+  const std::string trainer_path = ::testing::TempDir() + "f32_trainer.ssin";
+  ASSERT_TRUE(ssin.Save(model_path));
+  ASSERT_TRUE(ssin.SaveTrainerCheckpoint(trainer_path));
+
+  ssin.set_serving_precision(SsinInterpolator::ServingPrecision::kFloat32);
+  ssin.InterpolateTimestamp(f.data.Values(0), f.observed_ids, f.query_ids);
+  EXPECT_FALSE(ssin.f32_weights().empty());
+  ASSERT_TRUE(ssin.Load(model_path));
+  EXPECT_TRUE(ssin.f32_weights().empty());
+
+  ssin.InterpolateTimestamp(f.data.Values(0), f.observed_ids, f.query_ids);
+  EXPECT_FALSE(ssin.f32_weights().empty());
+  ASSERT_TRUE(ssin.ResumeTrainerFrom(trainer_path));
+  EXPECT_TRUE(ssin.f32_weights().empty());
+}
+
 // ------------------------------------------------- workspace + validation
 
 TEST(InferenceWorkspaceTest, ArenaReusesSlotsAfterReset) {
@@ -281,6 +410,24 @@ TEST(InferenceWorkspaceTest, ArenaReusesSlotsAfterReset) {
   EXPECT_EQ(c, a);
   EXPECT_EQ(c->dim(0), 2);
   EXPECT_EQ(c->dim(1), 3);
+}
+
+TEST(InferenceWorkspaceTest, F32ArenaIsIndependentOfF64Arena) {
+  InferenceWorkspace ws;
+  Tensor* a = ws.Acquire({4, 8});
+  TensorF32* fa = ws.AcquireF32({4, 8});
+  TensorF32* fb = ws.AcquireF32({2, 2});
+  EXPECT_NE(fa, fb);
+  EXPECT_EQ(ws.num_slots(), 1u);
+  EXPECT_EQ(ws.num_f32_slots(), 2u);
+  EXPECT_EQ(ws.ArenaBytes(),
+            32 * sizeof(double) + (32 + 4) * sizeof(float));
+
+  ws.Reset();  // Rewinds both cursors.
+  EXPECT_EQ(ws.Acquire({4, 8}), a);
+  EXPECT_EQ(ws.AcquireF32({4, 8}), fa);
+  EXPECT_EQ(ws.num_f32_slots(), 2u);
+  (void)a;
 }
 
 TEST(InferenceValidationDeath, RejectsMalformedIdLists) {

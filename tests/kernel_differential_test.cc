@@ -1,0 +1,366 @@
+// Differential tests for the SIMD serving kernels (common/simd.h): every
+// vectorized kernel is pinned against the sequential scalar reference over
+// randomized shape/sparsity sweeps.
+//
+// Tolerances. The vectorized f64 kernels reassociate reductions
+// (vector-lane partial sums), so they are not bit-identical to the
+// sequential reference; the error budget is 1e-12 scaled by the output
+// magnitude. The f32 kernels get 1e-5 scaled — float has ~1.2e-7 ULP and
+// the longest reductions here accumulate a few hundred terms. Both
+// policies are deterministic, so the row-split tests demand bit-equality:
+// splitting the row range (what the thread pool does) must not change a
+// single bit.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/simd.h"
+#include "tensor/attention_kernels.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "tests/kernel_test_util.h"
+
+namespace ssin {
+namespace {
+
+using kernel_testing::BitEqual;
+using kernel_testing::MaxAbsDiff;
+using kernel_testing::RandomVector;
+using kernel_testing::ScaledTol;
+using kernel_testing::SweepDims;
+
+constexpr double kF64Tol = 1e-12;
+constexpr double kF32Tol = 1e-5;
+
+template <typename T>
+double PolicyTol() {
+  return std::is_same<T, float>::value ? kF32Tol : kF64Tol;
+}
+
+// ---------------------------------------------------------------------------
+// Matmul family: out += a*b, out += dc*b^T, out += a^T*dc.
+
+template <typename T>
+void CheckMatMulAccOnce(int m, int k, int n, double sparsity, Rng* rng) {
+  const std::vector<T> a = RandomVector<T>(int64_t{m} * k, rng, sparsity);
+  const std::vector<T> b = RandomVector<T>(int64_t{k} * n, rng, sparsity);
+  // Non-zero initial out: the kernels accumulate.
+  const std::vector<T> init = RandomVector<T>(int64_t{m} * n, rng);
+
+  std::vector<T> ref = init;
+  simd::MatMulAccRef(a.data(), b.data(), ref.data(), m, k, n);
+
+  std::vector<T> scalar = init;
+  simd::MatMulAccRows<T, simd::ScalarOps>(a.data(), b.data(), scalar.data(),
+                                          k, n, 0, m);
+  std::vector<T> vec = init;
+  simd::MatMulAccRows<T, simd::VecOps>(a.data(), b.data(), vec.data(), k, n,
+                                       0, m);
+
+  const double tol = ScaledTol(ref, PolicyTol<T>());
+  EXPECT_LE(MaxAbsDiff(ref, scalar), tol) << m << "x" << k << "x" << n;
+  EXPECT_LE(MaxAbsDiff(ref, vec), tol) << m << "x" << k << "x" << n;
+
+  // Row-split determinism: computing [0,split) and [split,m) separately is
+  // exactly what ForRowBlocks does across threads — must be bit-identical.
+  if (m > 1) {
+    const int split = m / 2;
+    std::vector<T> split_out = init;
+    simd::MatMulAccRows<T, simd::VecOps>(a.data(), b.data(),
+                                         split_out.data(), k, n, 0, split);
+    simd::MatMulAccRows<T, simd::VecOps>(a.data(), b.data(),
+                                         split_out.data(), k, n, split, m);
+    EXPECT_TRUE(BitEqual(vec, split_out));
+  }
+}
+
+template <typename T>
+void CheckMatMulAccBtOnce(int m, int n, int k, double sparsity, Rng* rng) {
+  const std::vector<T> dc = RandomVector<T>(int64_t{m} * n, rng, sparsity);
+  const std::vector<T> b = RandomVector<T>(int64_t{k} * n, rng, sparsity);
+  const std::vector<T> init = RandomVector<T>(int64_t{m} * k, rng);
+
+  std::vector<T> ref = init;
+  simd::MatMulAccBtRef(dc.data(), b.data(), ref.data(), m, n, k);
+  std::vector<T> scalar = init;
+  simd::MatMulAccBtRows<T, simd::ScalarOps>(dc.data(), b.data(),
+                                            scalar.data(), n, k, 0, m);
+  std::vector<T> vec = init;
+  simd::MatMulAccBtRows<T, simd::VecOps>(dc.data(), b.data(), vec.data(), n,
+                                         k, 0, m);
+
+  const double tol = ScaledTol(ref, PolicyTol<T>());
+  EXPECT_LE(MaxAbsDiff(ref, scalar), tol) << m << "x" << n << "x" << k;
+  EXPECT_LE(MaxAbsDiff(ref, vec), tol) << m << "x" << n << "x" << k;
+
+  if (m > 1) {
+    const int split = m / 2;
+    std::vector<T> split_out = init;
+    simd::MatMulAccBtRows<T, simd::VecOps>(dc.data(), b.data(),
+                                           split_out.data(), n, k, 0, split);
+    simd::MatMulAccBtRows<T, simd::VecOps>(dc.data(), b.data(),
+                                           split_out.data(), n, k, split, m);
+    EXPECT_TRUE(BitEqual(vec, split_out));
+  }
+}
+
+template <typename T>
+void CheckMatMulAccAtOnce(int m, int k, int n, double sparsity, Rng* rng) {
+  const std::vector<T> a = RandomVector<T>(int64_t{m} * k, rng, sparsity);
+  const std::vector<T> dc = RandomVector<T>(int64_t{m} * n, rng, sparsity);
+  const std::vector<T> init = RandomVector<T>(int64_t{k} * n, rng);
+
+  std::vector<T> ref = init;
+  simd::MatMulAccAtRef(a.data(), dc.data(), ref.data(), m, k, n);
+  std::vector<T> scalar = init;
+  simd::MatMulAccAtCols<T, simd::ScalarOps>(a.data(), dc.data(),
+                                            scalar.data(), m, k, n, 0, k);
+  std::vector<T> vec = init;
+  simd::MatMulAccAtCols<T, simd::VecOps>(a.data(), dc.data(), vec.data(), m,
+                                         k, n, 0, k);
+
+  const double tol = ScaledTol(ref, PolicyTol<T>());
+  EXPECT_LE(MaxAbsDiff(ref, scalar), tol) << m << "x" << k << "x" << n;
+  EXPECT_LE(MaxAbsDiff(ref, vec), tol) << m << "x" << k << "x" << n;
+
+  // This kernel splits over *output* rows p (the k dimension).
+  if (k > 1) {
+    const int split = k / 2;
+    std::vector<T> split_out = init;
+    simd::MatMulAccAtCols<T, simd::VecOps>(a.data(), dc.data(),
+                                           split_out.data(), m, k, n, 0,
+                                           split);
+    simd::MatMulAccAtCols<T, simd::VecOps>(a.data(), dc.data(),
+                                           split_out.data(), m, k, n, split,
+                                           k);
+    EXPECT_TRUE(BitEqual(vec, split_out));
+  }
+}
+
+template <typename T>
+void RunMatMulSweep(double sparsity, uint64_t seed) {
+  Rng rng(seed);
+  for (int m : SweepDims()) {
+    for (int k : {1, 3, 4, 7, 16}) {
+      for (int n : {1, 5, 8, 17}) {
+        CheckMatMulAccOnce<T>(m, k, n, sparsity, &rng);
+        CheckMatMulAccBtOnce<T>(m, n, k, sparsity, &rng);
+        CheckMatMulAccAtOnce<T>(m, k, n, sparsity, &rng);
+      }
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, MatMulFamilyDenseF64) {
+  RunMatMulSweep<double>(/*sparsity=*/0.0, /*seed=*/0xA1);
+}
+
+TEST(KernelDifferentialTest, MatMulFamilySparseF64) {
+  // Sparse operands drive the reference through its zero-skip branch.
+  RunMatMulSweep<double>(/*sparsity=*/0.6, /*seed=*/0xA2);
+}
+
+TEST(KernelDifferentialTest, MatMulFamilyDenseF32) {
+  RunMatMulSweep<float>(/*sparsity=*/0.0, /*seed=*/0xA3);
+}
+
+TEST(KernelDifferentialTest, MatMulFamilySparseF32) {
+  RunMatMulSweep<float>(/*sparsity=*/0.6, /*seed=*/0xA4);
+}
+
+// Property/fuzz sweep: fully randomized shapes and sparsity, including
+// degenerate (empty / single-row) operands.
+TEST(KernelDifferentialTest, RandomizedShapeFuzz) {
+  Rng rng(0xF00D);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int m = static_cast<int>(rng.UniformInt(0, 40));
+    const int k = static_cast<int>(rng.UniformInt(0, 40));
+    const int n = static_cast<int>(rng.UniformInt(0, 40));
+    const double sparsity = rng.Uniform(0.0, 0.95);
+    CheckMatMulAccOnce<double>(m, k, n, sparsity, &rng);
+    CheckMatMulAccBtOnce<double>(m, n, k, sparsity, &rng);
+    CheckMatMulAccAtOnce<double>(m, k, n, sparsity, &rng);
+    CheckMatMulAccOnce<float>(m, k, n, sparsity, &rng);
+  }
+}
+
+// Tensor-level entry points: blocked + threaded MatMulInto against the
+// branchy reference configuration, at 1 and 4 threads. The large shape
+// clears the internal parallelism threshold so 4 threads genuinely fan
+// out; results must be bit-identical across thread counts.
+TEST(KernelDifferentialTest, MatMulIntoMatchesReferenceAcrossThreadCounts) {
+  const MatMulConfig saved = GetMatMulConfig();
+  Rng rng(0xBEEF);
+  for (const auto& dims : std::vector<std::vector<int>>{
+           {1, 1, 1}, {5, 3, 7}, {33, 17, 9}, {96, 64, 80}}) {
+    const int m = dims[0], k = dims[1], n = dims[2];
+    Tensor a({m, k}, RandomVector<double>(int64_t{m} * k, &rng, 0.3));
+    Tensor b({k, n}, RandomVector<double>(int64_t{k} * n, &rng, 0.3));
+    Tensor ref({m, n}), blocked1({m, n}), blocked4({m, n});
+
+    SetMatMulConfig({/*blocked=*/false, /*num_threads=*/1});
+    MatMulInto(a, b, &ref);
+    SetMatMulConfig({/*blocked=*/true, /*num_threads=*/1});
+    MatMulInto(a, b, &blocked1);
+    SetMatMulConfig({/*blocked=*/true, /*num_threads=*/4});
+    MatMulInto(a, b, &blocked4);
+
+    double ref_max = 0.0;
+    for (int64_t i = 0; i < ref.numel(); ++i) {
+      ref_max = std::max(ref_max, std::fabs(ref[i]));
+    }
+    const double tol = kF64Tol * std::max(1.0, ref_max);
+    for (int64_t i = 0; i < ref.numel(); ++i) {
+      EXPECT_NEAR(ref[i], blocked1[i], tol);
+      EXPECT_EQ(blocked1[i], blocked4[i])
+          << "thread-count variance at " << i;
+    }
+  }
+  SetMatMulConfig(saved);
+}
+
+// ---------------------------------------------------------------------------
+// LayerNorm.
+
+template <typename T>
+void CheckLayerNormOnce(int m, int n, Rng* rng) {
+  const std::vector<T> x = RandomVector<T>(int64_t{m} * n, rng);
+  const std::vector<T> gamma = RandomVector<T>(n, rng);
+  const std::vector<T> beta = RandomVector<T>(n, rng);
+  const T eps = static_cast<T>(1e-5);
+
+  std::vector<T> ref_out(x.size()), ref_xhat(x.size());
+  std::vector<T> ref_istd(static_cast<size_t>(m));
+  simd::LayerNormRows<T, simd::ScalarOps>(x.data(), gamma.data(), beta.data(),
+                                          eps, m, n, ref_out.data(),
+                                          ref_xhat.data(), ref_istd.data());
+
+  std::vector<T> vec_out(x.size()), vec_xhat(x.size());
+  std::vector<T> vec_istd(static_cast<size_t>(m));
+  simd::LayerNormRows<T, simd::VecOps>(x.data(), gamma.data(), beta.data(),
+                                       eps, m, n, vec_out.data(),
+                                       vec_xhat.data(), vec_istd.data());
+
+  const double tol = ScaledTol(ref_out, PolicyTol<T>());
+  EXPECT_LE(MaxAbsDiff(ref_out, vec_out), tol) << m << "x" << n;
+  EXPECT_LE(MaxAbsDiff(ref_xhat, vec_xhat),
+            ScaledTol(ref_xhat, PolicyTol<T>()));
+  EXPECT_LE(MaxAbsDiff(ref_istd, vec_istd),
+            ScaledTol(ref_istd, PolicyTol<T>()));
+
+  // The stats-free variant (serving: xhat/inv_std null) must produce the
+  // same output as the stats-saving one.
+  std::vector<T> bare(x.size());
+  simd::LayerNormRows<T, simd::VecOps>(x.data(), gamma.data(), beta.data(),
+                                       eps, m, n, bare.data(), nullptr,
+                                       nullptr);
+  EXPECT_TRUE(BitEqual(bare, vec_out));
+}
+
+TEST(KernelDifferentialTest, LayerNormSweep) {
+  Rng rng(0xC0);
+  for (int m : {0, 1, 2, 5, 16, 33}) {
+    for (int n : {1, 3, 4, 7, 8, 16, 17, 256}) {
+      CheckLayerNormOnce<double>(m, n, &rng);
+      CheckLayerNormOnce<float>(m, n, &rng);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Packed attention forward.
+
+template <typename T>
+void CheckAttentionOnce(int length, int num_observed, int d, bool shielded,
+                        bool use_srpe, bool packed_srpe, Rng* rng) {
+  std::vector<uint8_t> observed(length, 0);
+  for (int i = 0; i < num_observed; ++i) observed[i] = 1;
+  AttentionPlan plan;
+  BuildAttentionPlan(observed, shielded, &plan);
+  const int64_t num_pairs = plan.num_pairs();
+
+  const std::vector<T> q = RandomVector<T>(int64_t{length} * d, rng);
+  const std::vector<T> k = RandomVector<T>(int64_t{length} * d, rng);
+  const std::vector<T> v = RandomVector<T>(int64_t{length} * d, rng);
+  std::vector<T> c;
+  if (use_srpe) {
+    const int64_t c_rows = packed_srpe ? num_pairs : int64_t{length} * length;
+    c = RandomVector<T>(c_rows * d, rng);
+  }
+  const T* c_ptr = use_srpe ? c.data() : nullptr;
+
+  std::vector<T> scores;
+  std::vector<T> ref_alpha(static_cast<size_t>(num_pairs), T(0));
+  std::vector<T> ref_z(static_cast<size_t>(length) * d);
+  PackedAttentionForwardRows<T, simd::ScalarOps>(
+      q.data(), k.data(), v.data(), c_ptr, plan, packed_srpe, d,
+      /*tail_begin=*/0, &scores, ref_alpha.data(), ref_z.data());
+
+  std::vector<T> vec_alpha(static_cast<size_t>(num_pairs), T(0));
+  std::vector<T> vec_z(static_cast<size_t>(length) * d);
+  PackedAttentionForwardRows<T, simd::VecOps>(
+      q.data(), k.data(), v.data(), c_ptr, plan, packed_srpe, d,
+      /*tail_begin=*/0, &scores, vec_alpha.data(), vec_z.data());
+
+  EXPECT_LE(MaxAbsDiff(ref_z, vec_z), ScaledTol(ref_z, PolicyTol<T>()))
+      << "L=" << length << " m=" << num_observed << " d=" << d
+      << " shielded=" << shielded << " srpe=" << use_srpe
+      << " packed=" << packed_srpe;
+  EXPECT_LE(MaxAbsDiff(ref_alpha, vec_alpha),
+            ScaledTol(ref_alpha, PolicyTol<T>()));
+
+  // Tail kernel: rows [tail_begin, L) must be bit-identical to the same
+  // rows of the full kernel (same per-query arithmetic, shifted q rows).
+  const int tail_begin = num_observed;
+  const int num_queries = length - tail_begin;
+  if (num_queries > 0) {
+    std::vector<T> tail_z(static_cast<size_t>(num_queries) * d);
+    PackedAttentionForwardRows<T, simd::VecOps>(
+        q.data() + static_cast<int64_t>(tail_begin) * d, k.data(), v.data(),
+        c_ptr, plan, packed_srpe, d, tail_begin, &scores,
+        /*alpha_out=*/nullptr, tail_z.data());
+    EXPECT_EQ(0, std::memcmp(tail_z.data(),
+                             vec_z.data() + static_cast<int64_t>(tail_begin) *
+                                                d,
+                             tail_z.size() * sizeof(T)));
+  }
+}
+
+TEST(KernelDifferentialTest, AttentionSweep) {
+  Rng rng(0xD1);
+  for (int length : {1, 2, 5, 23}) {
+    for (int num_observed : {0, 1, length / 2, length}) {
+      for (int d : {1, 3, 8, 16}) {
+        for (bool shielded : {true, false}) {
+          for (bool use_srpe : {true, false}) {
+            CheckAttentionOnce<double>(length, num_observed, d, shielded,
+                                       use_srpe, /*packed_srpe=*/use_srpe,
+                                       &rng);
+            CheckAttentionOnce<float>(length, num_observed, d, shielded,
+                                      use_srpe, /*packed_srpe=*/use_srpe,
+                                      &rng);
+          }
+          // Dense (historical) SRPE layout.
+          CheckAttentionOnce<double>(length, num_observed, d, shielded,
+                                     /*use_srpe=*/true,
+                                     /*packed_srpe=*/false, &rng);
+        }
+      }
+    }
+  }
+}
+
+// Paper-config shape (L=123, m=113, d_k=16) — the exact hot-path geometry
+// the benches measure.
+TEST(KernelDifferentialTest, AttentionPaperConfig) {
+  Rng rng(0xD2);
+  CheckAttentionOnce<double>(123, 113, 16, /*shielded=*/true,
+                             /*use_srpe=*/true, /*packed_srpe=*/true, &rng);
+  CheckAttentionOnce<float>(123, 113, 16, /*shielded=*/true,
+                            /*use_srpe=*/true, /*packed_srpe=*/true, &rng);
+}
+
+}  // namespace
+}  // namespace ssin

@@ -1,0 +1,76 @@
+#ifndef SSIN_TESTS_KERNEL_TEST_UTIL_H_
+#define SSIN_TESTS_KERNEL_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ssin {
+namespace kernel_testing {
+
+/// Randomized kernel operands. `sparsity` is the probability of an exact
+/// zero — the branchy reference kernels skip zero entries, so sparse
+/// operands exercise a genuinely different control path in the reference
+/// than in the vectorized kernels.
+template <typename T>
+std::vector<T> RandomVector(int64_t n, Rng* rng, double sparsity = 0.0) {
+  std::vector<T> v(static_cast<size_t>(n));
+  for (auto& x : v) {
+    x = rng->Uniform() < sparsity ? T(0)
+                                  : static_cast<T>(rng->Normal(0.0, 1.0));
+  }
+  return v;
+}
+
+template <typename T>
+T MaxAbs(const std::vector<T>& v) {
+  T m = 0;
+  for (T x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+template <typename T>
+T MaxAbsDiff(const std::vector<T>& a, const std::vector<T>& b) {
+  T m = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+/// Error budget for comparing a reassociated (vectorized) reduction
+/// against the sequential reference: `rel_tol` scaled by the magnitude of
+/// the reference output (at least 1, so all-zero outputs still get an
+/// absolute floor).
+template <typename T>
+double ScaledTol(const std::vector<T>& ref, double rel_tol) {
+  return rel_tol * std::max(1.0, static_cast<double>(MaxAbs(ref)));
+}
+
+/// Bit-identity check for the determinism contracts (row splits, stats-free
+/// variants). Empty vectors compare equal without touching memcmp — its
+/// pointer arguments are declared nonnull, and data() of an empty vector
+/// may be null.
+template <typename T>
+bool BitEqual(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+/// Shape sweep shared by the matmul differential tests: edge shapes
+/// (empty, single row/col) plus sizes straddling the 4- and 8-lane vector
+/// widths and the kernels' unroll-by-4 / tile-by-4 boundaries.
+inline const std::vector<int>& SweepDims() {
+  static const std::vector<int> dims = {0, 1, 2, 3, 4, 5, 7, 8, 9, 16, 17, 33};
+  return dims;
+}
+
+}  // namespace kernel_testing
+}  // namespace ssin
+
+#endif  // SSIN_TESTS_KERNEL_TEST_UTIL_H_
