@@ -20,20 +20,35 @@
 /// [L*L, d_k] SRPE embedding, reference matmul kernels), the `Optimized`
 /// variant the current one (legal-pair-packed SRPE, cache-blocked
 /// matmuls). BM_ServeHotPath_* times the graph-free serving arithmetic at
-/// the same configuration three ways — scalar-reference f64, SIMD f64 and
-/// SIMD f32 — so the per-ISA kernel speedup is visible next to the
-/// training numbers. scripts/run_bench.sh drives this binary and records
+/// the same configuration — scalar-reference f64, SIMD f64, SIMD f32, and
+/// the fused serving chain (nn/fused_serving.h) in both precisions — so
+/// the per-ISA kernel speedup and the fusion speedup are visible next to
+/// the training numbers. The fused benches also report the real
+/// SpaFormer::Predict workspace arena high-water mark fused vs. unfused.
+/// scripts/run_bench.sh drives this binary and records
 /// BENCH_attention.json (including the active ISA and the derived
 /// speedups).
+///
+/// `--smoke` runs a tier-1 correctness check instead of timings: a tiny
+/// model served fused and unfused must produce exactly equal predictions
+/// (exit 1 on the first mismatch).
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "common/simd.h"
+#include "core/inference_engine.h"
 #include "core/spaformer.h"
+#include "core/spatial_context.h"
+#include "core/ssin_interpolator.h"
+#include "data/rainfall_generator.h"
+#include "nn/fused_serving.h"
+#include "nn/inference.h"
 #include "tensor/attention_kernels.h"
 #include "tensor/ops.h"
 
@@ -300,6 +315,209 @@ void BM_ServeHotPath_SimdF32(benchmark::State& state) {
   RunServeHotPath<float, simd::VecOps, /*kBlockedMatMul=*/true>(state);
 }
 
+/// The same serving pass composed from the fused kernels, exactly as
+/// EncoderLayer::InferFused runs them: one fused QKV pass over the rows,
+/// each head's attention written straight into its concat column block,
+/// output projection + residual + LayerNorm in one row-wise kernel, and
+/// the FFN with its [d_ff] hidden activation in a reusable tile. Same
+/// weights, shapes and Ops policy as RunServeHotPath<T, VecOps, true>, so
+/// the ratio of the two is the fusion speedup alone.
+template <typename T>
+void RunServeHotPathFused(benchmark::State& state) {
+  constexpr int kLayers = 3;
+  constexpr int kHeads = 2;
+  constexpr int kDff = 256;
+  const int length = kObserved;
+  const int num_observed = 113;
+  const int d = kDk;
+  std::vector<uint8_t> observed(length, 0);
+  for (int i = 0; i < num_observed; ++i) observed[i] = 1;
+  AttentionPlan plan;
+  BuildAttentionPlan(observed, /*shielded=*/true, &plan);
+  const int pairs = static_cast<int>(plan.num_pairs());
+
+  auto fill = [](std::vector<T>* v, int64_t salt) {
+    for (size_t i = 0; i < v->size(); ++i) {
+      (*v)[i] = static_cast<T>(
+          0.01 * ((static_cast<int64_t>(i) * 37 + salt) % 101) - 0.5);
+    }
+  };
+
+  std::vector<T> wq(d * d), wk(d * d), wv(d * d);
+  std::vector<T> wo(kHeads * d * d), w1(d * kDff), w2(kDff * d);
+  std::vector<T> gamma(d), beta(d);
+  std::vector<T> srpe(static_cast<size_t>(pairs) * d);
+  fill(&wq, 11);
+  fill(&wk, 12);
+  fill(&wv, 13);
+  fill(&wo, 14);
+  fill(&w1, 15);
+  fill(&w2, 16);
+  fill(&srpe, 17);
+  std::fill(gamma.begin(), gamma.end(), T(1));
+  std::fill(beta.begin(), beta.end(), T(0));
+  // Heads share the weight buffers (as the unfused bench does); the fused
+  // kernel takes per-head pointer tables.
+  const std::vector<const T*> wq_p(kHeads, wq.data());
+  const std::vector<const T*> wk_p(kHeads, wk.data());
+  const std::vector<const T*> wv_p(kHeads, wv.data());
+
+  const size_t numel = static_cast<size_t>(length) * d;
+  std::vector<T> x0(numel), x(numel), x1(numel);
+  std::vector<T> q(static_cast<size_t>(kHeads) * numel);
+  std::vector<T> kv(static_cast<size_t>(2 * kHeads) * numel);
+  std::vector<T> concat(static_cast<size_t>(length) * kHeads * d);
+  std::vector<T> hidden(kDff), tmp(d), scores;
+  fill(&x0, 1);
+
+  for (auto _ : state) {
+    std::copy(x0.begin(), x0.end(), x.begin());
+    for (int layer = 0; layer < kLayers; ++layer) {
+      fused::FusedQkvProjectRows<T, simd::VecOps>(
+          x.data(), length, d, /*tail_begin=*/0, wq_p.data(), wk_p.data(),
+          wv_p.data(), kHeads, d, q.data(), kv.data());
+      for (int head = 0; head < kHeads; ++head) {
+        PackedAttentionForwardRowsStrided<T, simd::VecOps>(
+            q.data() + static_cast<size_t>(head) * numel,
+            kv.data() + static_cast<size_t>(2 * head) * numel,
+            kv.data() + static_cast<size_t>(2 * head + 1) * numel,
+            srpe.data(), plan, /*packed_srpe=*/true, d, /*tail_begin=*/0,
+            &scores, /*alpha_out=*/nullptr,
+            concat.data() + static_cast<int64_t>(head) * d,
+            /*z_stride=*/int64_t{kHeads} * d);
+      }
+      fused::FusedAttentionEpilogueRows<T, simd::VecOps>(
+          concat.data(), length, kHeads * d, wo.data(), /*wo_bias=*/nullptr,
+          d, /*residual=*/x.data(), gamma.data(), beta.data(),
+          static_cast<T>(1e-5), tmp.data(), x1.data());
+      fused::FusedFfnRows<T, simd::VecOps>(
+          x1.data(), length, d, kDff, w1.data(), /*b1=*/nullptr, w2.data(),
+          /*b2=*/nullptr, /*relu=*/true, gamma.data(), beta.data(),
+          static_cast<T>(1e-5), hidden.data(), tmp.data(), x.data());
+    }
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.counters["ns_per_pair"] =
+      NsPerPair(static_cast<int64_t>(pairs) * kLayers * kHeads);
+}
+
+/// Workspace arena high-water mark of one real SpaFormer::Predict at the
+/// paper serving config (L=123, m=113), fused vs. unfused — measured once
+/// on fresh workspaces and attached to the fused bench as counters so
+/// BENCH_attention.json carries the memory story next to the timings.
+struct ServeArenaBytes {
+  size_t fused = 0;
+  size_t unfused = 0;
+};
+
+const ServeArenaBytes& MeasureServeArena() {
+  static const ServeArenaBytes measured = [] {
+    RainfallGenerator generator(HkRegionConfig());  // 123 gauges.
+    SpatialDataset data = generator.GenerateHours(1, 7);
+    std::vector<int> observed_ids, query_ids;
+    for (int i = 0; i < data.num_stations(); ++i) {
+      (i < 113 ? observed_ids : query_ids).push_back(i);
+    }
+    SpatialContext context;
+    context.Build(data, observed_ids);
+    SpaFormerConfig config;  // Paper defaults.
+    Rng rng(7);
+    SpaFormer model(config, &rng);
+    InferenceWorkspace layout_ws;
+    std::shared_ptr<const SequenceLayout> layout = BuildSequenceLayout(
+        &model, context, observed_ids, query_ids, &layout_ws);
+    Tensor x({layout->length(), 1});
+    Fill(&x, 1);
+
+    ServeArenaBytes out;
+    {
+      InferenceWorkspace ws;
+      model.set_fused_serving(true);
+      model.Predict(x, *layout, &ws);
+      out.fused = ws.ArenaBytes();
+    }
+    {
+      InferenceWorkspace ws;
+      model.set_fused_serving(false);
+      model.Predict(x, *layout, &ws);
+      out.unfused = ws.ArenaBytes();
+    }
+    return out;
+  }();
+  return measured;
+}
+
+template <typename T>
+void RunServeHotPathFusedWithArena(benchmark::State& state) {
+  RunServeHotPathFused<T>(state);
+  const ServeArenaBytes& arena = MeasureServeArena();
+  state.counters["arena_bytes_fused"] =
+      benchmark::Counter(static_cast<double>(arena.fused));
+  state.counters["arena_bytes_unfused"] =
+      benchmark::Counter(static_cast<double>(arena.unfused));
+}
+
+void BM_ServeHotPath_Fused(benchmark::State& state) {
+  RunServeHotPathFusedWithArena<double>(state);
+}
+
+void BM_ServeHotPath_FusedF32(benchmark::State& state) {
+  RunServeHotPathFusedWithArena<float>(state);
+}
+
+// ------------------------------------------------------------- smoke mode
+
+/// Tier-1 `--smoke`: serves a tiny untrained model fused and unfused and
+/// demands exactly equal predictions for every timestamp — the bench
+/// binary's own correctness gate, run by ctest so a fusion regression
+/// fails fast without the full benchmark suite.
+int RunFusedSmoke() {
+  RainfallRegionConfig region = HkRegionConfig();
+  region.num_gauges = 24;
+  region.width_km = 30.0;
+  region.height_km = 24.0;
+  RainfallGenerator generator(region);
+  SpatialDataset data = generator.GenerateHours(4, 7);
+  std::vector<int> observed_ids, query_ids;
+  for (int i = 0; i < data.num_stations(); ++i) {
+    (i % 4 == 3 ? query_ids : observed_ids).push_back(i);
+  }
+
+  SpaFormerConfig config;
+  config.num_layers = 2;
+  config.d_model = 8;
+  config.d_k = 8;
+  config.d_ff = 32;
+  TrainConfig train_config;
+  train_config.seed = 13;
+  SsinInterpolator ssin_model(config, train_config);
+  ssin_model.Prepare(data, observed_ids);  // Random weights serve fine.
+
+  for (int t = 0; t < data.num_timestamps(); ++t) {
+    ssin_model.SetFusedServing(true);
+    const std::vector<double> fused = ssin_model.InterpolateTimestamp(
+        data.Values(t), observed_ids, query_ids);
+    ssin_model.SetFusedServing(false);
+    const std::vector<double> unfused = ssin_model.InterpolateTimestamp(
+        data.Values(t), observed_ids, query_ids);
+    if (fused.size() != unfused.size()) {
+      std::fprintf(stderr, "smoke FAIL: size mismatch at t=%d\n", t);
+      return 1;
+    }
+    for (size_t i = 0; i < fused.size(); ++i) {
+      if (fused[i] != unfused[i]) {
+        std::fprintf(stderr,
+                     "smoke FAIL: t=%d query %zu fused=%.17g unfused=%.17g\n",
+                     t, i, fused[i], unfused[i]);
+        return 1;
+      }
+    }
+  }
+  std::printf("smoke PASS: fused == unfused serving on %d timestamps\n",
+              data.num_timestamps());
+  return 0;
+}
+
 }  // namespace
 
 BENCHMARK(BM_BuildPlan)
@@ -338,12 +556,29 @@ BENCHMARK(BM_SpaFormerSeq_OptimizedMT)
 BENCHMARK(BM_ServeHotPath_Scalar)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ServeHotPath_Simd)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ServeHotPath_SimdF32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ServeHotPath_Fused)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ServeHotPath_FusedF32)->Unit(benchmark::kMicrosecond);
 
 // Custom main (instead of BENCHMARK_MAIN) so the JSON context records
 // which ISA the build dispatches to — a BENCH_attention.json is then
 // self-describing about what "Simd" meant on the machine that wrote it.
+// `--smoke` short-circuits into the fused-vs-unfused correctness gate.
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return RunFusedSmoke();
+  }
   benchmark::AddCustomContext("simd_isa", ssin::simd::IsaName());
+  // The stock "library_build_type" context key describes the *benchmark
+  // harness library* (distro packages ship it built without NDEBUG), not
+  // this repo's code. Record whether the ssin kernels in this binary were
+  // compiled with optimization so run_bench.sh can refuse debug-built
+  // numbers. (NDEBUG is not the signal: this repo's Release flags are
+  // "-O3" without it, keeping assertions alive.)
+#ifdef __OPTIMIZE__
+  benchmark::AddCustomContext("ssin_build_type", "release");
+#else
+  benchmark::AddCustomContext("ssin_build_type", "debug");
+#endif
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -3,8 +3,10 @@
 #  * the attention kernel sweep (paper Figure 7 plus the full-sequence
 #    packed-vs-dense SRPE pipeline comparison at the paper configuration
 #    L=123, T=3, H=2, d_k=16) -> BENCH_attention.json, including a
-#    "serve_hot_path" summary with the active SIMD ISA and the
-#    scalar-vs-SIMD / f64-vs-f32 serving-kernel speedups
+#    "serve_hot_path" summary with the active SIMD ISA, the
+#    scalar-vs-SIMD / f64-vs-f32 serving-kernel speedups, and a "fused"
+#    block with the fused-chain speedups and the real Predict workspace
+#    arena bytes fused vs. unfused
 #  * the model-cost bench (paper Table 5) with the serving-throughput
 #    section comparing the graph-free inference engine against the
 #    autograd forward, plus the accuracy-gated f32 serving mode
@@ -16,19 +18,54 @@
 #    trace_event files — load them in chrome://tracing or Perfetto)
 # All JSON reports land in the repo root and are checked in.
 #
+# The benches always run from a dedicated `build-bench` tree configured
+# Release + native ISA, regardless of how the developer's main `build`
+# tree is configured — checked-in numbers must never come from a debug
+# binary, and the script refuses to write JSON if the binary reports a
+# non-Release library build.
+#
 #   scripts/run_bench.sh [build-dir] [extra benchmark flags...]
 #
 # Pass a benchmark filter to restrict the Figure 7 run, e.g.
-#   scripts/run_bench.sh build --benchmark_filter=SpaFormerSeq
+#   scripts/run_bench.sh build-bench --benchmark_filter=SpaFormerSeq
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD=${1:-build}
+BUILD=${1:-build-bench}
 shift || true
 
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release -DSSIN_NATIVE_ARCH=ON \
+  >/dev/null
 cmake --build "$BUILD" -j --target bench_fig7_attention_kernel \
   --target bench_table5_model_cost --target bench_telemetry_overhead \
   --target quickstart
+
+# Provenance gate: a debug-built benchmark binary must not overwrite the
+# checked-in reports. The bench main records the compile flags of the
+# ssin kernels as "ssin_build_type" in the JSON context; probe it before
+# running anything expensive.
+"$BUILD"/bench/bench_fig7_attention_kernel \
+  --benchmark_filter='BM_BuildPlan/123$' \
+  --benchmark_min_time=0.001 \
+  --benchmark_out=.bench_probe.json \
+  --benchmark_out_format=json >/dev/null
+python3 - <<'EOF'
+import json, sys
+
+with open(".bench_probe.json") as f:
+    context = json.load(f).get("context", {})
+# "library_build_type" describes the system benchmark harness library
+# (distro packages ship it debug); "ssin_build_type" records the flags
+# this repo's kernels were compiled with — that is the provenance gate.
+build_type = context.get("ssin_build_type", "unknown")
+if build_type != "release":
+    sys.exit("refusing to record benchmarks: ssin_build_type=%r "
+             "(want 'release') — the bench tree is misconfigured"
+             % build_type)
+print("bench provenance OK: ssin_build_type=release, simd_isa=%s"
+      % context.get("simd_isa", "unknown"))
+EOF
+rm -f .bench_probe.json
 
 "$BUILD"/bench/bench_fig7_attention_kernel \
   --benchmark_out=BENCH_attention.json \
@@ -36,26 +73,29 @@ cmake --build "$BUILD" -j --target bench_fig7_attention_kernel \
   --benchmark_repetitions=1 \
   "$@"
 
-# Summarize the serving hot-path trio into a top-level "serve_hot_path"
-# block: the active ISA (bench main records it in the context) and the
-# scalar-vs-SIMD / f64-vs-f32 speedups, so the headline numbers don't have
-# to be re-derived from the raw benchmark entries.
+# Summarize the serving hot-path family into a top-level "serve_hot_path"
+# block: the active ISA (bench main records it in the context), the
+# scalar-vs-SIMD / f64-vs-f32 speedups, and the fused-chain block (fusion
+# speedups plus the measured Predict arena bytes), so the headline numbers
+# don't have to be re-derived from the raw benchmark entries.
 python3 - <<'EOF'
-import json
+import json, sys
 
 with open("BENCH_attention.json") as f:
     report = json.load(f)
 
-times = {
-    b["name"]: b["real_time"]
+build_type = report.get("context", {}).get("ssin_build_type", "unknown")
+if build_type != "release":
+    sys.exit("refusing to keep BENCH_attention.json: ssin_build_type=%r"
+             % build_type)
+
+serve = {
+    b["name"]: b
     for b in report.get("benchmarks", [])
     if b["name"].startswith("BM_ServeHotPath_")
 }
-ns_per_pair = {
-    b["name"]: b.get("ns_per_pair")
-    for b in report.get("benchmarks", [])
-    if b["name"].startswith("BM_ServeHotPath_")
-}
+times = {name: b["real_time"] for name, b in serve.items()}
+ns_per_pair = {name: b.get("ns_per_pair") for name, b in serve.items()}
 scalar = times.get("BM_ServeHotPath_Scalar")
 simd = times.get("BM_ServeHotPath_Simd")
 f32 = times.get("BM_ServeHotPath_SimdF32")
@@ -71,6 +111,35 @@ if scalar and simd and f32:
         "simd_f32_speedup_vs_scalar": scalar / f32,
         "f32_speedup_vs_f64": simd / f32,
     }
+    fused = times.get("BM_ServeHotPath_Fused")
+    fused_f32 = times.get("BM_ServeHotPath_FusedF32")
+    if fused and fused_f32:
+        arena_fused = serve["BM_ServeHotPath_Fused"].get("arena_bytes_fused")
+        arena_unfused = serve["BM_ServeHotPath_Fused"].get(
+            "arena_bytes_unfused")
+        fused_block = {
+            "fused_f64_us": fused,
+            "fused_f32_us": fused_f32,
+            "fused_f64_speedup_vs_simd": simd / fused,
+            "fused_f64_speedup_vs_scalar": scalar / fused,
+            "fused_f32_speedup_vs_simd_f32": f32 / fused_f32,
+            "arena_bytes_fused": arena_fused,
+            "arena_bytes_unfused": arena_unfused,
+        }
+        if arena_fused and arena_unfused:
+            reduction = 1.0 - arena_fused / arena_unfused
+            fused_block["arena_reduction"] = reduction
+            if reduction < 0.30:
+                sys.exit("fused serving arena reduction %.1f%% below the "
+                         "30%% floor (fused=%d unfused=%d)"
+                         % (100 * reduction, arena_fused, arena_unfused))
+        summary["fused"] = fused_block
+        print("fused serving: f64 %.1fus (%.2fx vs simd), f32 %.1fus "
+              "(%.2fx vs simd f32), arena %.0f -> %.0f bytes (-%.0f%%)" % (
+                  fused, fused_block["fused_f64_speedup_vs_simd"],
+                  fused_f32, fused_block["fused_f32_speedup_vs_simd_f32"],
+                  arena_unfused or 0, arena_fused or 0,
+                  100 * fused_block.get("arena_reduction", 0)))
     report["serve_hot_path"] = summary
     with open("BENCH_attention.json", "w") as f:
         json.dump(report, f, indent=1)
@@ -100,5 +169,20 @@ echo "Wrote BENCH_telemetry_overhead.json"
 # example runs EvaluateInterpolator with EvalOptions::telemetry on when
 # SSIN_TELEMETRY_DIR is set).
 SSIN_TELEMETRY_DIR=. "$BUILD"/examples/quickstart >/dev/null
+
+# The serving report must carry the arena gauges (per-call bytes and the
+# process-wide peak) — the memory half of the fused-serving story.
+python3 - <<'EOF'
+import json, sys
+
+with open("telemetry_serve.json") as f:
+    gauges = json.load(f).get("gauges", {})
+for name in ("serve.workspace_arena_bytes", "serve.arena_peak_bytes"):
+    if gauges.get(name, 0) <= 0:
+        sys.exit("telemetry_serve.json lacks a positive %s gauge" % name)
+print("serve arena gauges: per-call %d bytes, peak %d bytes"
+      % (gauges["serve.workspace_arena_bytes"],
+         gauges["serve.arena_peak_bytes"]))
+EOF
 
 echo "Wrote telemetry_train.json and telemetry_serve.json"

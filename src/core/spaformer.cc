@@ -217,8 +217,12 @@ const Tensor& SpaFormer::Predict(const Tensor& x, const SequenceLayout& layout,
 
   // Only the query (trailing) rows feed the prediction head, so the final
   // encoder layer and the head run on those rows alone; their values are
-  // bit-identical to a full-sequence evaluation.
-  Tensor& h = encoder_.Infer(e, srpe, *layout.plan, ws, layout.num_observed);
+  // bit-identical to a full-sequence evaluation. The fused chain matches
+  // the blocked matmul arithmetic, so the non-blocked reference config
+  // falls back to the unfused composition.
+  const bool fused = config_.fused_serving && GetMatMulConfig().blocked;
+  Tensor& h = encoder_.Infer(e, srpe, *layout.plan, ws, layout.num_observed,
+                             fused);
   return prediction_.Infer(h, ws);  // [L - num_observed, 1]
 }
 
@@ -258,8 +262,11 @@ const TensorF32& SpaFormer::PredictF32(const Tensor& x,
                       static_cast<int>(e->numel()));
   }
 
-  TensorF32& h =
-      encoder_.InferF32(*e, srpe, *layout.plan, w, ws, layout.num_observed);
+  // The f32 chain always runs the blocked row kernels, so the fused flag
+  // alone decides (no MatMulConfig interaction).
+  TensorF32& h = encoder_.InferF32(*e, srpe, *layout.plan, w, ws,
+                                   layout.num_observed,
+                                   config_.fused_serving);
   return prediction_.InferF32(h, w, ws);  // [L - num_observed, 1]
 }
 

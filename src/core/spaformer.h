@@ -46,6 +46,19 @@ struct SpaFormerConfig {
   /// all [L*L, 2] rows — kept as the equivalence/benchmark reference.
   bool packed_srpe = true;
 
+  /// Fused serving chain (default): Predict/PredictF32 evaluate each
+  /// encoder layer with the single-pass fused kernels of
+  /// src/nn/fused_serving.h — one read of the input per QKV projection
+  /// pass, attention heads writing the concat directly, output projection
+  /// + residual + LayerNorm folded into one row-wise kernel, and the FFN
+  /// hidden activation kept in an L1 tile instead of an [L, d_ff] arena
+  /// tensor. false restores the unfused per-op composition, kept as the
+  /// bit-exact reference (per-element arithmetic is identical; the
+  /// differential harness pins fused == unfused). The fused path requires
+  /// the blocked matmul arithmetic, so it is bypassed automatically when
+  /// MatMulConfig{blocked=false} is active.
+  bool fused_serving = true;
+
   /// Named constructors for the paper's ablation variants (Table 6).
   static SpaFormerConfig Paper() { return SpaFormerConfig(); }
   static SpaFormerConfig EmbPosLinear();
@@ -105,6 +118,11 @@ class SpaFormer : public Module {
   void EmbedLayoutPositions(SequenceLayout* layout, InferenceWorkspace* ws);
 
   const SpaFormerConfig& config() const { return config_; }
+
+  /// Runtime toggle for the fused serving chain (config().fused_serving) —
+  /// a serving kill switch and the hook equivalence tests flip to compare
+  /// fused against unfused predictions on identical weights.
+  void set_fused_serving(bool fused) { config_.fused_serving = fused; }
 
  private:
   std::unique_ptr<Module> MakeEmbedding(SpaFormerConfig::Embedding kind,

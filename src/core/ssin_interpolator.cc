@@ -1,5 +1,6 @@
 #include "core/ssin_interpolator.h"
 
+#include <atomic>
 #include <cmath>
 
 #include "common/telemetry.h"
@@ -22,6 +23,27 @@ telemetry::Gauge* WorkspaceArenaGauge() {
   static telemetry::Gauge* gauge =
       telemetry::GetGauge("serve.workspace_arena_bytes");
   return gauge;
+}
+
+/// Process-wide high-water mark of InferenceWorkspace::ArenaBytes across
+/// every predict call — the number the fused serving chain drives down.
+/// Kept as a monotone atomic so concurrent serving threads race safely;
+/// the gauge mirrors the current maximum after each call.
+telemetry::Gauge* ArenaPeakGauge() {
+  static telemetry::Gauge* gauge =
+      telemetry::GetGauge("serve.arena_peak_bytes");
+  return gauge;
+}
+
+void RecordArenaPeak(size_t arena_bytes) {
+  static std::atomic<size_t> peak{0};
+  size_t seen = peak.load(std::memory_order_relaxed);
+  while (arena_bytes > seen &&
+         !peak.compare_exchange_weak(seen, arena_bytes,
+                                     std::memory_order_relaxed)) {
+  }
+  ArenaPeakGauge()->Set(
+      static_cast<double>(peak.load(std::memory_order_relaxed)));
 }
 
 }  // namespace
@@ -169,9 +191,21 @@ std::vector<double> SsinInterpolator::PredictWithLayout(
   if (begin_ns >= 0) {
     PredictLatencyHistogram()->Observe(
         static_cast<double>(telemetry::NowNs() - begin_ns) / 1e3);
-    WorkspaceArenaGauge()->Set(static_cast<double>(ws->ArenaBytes()));
+    const size_t arena_bytes = ws->ArenaBytes();
+    WorkspaceArenaGauge()->Set(static_cast<double>(arena_bytes));
+    RecordArenaPeak(arena_bytes);
   }
   return out;
+}
+
+void SsinInterpolator::SetFusedServing(bool fused) {
+  SSIN_CHECK(prepared_) << "call Fit() or Prepare() first";
+  model_->set_fused_serving(fused);
+}
+
+bool SsinInterpolator::fused_serving() const {
+  SSIN_CHECK(prepared_) << "call Fit() or Prepare() first";
+  return model_->config().fused_serving;
 }
 
 std::vector<double> SsinInterpolator::InterpolateTimestamp(

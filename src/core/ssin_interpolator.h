@@ -142,6 +142,14 @@ class SsinInterpolator : public SpatialInterpolator {
   void set_non_negative(bool non_negative) { non_negative_ = non_negative; }
   bool non_negative() const { return non_negative_; }
 
+  /// Runtime kill switch for the fused serving chain (see
+  /// SpaFormerConfig::fused_serving; on by default). Affects Predict
+  /// arithmetic layout only — fused and unfused produce identical
+  /// predictions, which the equivalence tests pin by flipping this.
+  /// Must be called after Fit()/Prepare().
+  void SetFusedServing(bool fused);
+  bool fused_serving() const;
+
  private:
   /// Cached-or-built layout for one (observed_ids, query_ids) pair.
   std::shared_ptr<const SequenceLayout> LayoutFor(

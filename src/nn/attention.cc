@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "nn/fused_serving.h"
+
 namespace ssin {
 
 MultiHeadSpaAttention::MultiHeadSpaAttention(int d_model, int num_heads,
@@ -115,6 +117,88 @@ TensorF32& MultiHeadSpaAttention::InferF32(const TensorF32& e,
     col += d;
   }
   return output_proj_->InferF32(*concat, w, ws);
+}
+
+void MultiHeadSpaAttention::InferConcatFused(const Tensor& e,
+                                             const Tensor* srpe,
+                                             const AttentionPlan& plan,
+                                             int tail_begin,
+                                             InferenceWorkspace* ws,
+                                             Tensor* concat) {
+  const int length = e.dim(0);
+  const int dm = e.dim(1);
+  const int H = num_heads();
+  const int d = head_dim();
+  const int nq = length - tail_begin;
+  // Head-major projection arenas: q [H, nq, d]; kv [2H, L, d] with k_h at
+  // block 2h and v_h at block 2h+1. Two slots replace the 3H per-head
+  // tensors of the unfused chain.
+  Tensor* q = ws->Acquire({H * nq, d});
+  Tensor* kv = ws->Acquire({2 * H * length, d});
+  std::vector<const double*>* wp = ws->weight_ptrs();
+  wp->resize(3 * static_cast<size_t>(H));
+  const double** wq = wp->data();
+  const double** wk = wq + H;
+  const double** wv = wk + H;
+  for (int h = 0; h < H; ++h) {
+    wq[h] = heads_[h].wq->weight_param()->value.data();
+    wk[h] = heads_[h].wk->weight_param()->value.data();
+    wv[h] = heads_[h].wv->weight_param()->value.data();
+  }
+  fused::FusedQkvProjectRows<double, simd::VecOps>(
+      e.data(), length, dm, tail_begin, wq, wk, wv, H, d, q->data(),
+      kv->data());
+  const double* c = srpe != nullptr ? srpe->data() : nullptr;
+  std::vector<double>* scores = &ws->attention_context()->scores;
+  for (int h = 0; h < H; ++h) {
+    PackedAttentionForwardRowsStrided<double, simd::VecOps>(
+        q->data() + static_cast<int64_t>(h) * nq * d,
+        kv->data() + static_cast<int64_t>(2 * h) * length * d,
+        kv->data() + static_cast<int64_t>(2 * h + 1) * length * d, c, plan,
+        config_.packed_srpe, d, tail_begin, scores, /*alpha_out=*/nullptr,
+        concat->data() + static_cast<int64_t>(h) * d,
+        /*z_stride=*/static_cast<int64_t>(H) * d);
+  }
+}
+
+void MultiHeadSpaAttention::InferConcatFusedF32(const TensorF32& e,
+                                                const TensorF32* srpe,
+                                                const AttentionPlan& plan,
+                                                int tail_begin,
+                                                const F32WeightCache::Map& w,
+                                                InferenceWorkspace* ws,
+                                                TensorF32* concat) {
+  const int length = e.dim(0);
+  const int dm = e.dim(1);
+  const int H = num_heads();
+  const int d = head_dim();
+  const int nq = length - tail_begin;
+  TensorF32* q = ws->AcquireF32({H * nq, d});
+  TensorF32* kv = ws->AcquireF32({2 * H * length, d});
+  std::vector<const float*>* wp = ws->weight_ptrs_f32();
+  wp->resize(3 * static_cast<size_t>(H));
+  const float** wq = wp->data();
+  const float** wk = wq + H;
+  const float** wv = wk + H;
+  for (int h = 0; h < H; ++h) {
+    wq[h] = w.at(heads_[h].wq->weight_param()).data();
+    wk[h] = w.at(heads_[h].wk->weight_param()).data();
+    wv[h] = w.at(heads_[h].wv->weight_param()).data();
+  }
+  fused::FusedQkvProjectRows<float, simd::VecOps>(
+      e.data(), length, dm, tail_begin, wq, wk, wv, H, d, q->data(),
+      kv->data());
+  const float* c = srpe != nullptr ? srpe->data() : nullptr;
+  for (int h = 0; h < H; ++h) {
+    PackedAttentionForwardRowsStrided<float, simd::VecOps>(
+        q->data() + static_cast<int64_t>(h) * nq * d,
+        kv->data() + static_cast<int64_t>(2 * h) * length * d,
+        kv->data() + static_cast<int64_t>(2 * h + 1) * length * d, c, plan,
+        config_.packed_srpe, d, tail_begin, ws->f32_scores(),
+        /*alpha_out=*/nullptr,
+        concat->data() + static_cast<int64_t>(h) * d,
+        /*z_stride=*/static_cast<int64_t>(H) * d);
+  }
 }
 
 Tensor& MultiHeadSpaAttention::InferTail(const Tensor& e, const Tensor* srpe,

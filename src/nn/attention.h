@@ -58,8 +58,28 @@ class MultiHeadSpaAttention : public Module {
                           const F32WeightCache::Map& w,
                           InferenceWorkspace* ws);
 
+  /// Fused serving forward up to (and excluding) the output projection:
+  /// fills `concat` [L - tail_begin, num_heads*d_k] with every head's
+  /// attention output in its column block. All head q/k/v projections run
+  /// in one pass over e's rows (FusedQkvProjectRows), and each head's
+  /// packed attention writes its concat columns directly via the strided
+  /// kernel — no per-head z tensors, no column copy. Row r corresponds to
+  /// query tail_begin + r (pass 0 for the full sequence); keys/values span
+  /// all of e either way, so every element matches Infer/InferTail exactly.
+  /// The caller (EncoderLayer::InferFused) finishes the sublayer with the
+  /// fused epilogue (output projection + residual + LayerNorm).
+  void InferConcatFused(const Tensor& e, const Tensor* srpe,
+                        const AttentionPlan& plan, int tail_begin,
+                        InferenceWorkspace* ws, Tensor* concat);
+  void InferConcatFusedF32(const TensorF32& e, const TensorF32* srpe,
+                           const AttentionPlan& plan, int tail_begin,
+                           const F32WeightCache::Map& w,
+                           InferenceWorkspace* ws, TensorF32* concat);
+
   const AttentionConfig& config() const { return config_; }
   int num_heads() const { return static_cast<int>(heads_.size()); }
+  int head_dim() const { return heads_[0].wq->out_features(); }
+  const Linear& output_proj() const { return *output_proj_; }
 
  private:
   struct Head {

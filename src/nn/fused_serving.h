@@ -1,0 +1,178 @@
+#ifndef SSIN_NN_FUSED_SERVING_H_
+#define SSIN_NN_FUSED_SERVING_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/simd.h"
+
+/// \file
+/// Fused serving kernels for the graph-free Infer path.
+///
+/// The unfused serving chain materializes every intermediate — per-head
+/// q/k/v projections, per-head attention outputs, the head concatenation,
+/// the FFN hidden activation [L, d_ff] — in the InferenceWorkspace bump
+/// arena, so at serving sizes the hot path is bandwidth-bound: each stage
+/// streams a full [L, *] tensor out to memory and the next stage streams
+/// it back in. The kernels here fuse the chain row-wise:
+///
+///   FusedQkvProjectRows        one pass over the input rows computes every
+///                              head's q/k/v projection (one read of x per
+///                              row instead of 3*H)
+///   FusedAttentionEpilogueRows per row: concat · W^O (+bias) + residual,
+///                              LayerNorm — the row never leaves L1 between
+///                              the output projection and the norm
+///   FusedFfnRows               per row: linear -> ReLU -> linear ->
+///                              residual -> LayerNorm with the [d_ff]
+///                              hidden activation in a reusable L1 tile
+///                              instead of a full [L, d_ff] arena tensor
+///
+/// Bit-exactness contract: every kernel reproduces, per output element, the
+/// exact arithmetic sequence of the unfused composition it replaces — the
+/// inner row product is the same zero-then-Axpy4/Axpy sequence as
+/// MatMulInto's blocked path (simd::MatMulAccRows), the residual adds
+/// execute in the same operand order as Tensor::Accumulate / Ops::Add, and
+/// the LayerNorm row body is simd::LayerNormRows verbatim. Only the
+/// *interleaving across elements* changes, so for a given Ops policy the
+/// fused chain is bit-identical to the unfused chain (the one exception is
+/// the sign of exact-zero ReLU outputs: Ops::Relu may flip -0.0 to +0.0
+/// where the historical f64 branch keeps -0.0 — value-equal under ==).
+/// tests/kernel_differential_test.cc pins each kernel against the unfused
+/// ScalarOps composition before any caller may use it.
+///
+/// Determinism: every output element is written by exactly one call in a
+/// fixed order, and the kernels run inline on the serving thread — results
+/// are independent of thread count by construction.
+
+namespace ssin {
+namespace fused {
+
+/// One output row of a matmul: out_row[n] = x_row[k] · w[k,n], zeroing
+/// out_row first. Per-element this is exactly MatMulInto's Fill(0) +
+/// simd::MatMulAccRows inner sequence (Axpy4 over groups of four w rows,
+/// Axpy remainder), so a fused caller matches the unfused tensor-level
+/// matmul bit for bit under the same Ops policy.
+template <typename T, typename Ops>
+inline void MatVecRowInto(const T* x_row, const T* w, int k, int n,
+                          T* out_row) {
+  for (int j = 0; j < n; ++j) out_row[j] = T(0);
+  int p = 0;
+  for (; p + 4 <= k; p += 4) {
+    const T* b0 = w + static_cast<int64_t>(p) * n;
+    Ops::Axpy4(x_row[p], x_row[p + 1], x_row[p + 2], x_row[p + 3], b0,
+               b0 + n, b0 + 2 * n, b0 + 3 * n, out_row, n);
+  }
+  for (; p < k; ++p) {
+    Ops::Axpy(x_row[p], w + static_cast<int64_t>(p) * n, out_row, n);
+  }
+}
+
+/// LayerNorm of one row; the row body of simd::LayerNormRows verbatim.
+template <typename T, typename Ops>
+inline void LayerNormRow(const T* x_row, const T* gamma, const T* beta,
+                         T eps, int n, T* out_row) {
+  const T mean = Ops::Sum(x_row, n) / static_cast<T>(n);
+  const T var = Ops::SumSqDiff(x_row, mean, n) / static_cast<T>(n);
+  const T istd = T(1) / std::sqrt(var + eps);
+  Ops::NormScale(x_row, mean, istd, gamma, beta, out_row,
+                 /*xhat=*/static_cast<T*>(nullptr), n);
+}
+
+/// Fused multi-head QKV projection: one pass over the `length` rows of
+/// x [length, dm] computes, for every head h in [0, num_heads):
+///
+///   k_h[i]              = x_row_i · wk[h]   for all rows i
+///   v_h[i]              = x_row_i · wv[h]   for all rows i
+///   q_h[i - tail_begin] = x_row_i · wq[h]   for rows i >= tail_begin
+///
+/// wq/wk/wv are arrays of num_heads weight pointers, each [dm, d]
+/// row-major. Outputs are head-major: kv is [2*num_heads, length, d] with
+/// k_h at kv + (2h)*length*d and v_h at kv + (2h+1)*length*d; q is
+/// [num_heads, length - tail_begin, d]. Keys/values span the full sequence
+/// while queries cover only the tail (pass tail_begin = 0 for all rows) —
+/// the serving tail optimization folded into the same pass.
+template <typename T, typename Ops>
+void FusedQkvProjectRows(const T* x, int length, int dm, int tail_begin,
+                         const T* const* wq, const T* const* wk,
+                         const T* const* wv, int num_heads, int d, T* q,
+                         T* kv) {
+  const int nq = length - tail_begin;
+  for (int i = 0; i < length; ++i) {
+    const T* x_row = x + static_cast<int64_t>(i) * dm;
+    for (int h = 0; h < num_heads; ++h) {
+      MatVecRowInto<T, Ops>(
+          x_row, wk[h], dm, d,
+          kv + (static_cast<int64_t>(2 * h) * length + i) * d);
+      MatVecRowInto<T, Ops>(
+          x_row, wv[h], dm, d,
+          kv + (static_cast<int64_t>(2 * h + 1) * length + i) * d);
+      if (i >= tail_begin) {
+        MatVecRowInto<T, Ops>(
+            x_row, wq[h], dm, d,
+            q + (static_cast<int64_t>(h) * nq + (i - tail_begin)) * d);
+      }
+    }
+  }
+}
+
+/// Fused attention epilogue: for each of the `rows` rows,
+///
+///   tmp      = concat_row[k] · wo[k,n] (+ wo_bias)
+///   tmp     += residual_row            (the attention residual)
+///   out_row  = LayerNorm(tmp; gamma, beta, eps)
+///
+/// in one pass, so the projected row goes straight from registers/L1 into
+/// the norm instead of round-tripping a full [rows, n] arena tensor twice.
+/// `residual` points at the rows the attention output pairs with — for a
+/// tail evaluation pass x + tail_begin*n so row r pairs with sequence row
+/// tail_begin + r. `tmp` is caller-provided scratch of n elements.
+/// wo_bias may be null (the attention output projection has no bias).
+template <typename T, typename Ops>
+void FusedAttentionEpilogueRows(const T* concat, int rows, int k,
+                                const T* wo, const T* wo_bias, int n,
+                                const T* residual, const T* gamma,
+                                const T* beta, T eps, T* tmp, T* out) {
+  for (int i = 0; i < rows; ++i) {
+    MatVecRowInto<T, Ops>(concat + static_cast<int64_t>(i) * k, wo, k, n,
+                          tmp);
+    if (wo_bias != nullptr) Ops::Add(wo_bias, tmp, n);
+    Ops::Add(residual + static_cast<int64_t>(i) * n, tmp, n);
+    LayerNormRow<T, Ops>(tmp, gamma, beta, eps, n,
+                         out + static_cast<int64_t>(i) * n);
+  }
+}
+
+/// Fused position-wise FFN sublayer: for each of the `rows` rows of
+/// x [rows, d],
+///
+///   hidden   = x_row[d] · w1[d, d_ff] (+ b1), ReLU if `relu`
+///   tmp      = hidden[d_ff] · w2[d_ff, d] (+ b2)
+///   tmp     += x_row                   (the FFN residual)
+///   out_row  = LayerNorm(tmp; gamma, beta, eps)
+///
+/// `hidden` (d_ff elements) and `tmp` (d elements) are caller-provided
+/// scratch tiles reused across rows — the [rows, d_ff] hidden activation,
+/// the dominant term of the unfused arena high-water mark, is never
+/// materialized. b1/b2 may be null.
+template <typename T, typename Ops>
+void FusedFfnRows(const T* x, int rows, int d, int d_ff, const T* w1,
+                  const T* b1, const T* w2, const T* b2, bool relu,
+                  const T* gamma, const T* beta, T eps, T* hidden, T* tmp,
+                  T* out) {
+  for (int i = 0; i < rows; ++i) {
+    const T* x_row = x + static_cast<int64_t>(i) * d;
+    MatVecRowInto<T, Ops>(x_row, w1, d, d_ff, hidden);
+    if (b1 != nullptr) Ops::Add(b1, hidden, d_ff);
+    if (relu) Ops::Relu(hidden, d_ff);
+    MatVecRowInto<T, Ops>(hidden, w2, d_ff, d, tmp);
+    if (b2 != nullptr) Ops::Add(b2, tmp, d);
+    Ops::Add(x_row, tmp, d);
+    LayerNormRow<T, Ops>(tmp, gamma, beta, eps, d,
+                         out + static_cast<int64_t>(i) * d);
+  }
+}
+
+}  // namespace fused
+}  // namespace ssin
+
+#endif  // SSIN_NN_FUSED_SERVING_H_

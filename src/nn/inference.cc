@@ -12,7 +12,19 @@ size_t InferenceWorkspace::ArenaBytes() const {
   for (const auto& slot : f32_slots_) {
     bytes += static_cast<size_t>(slot->numel()) * sizeof(float);
   }
+  bytes += scratch_f64_.size() * sizeof(double);
+  bytes += scratch_f32_.size() * sizeof(float);
   return bytes;
+}
+
+double* InferenceWorkspace::ScratchF64(size_t n) {
+  if (scratch_f64_.size() < n) scratch_f64_.resize(n);
+  return scratch_f64_.data();
+}
+
+float* InferenceWorkspace::ScratchF32(size_t n) {
+  if (scratch_f32_.size() < n) scratch_f32_.resize(n);
+  return scratch_f32_.data();
 }
 
 Tensor* InferenceWorkspace::Acquire(const std::vector<int>& shape) {

@@ -61,13 +61,27 @@ class InferenceWorkspace {
   /// keeps its scratch inside the AttentionContext).
   std::vector<float>* f32_scores() { return &f32_scores_; }
 
+  /// Reusable flat scratch for the fused serving kernels' per-row tiles
+  /// (FFN hidden + epilogue temporaries). Grows monotonically, never
+  /// shrinks; contents are unspecified. Unlike Acquire there is no cursor —
+  /// each fused layer invocation re-slices the same buffer, which is what
+  /// keeps the [L, d_ff] hidden activation out of the arena entirely.
+  double* ScratchF64(size_t n);
+  float* ScratchF32(size_t n);
+
+  /// Reusable pointer-table scratch for the fused QKV projection (the
+  /// per-head weight pointers), one per precision.
+  std::vector<const double*>* weight_ptrs() { return &weight_ptrs_; }
+  std::vector<const float*>* weight_ptrs_f32() { return &weight_ptrs_f32_; }
+
   /// Arena slots allocated so far (test hook: steady-state forward passes
   /// must not grow it).
   size_t num_slots() const { return slots_.size(); }
   size_t num_f32_slots() const { return f32_slots_.size(); }
 
-  /// Total bytes held by the arena tensors, both precisions (telemetry:
-  /// serve.workspace_arena_bytes gauges the per-call maximum).
+  /// Total bytes held by the arena tensors (both precisions) plus the
+  /// fused-kernel scratch tiles (telemetry: serve.workspace_arena_bytes
+  /// gauges the per-call value, serve.arena_peak_bytes the process peak).
   size_t ArenaBytes() const;
 
  private:
@@ -79,6 +93,10 @@ class InferenceWorkspace {
   size_t f32_cursor_ = 0;
   AttentionContext attention_context_;
   std::vector<float> f32_scores_;
+  std::vector<double> scratch_f64_;
+  std::vector<float> scratch_f32_;
+  std::vector<const double*> weight_ptrs_;
+  std::vector<const float*> weight_ptrs_f32_;
 };
 
 /// Float32 snapshots of a module's trained f64 parameters, converted once

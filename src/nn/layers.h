@@ -32,6 +32,13 @@ class Linear : public Module {
   int in_features() const { return in_features_; }
   int out_features() const { return out_features_; }
 
+  /// Raw parameter access for the fused serving kernels, which read the
+  /// weights directly instead of going through Infer. bias_param() is null
+  /// for bias-free layers. The f32 chain uses the Parameter pointer as the
+  /// F32WeightCache key, exactly like InferF32 does.
+  const Parameter* weight_param() const { return weight_; }
+  const Parameter* bias_param() const { return bias_; }
+
  private:
   int in_features_;
   int out_features_;
@@ -59,6 +66,11 @@ class Fcn2 : public Module {
   TensorF32& InferF32(const TensorF32& x, const F32WeightCache::Map& w,
                       InferenceWorkspace* ws);
 
+  /// Sublayer access for the fused serving kernels.
+  const Linear& first() const { return first_; }
+  const Linear& second() const { return second_; }
+  bool relu() const { return relu_; }
+
  private:
   Linear first_;
   Linear second_;
@@ -78,6 +90,11 @@ class LayerNormLayer : public Module {
   /// Float32 serving forward; see Linear::InferF32.
   TensorF32& InferF32(const TensorF32& x, const F32WeightCache::Map& w,
                       InferenceWorkspace* ws);
+
+  /// Raw parameter access for the fused serving kernels.
+  const Parameter* gamma_param() const { return gamma_; }
+  const Parameter* beta_param() const { return beta_; }
+  double eps() const { return eps_; }
 
  private:
   Parameter* gamma_;

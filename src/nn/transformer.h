@@ -43,6 +43,23 @@ class EncoderLayer : public Module {
                           const F32WeightCache::Map& w,
                           InferenceWorkspace* ws);
 
+  /// Fused serving forward (see src/nn/fused_serving.h): the attention
+  /// epilogue (head concat + output projection + residual + LayerNorm) and
+  /// the whole FFN sublayer run as single row-wise kernels, and the FFN
+  /// hidden activation lives in an L1 scratch tile instead of an [L, d_ff]
+  /// arena tensor. tail_begin >= 1 evaluates only the trailing rows
+  /// [tail_begin, L) (pass 0 for the full sequence — the tail variant is
+  /// the same code path, unified). Per-element arithmetic is identical to
+  /// Infer/InferTail, which remain the bit-exact reference (gated by
+  /// SpaFormerConfig::fused_serving).
+  Tensor& InferFused(const Tensor& x, const Tensor* srpe,
+                     const AttentionPlan& plan, int tail_begin,
+                     InferenceWorkspace* ws);
+  TensorF32& InferFusedF32(const TensorF32& x, const TensorF32* srpe,
+                           const AttentionPlan& plan, int tail_begin,
+                           const F32WeightCache::Map& w,
+                           InferenceWorkspace* ws);
+
  private:
   MultiHeadSpaAttention attention_;
   Fcn2 ffn_;
@@ -60,17 +77,21 @@ class Encoder : public Module {
   Var Forward(Var x, Var srpe, std::shared_ptr<const AttentionPlan> plan);
 
   /// Graph-free forward through the whole stack; see EncoderLayer::Infer.
-  /// When tail_begin >= 0, the final layer runs InferTail so the result
-  /// holds only the trailing rows [tail_begin, L) — the rows a prediction
-  /// head reads during serving. Rows are bit-identical to a full Infer.
+  /// When tail_begin >= 0, the final layer runs its tail variant so the
+  /// result holds only the trailing rows [tail_begin, L) — the rows a
+  /// prediction head reads during serving. Rows are bit-identical to a
+  /// full Infer. `fused` selects the fused serving chain
+  /// (EncoderLayer::InferFused) for every layer; false runs the unfused
+  /// reference composition.
   Tensor& Infer(const Tensor& x, const Tensor* srpe,
                 const AttentionPlan& plan, InferenceWorkspace* ws,
-                int tail_begin = -1);
+                int tail_begin = -1, bool fused = false);
 
   /// Float32 serving forward through the stack; see Infer.
   TensorF32& InferF32(const TensorF32& x, const TensorF32* srpe,
                       const AttentionPlan& plan, const F32WeightCache::Map& w,
-                      InferenceWorkspace* ws, int tail_begin = -1);
+                      InferenceWorkspace* ws, int tail_begin = -1,
+                      bool fused = false);
 
   int num_layers() const { return static_cast<int>(layers_.size()); }
 

@@ -93,12 +93,15 @@ struct AttentionContext {
 /// caller-owned per-query scratch (resized, never shrunk). alpha_out, when
 /// non-null, receives the softmax weight of legal pair t at alpha_out[t]
 /// (plan-global pair indexing; only pairs of the processed queries are
-/// written). z rows are overwritten.
+/// written). z rows are overwritten; row r starts at z + r*z_stride
+/// (z_stride >= d), which lets a caller aim each head directly at its
+/// column block of a wider concatenation tensor.
 template <typename T, typename Ops>
-void PackedAttentionForwardRows(const T* q, const T* k, const T* v,
-                                const T* c, const AttentionPlan& plan,
-                                bool packed_srpe, int d, int tail_begin,
-                                std::vector<T>* scores, T* alpha_out, T* z) {
+void PackedAttentionForwardRowsStrided(const T* q, const T* k, const T* v,
+                                       const T* c, const AttentionPlan& plan,
+                                       bool packed_srpe, int d,
+                                       int tail_begin, std::vector<T>* scores,
+                                       T* alpha_out, T* z, int64_t z_stride) {
   const T inv_sqrt_d = T(1) / std::sqrt(static_cast<T>(d));
   const int num_queries = plan.length - tail_begin;
   for (int r = 0; r < num_queries; ++r) {
@@ -132,7 +135,7 @@ void PackedAttentionForwardRows(const T* q, const T* k, const T* v,
       score[t] = std::exp(score[t] - max_score);
       denom += score[t];
     }
-    T* z_row = z + static_cast<int64_t>(r) * d;
+    T* z_row = z + static_cast<int64_t>(r) * z_stride;
     for (int e = 0; e < d; ++e) z_row[e] = T(0);
     for (int64_t t = 0; t < count; ++t) {
       const T alpha = score[t] / denom;
@@ -141,6 +144,20 @@ void PackedAttentionForwardRows(const T* q, const T* k, const T* v,
       Ops::Axpy(alpha, v + static_cast<int64_t>(j) * d, z_row, d);
     }
   }
+}
+
+/// Contiguous-output wrapper: z rows are packed with stride d. The fused
+/// serving chain calls the strided core directly so each head writes its
+/// column block of the concat tensor (stride num_heads*d) in place —
+/// identical arithmetic, no per-head z tensor and no copy.
+template <typename T, typename Ops>
+void PackedAttentionForwardRows(const T* q, const T* k, const T* v,
+                                const T* c, const AttentionPlan& plan,
+                                bool packed_srpe, int d, int tail_begin,
+                                std::vector<T>* scores, T* alpha_out, T* z) {
+  PackedAttentionForwardRowsStrided<T, Ops>(q, k, v, c, plan, packed_srpe, d,
+                                            tail_begin, scores, alpha_out, z,
+                                            /*z_stride=*/d);
 }
 
 /// Packed shielded attention with SRPE — the CPU analog of the paper's TVM

@@ -17,6 +17,7 @@
 #include "eval/runner.h"
 #include "nn/inference.h"
 #include "tensor/attention_kernels.h"
+#include "tensor/ops.h"
 
 namespace ssin {
 namespace {
@@ -387,6 +388,113 @@ TEST(F32ServingTest, WeightSnapshotConvertsOnceAndInvalidates) {
   EXPECT_FALSE(ssin.f32_weights().empty());
   ASSERT_TRUE(ssin.ResumeTrainerFrom(trainer_path));
   EXPECT_TRUE(ssin.f32_weights().empty());
+}
+
+// ------------------------------------------------- fused serving chain
+
+TEST(FusedServingTest, FusedMatchesUnfusedExactlyBothPrecisions) {
+  Fixture f;
+  SsinInterpolator ssin(TinyModel(/*packed_srpe=*/true),
+                        FastTraining(/*mean_fill=*/true));
+  ssin.Fit(f.data, f.observed_ids);
+  EXPECT_TRUE(ssin.fused_serving());  // On by default.
+
+  // f64: the fused kernels replay the unfused blocked arithmetic
+  // per-element, so predictions agree exactly (value equality — the only
+  // representational slack is the sign of exact-zero ReLU outputs).
+  for (int t = 0; t < f.data.num_timestamps(); ++t) {
+    ssin.SetFusedServing(true);
+    const std::vector<double> fused = ssin.InterpolateTimestamp(
+        f.data.Values(t), f.observed_ids, f.query_ids);
+    ssin.SetFusedServing(false);
+    const std::vector<double> unfused = ssin.InterpolateTimestamp(
+        f.data.Values(t), f.observed_ids, f.query_ids);
+    ASSERT_EQ(fused.size(), unfused.size());
+    for (size_t q = 0; q < fused.size(); ++q) {
+      EXPECT_EQ(fused[q], unfused[q]) << "timestamp " << t << " query " << q;
+    }
+  }
+
+  // f32 serving: same contract at the narrower precision.
+  ssin.set_serving_precision(SsinInterpolator::ServingPrecision::kFloat32);
+  for (int t = 0; t < f.data.num_timestamps(); ++t) {
+    ssin.SetFusedServing(true);
+    const std::vector<double> fused = ssin.InterpolateTimestamp(
+        f.data.Values(t), f.observed_ids, f.query_ids);
+    ssin.SetFusedServing(false);
+    const std::vector<double> unfused = ssin.InterpolateTimestamp(
+        f.data.Values(t), f.observed_ids, f.query_ids);
+    ASSERT_EQ(fused.size(), unfused.size());
+    for (size_t q = 0; q < fused.size(); ++q) {
+      EXPECT_EQ(fused[q], unfused[q]) << "timestamp " << t << " query " << q;
+    }
+  }
+}
+
+TEST(FusedServingTest, NonBlockedMatMulConfigBypassesFusion) {
+  // The fused chain reproduces the *blocked* matmul arithmetic; under the
+  // branchy reference configuration Predict must fall back to the unfused
+  // composition, so the fused flag changes nothing at all.
+  Fixture f;
+  SsinInterpolator ssin(TinyModel(/*packed_srpe=*/true),
+                        FastTraining(/*mean_fill=*/true));
+  ssin.Fit(f.data, f.observed_ids);
+
+  const MatMulConfig saved = GetMatMulConfig();
+  SetMatMulConfig({/*blocked=*/false, /*num_threads=*/1});
+  ssin.SetFusedServing(true);
+  const std::vector<double> flagged = ssin.InterpolateTimestamp(
+      f.data.Values(0), f.observed_ids, f.query_ids);
+  ssin.SetFusedServing(false);
+  const std::vector<double> unflagged = ssin.InterpolateTimestamp(
+      f.data.Values(0), f.observed_ids, f.query_ids);
+  SetMatMulConfig(saved);
+  ssin.SetFusedServing(true);
+
+  ASSERT_EQ(flagged.size(), unflagged.size());
+  for (size_t q = 0; q < flagged.size(); ++q) {
+    EXPECT_EQ(flagged[q], unflagged[q]);
+  }
+}
+
+TEST(FusedServingTest, ArenaShrinksAtPaperConfig) {
+  // The point of the fusion: at the paper's serving geometry (L=123,
+  // m=113, d_ff=256) the fused chain must cut the workspace arena
+  // high-water mark by at least 30% — the [L, d_ff] FFN hidden tensors and
+  // the per-head q/k/v/z tensors no longer hit the arena.
+  if (!telemetry::CompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+
+  RainfallGenerator generator(HkRegionConfig());  // 123 gauges.
+  SpatialDataset data = generator.GenerateHours(2, 7);
+  std::vector<int> observed_ids, query_ids;
+  for (int i = 0; i < data.num_stations(); ++i) {
+    (i < 113 ? observed_ids : query_ids).push_back(i);
+  }
+  ASSERT_EQ(113u, observed_ids.size());
+
+  SsinInterpolator ssin(SpaFormerConfig::Paper(),
+                        FastTraining(/*mean_fill=*/true));
+  ssin.Prepare(data, observed_ids);  // Serving needs no trained weights.
+
+  telemetry::SetEnabled(true);
+  ssin.SetFusedServing(true);
+  ssin.InterpolateTimestamp(data.Values(0), observed_ids, query_ids);
+  const double fused_bytes =
+      telemetry::GetGauge("serve.workspace_arena_bytes")->Value();
+  ssin.SetFusedServing(false);
+  ssin.InterpolateTimestamp(data.Values(0), observed_ids, query_ids);
+  const double unfused_bytes =
+      telemetry::GetGauge("serve.workspace_arena_bytes")->Value();
+  const double peak_bytes =
+      telemetry::GetGauge("serve.arena_peak_bytes")->Value();
+  telemetry::SetEnabled(false);
+  ssin.SetFusedServing(true);
+
+  EXPECT_GT(fused_bytes, 0.0);
+  EXPECT_LE(fused_bytes, 0.7 * unfused_bytes)
+      << "fused=" << fused_bytes << " unfused=" << unfused_bytes;
+  // The process-wide peak saw at least the larger of the two calls.
+  EXPECT_GE(peak_bytes, unfused_bytes);
 }
 
 // ------------------------------------------------- workspace + validation

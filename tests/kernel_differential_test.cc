@@ -13,10 +13,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
 #include "common/simd.h"
+#include "nn/fused_serving.h"
 #include "tensor/attention_kernels.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
@@ -360,6 +362,304 @@ TEST(KernelDifferentialTest, AttentionPaperConfig) {
                              /*use_srpe=*/true, /*packed_srpe=*/true, &rng);
   CheckAttentionOnce<float>(123, 113, 16, /*shielded=*/true,
                             /*use_srpe=*/true, /*packed_srpe=*/true, &rng);
+}
+
+// ---------------------------------------------------------------------------
+// Fused serving kernels (nn/fused_serving.h). Each fused kernel claims
+// per-element bit-identity with the unfused blocked composition under the
+// same Ops policy — the primary pins below are therefore exact (memcmp),
+// not tolerance-based. Cross-policy (fused VecOps vs. unfused ScalarOps)
+// gets the usual scaled tolerance budget.
+
+// Unfused reference for one matmul under policy Ops: exactly what
+// MatMulInto's blocked path computes (Fill(0) + MatMulAccRows).
+template <typename T, typename Ops>
+void UnfusedMatMul(const T* a, const T* b, int m, int k, int n, T* out) {
+  std::fill(out, out + int64_t{m} * n, T(0));
+  simd::MatMulAccRows<T, Ops>(a, b, out, k, n, 0, m);
+}
+
+template <typename T>
+void CheckFusedQkvOnce(int length, int dm, int d, int num_heads,
+                       int tail_begin, Rng* rng) {
+  const std::vector<T> x = RandomVector<T>(int64_t{length} * dm, rng);
+  std::vector<std::vector<T>> wq, wk, wv;
+  std::vector<const T*> wq_p, wk_p, wv_p;
+  for (int h = 0; h < num_heads; ++h) {
+    wq.push_back(RandomVector<T>(int64_t{dm} * d, rng));
+    wk.push_back(RandomVector<T>(int64_t{dm} * d, rng));
+    wv.push_back(RandomVector<T>(int64_t{dm} * d, rng));
+    wq_p.push_back(wq.back().data());
+    wk_p.push_back(wk.back().data());
+    wv_p.push_back(wv.back().data());
+  }
+
+  const int nq = length - tail_begin;
+  const size_t head = static_cast<size_t>(length) * d;
+  std::vector<T> q(static_cast<size_t>(num_heads) * nq * d);
+  std::vector<T> kv(static_cast<size_t>(2 * num_heads) * head);
+  fused::FusedQkvProjectRows<T, simd::VecOps>(
+      x.data(), length, dm, tail_begin, wq_p.data(), wk_p.data(), wv_p.data(),
+      num_heads, d, q.data(), kv.data());
+
+  std::vector<T> q_scalar(q.size()), kv_scalar(kv.size());
+  fused::FusedQkvProjectRows<T, simd::ScalarOps>(
+      x.data(), length, dm, tail_begin, wq_p.data(), wk_p.data(), wv_p.data(),
+      num_heads, d, q_scalar.data(), kv_scalar.data());
+  EXPECT_LE(MaxAbsDiff(kv, kv_scalar), ScaledTol(kv_scalar, PolicyTol<T>()));
+  EXPECT_LE(MaxAbsDiff(q, q_scalar), ScaledTol(q_scalar, PolicyTol<T>()));
+
+  // Same-policy unfused references (per-head tensor matmuls) must be
+  // bit-identical — this is the claim that lets the serving path swap the
+  // fused kernel in without changing a single prediction bit.
+  std::vector<T> ref(head);
+  for (int h = 0; h < num_heads && head > 0; ++h) {
+    UnfusedMatMul<T, simd::VecOps>(x.data(), wk[h].data(), length, dm, d,
+                                   ref.data());
+    EXPECT_EQ(0, std::memcmp(ref.data(), kv.data() + (2 * h) * head,
+                             head * sizeof(T)))
+        << "k head " << h << " L=" << length << " dm=" << dm << " d=" << d;
+    UnfusedMatMul<T, simd::VecOps>(x.data(), wv[h].data(), length, dm, d,
+                                   ref.data());
+    EXPECT_EQ(0, std::memcmp(ref.data(), kv.data() + (2 * h + 1) * head,
+                             head * sizeof(T)))
+        << "v head " << h;
+    if (nq > 0) {
+      std::vector<T> ref_q(static_cast<size_t>(nq) * d);
+      UnfusedMatMul<T, simd::VecOps>(x.data() + int64_t{tail_begin} * dm,
+                                     wq[h].data(), nq, dm, d, ref_q.data());
+      EXPECT_EQ(0, std::memcmp(ref_q.data(),
+                               q.data() + static_cast<size_t>(h) * nq * d,
+                               ref_q.size() * sizeof(T)))
+          << "q head " << h << " tail_begin=" << tail_begin;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, FusedQkvProjectSweep) {
+  Rng rng(0xE1);
+  for (int length : {0, 1, 2, 5, 23}) {
+    for (int dm : {1, 3, 7, 16}) {
+      for (int d : {1, 5, 16}) {
+        for (int num_heads : {1, 2, 3}) {
+          for (int tail_begin : {0, 1, length / 2, length}) {
+            if (tail_begin > length) continue;
+            CheckFusedQkvOnce<double>(length, dm, d, num_heads, tail_begin,
+                                      &rng);
+            CheckFusedQkvOnce<float>(length, dm, d, num_heads, tail_begin,
+                                     &rng);
+          }
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void CheckFusedEpilogueOnce(int rows, int k, int n, bool bias, Rng* rng) {
+  const std::vector<T> concat = RandomVector<T>(int64_t{rows} * k, rng);
+  const std::vector<T> wo = RandomVector<T>(int64_t{k} * n, rng);
+  const std::vector<T> wo_bias = RandomVector<T>(n, rng);
+  const std::vector<T> residual = RandomVector<T>(int64_t{rows} * n, rng);
+  const std::vector<T> gamma = RandomVector<T>(n, rng);
+  const std::vector<T> beta = RandomVector<T>(n, rng);
+  const T eps = static_cast<T>(1e-5);
+  const T* bias_ptr = bias ? wo_bias.data() : nullptr;
+
+  std::vector<T> tmp(n);
+  std::vector<T> out(static_cast<size_t>(rows) * n);
+  fused::FusedAttentionEpilogueRows<T, simd::VecOps>(
+      concat.data(), rows, k, wo.data(), bias_ptr, n, residual.data(),
+      gamma.data(), beta.data(), eps, tmp.data(), out.data());
+
+  // Unfused composition under the same policy: tensor matmul, then the
+  // bias / residual element adds, then the batched LayerNorm. Bit-exact.
+  std::vector<T> proj(out.size());
+  UnfusedMatMul<T, simd::VecOps>(concat.data(), wo.data(), rows, k, n,
+                                 proj.data());
+  for (int i = 0; i < rows; ++i) {
+    T* row = proj.data() + static_cast<int64_t>(i) * n;
+    if (bias) simd::VecOps::Add(wo_bias.data(), row, n);
+    simd::VecOps::Add(residual.data() + static_cast<int64_t>(i) * n, row, n);
+  }
+  std::vector<T> ref(out.size());
+  simd::LayerNormRows<T, simd::VecOps>(proj.data(), gamma.data(), beta.data(),
+                                       eps, rows, n, ref.data(), nullptr,
+                                       nullptr);
+  EXPECT_TRUE(BitEqual(ref, out))
+      << rows << "x" << k << "x" << n << " bias=" << bias;
+
+  // Cross-policy within tolerance.
+  std::vector<T> out_scalar(out.size());
+  fused::FusedAttentionEpilogueRows<T, simd::ScalarOps>(
+      concat.data(), rows, k, wo.data(), bias_ptr, n, residual.data(),
+      gamma.data(), beta.data(), eps, tmp.data(), out_scalar.data());
+  EXPECT_LE(MaxAbsDiff(out, out_scalar),
+            ScaledTol(out_scalar, PolicyTol<T>()));
+}
+
+TEST(KernelDifferentialTest, FusedAttentionEpilogueSweep) {
+  Rng rng(0xE2);
+  for (int rows : {0, 1, 2, 5, 23}) {
+    for (int k : {1, 5, 8, 32}) {
+      for (int n : {1, 3, 16, 17}) {
+        for (bool bias : {true, false}) {
+          CheckFusedEpilogueOnce<double>(rows, k, n, bias, &rng);
+          CheckFusedEpilogueOnce<float>(rows, k, n, bias, &rng);
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void CheckFusedFfnOnce(int rows, int d, int d_ff, bool relu, bool bias,
+                       Rng* rng) {
+  const std::vector<T> x = RandomVector<T>(int64_t{rows} * d, rng);
+  const std::vector<T> w1 = RandomVector<T>(int64_t{d} * d_ff, rng);
+  const std::vector<T> b1 = RandomVector<T>(d_ff, rng);
+  const std::vector<T> w2 = RandomVector<T>(int64_t{d_ff} * d, rng);
+  const std::vector<T> b2 = RandomVector<T>(d, rng);
+  const std::vector<T> gamma = RandomVector<T>(d, rng);
+  const std::vector<T> beta = RandomVector<T>(d, rng);
+  const T eps = static_cast<T>(1e-5);
+  const T* b1_ptr = bias ? b1.data() : nullptr;
+  const T* b2_ptr = bias ? b2.data() : nullptr;
+
+  std::vector<T> hidden(d_ff), tmp(d);
+  std::vector<T> out(static_cast<size_t>(rows) * d);
+  fused::FusedFfnRows<T, simd::VecOps>(
+      x.data(), rows, d, d_ff, w1.data(), b1_ptr, w2.data(), b2_ptr, relu,
+      gamma.data(), beta.data(), eps, hidden.data(), tmp.data(), out.data());
+
+  // Unfused composition: full [rows, d_ff] hidden tensor, batched adds,
+  // batched ReLU, batched LayerNorm — the arena-hungry chain the fused
+  // kernel replaces. Same policy, bit-exact.
+  std::vector<T> h(static_cast<size_t>(rows) * d_ff);
+  UnfusedMatMul<T, simd::VecOps>(x.data(), w1.data(), rows, d, d_ff,
+                                 h.data());
+  for (int i = 0; i < rows; ++i) {
+    T* row = h.data() + static_cast<int64_t>(i) * d_ff;
+    if (bias) simd::VecOps::Add(b1.data(), row, d_ff);
+    if (relu) simd::VecOps::Relu(row, d_ff);
+  }
+  std::vector<T> proj(out.size());
+  UnfusedMatMul<T, simd::VecOps>(h.data(), w2.data(), rows, d_ff, d,
+                                 proj.data());
+  for (int i = 0; i < rows; ++i) {
+    T* row = proj.data() + static_cast<int64_t>(i) * d;
+    if (bias) simd::VecOps::Add(b2.data(), row, d);
+    simd::VecOps::Add(x.data() + static_cast<int64_t>(i) * d, row, d);
+  }
+  std::vector<T> ref(out.size());
+  simd::LayerNormRows<T, simd::VecOps>(proj.data(), gamma.data(), beta.data(),
+                                       eps, rows, d, ref.data(), nullptr,
+                                       nullptr);
+  EXPECT_TRUE(BitEqual(ref, out))
+      << rows << "x" << d << "x" << d_ff << " relu=" << relu
+      << " bias=" << bias;
+
+  // Cross-policy within tolerance.
+  std::vector<T> out_scalar(out.size());
+  fused::FusedFfnRows<T, simd::ScalarOps>(
+      x.data(), rows, d, d_ff, w1.data(), b1_ptr, w2.data(), b2_ptr, relu,
+      gamma.data(), beta.data(), eps, hidden.data(), tmp.data(),
+      out_scalar.data());
+  EXPECT_LE(MaxAbsDiff(out, out_scalar),
+            ScaledTol(out_scalar, PolicyTol<T>()));
+}
+
+TEST(KernelDifferentialTest, FusedFfnSweep) {
+  Rng rng(0xE3);
+  for (int rows : {0, 1, 2, 5, 23}) {
+    for (int d : {1, 3, 16, 17}) {
+      for (int d_ff : {1, 7, 64}) {
+        for (bool relu : {true, false}) {
+          for (bool bias : {true, false}) {
+            CheckFusedFfnOnce<double>(rows, d, d_ff, relu, bias, &rng);
+            CheckFusedFfnOnce<float>(rows, d, d_ff, relu, bias, &rng);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Strided attention output: each head writing its column block of the
+// [L, H*d] concat directly must be bit-identical to the contiguous kernel
+// plus an explicit column copy (the unfused chain's layout).
+template <typename T>
+void CheckStridedAttentionOnce(int length, int num_observed, int d,
+                               int num_heads, int tail_begin, Rng* rng) {
+  std::vector<uint8_t> observed(length, 0);
+  for (int i = 0; i < num_observed; ++i) observed[i] = 1;
+  AttentionPlan plan;
+  BuildAttentionPlan(observed, /*shielded=*/true, &plan);
+
+  const std::vector<T> q = RandomVector<T>(int64_t{length} * d, rng);
+  const std::vector<T> k = RandomVector<T>(int64_t{length} * d, rng);
+  const std::vector<T> v = RandomVector<T>(int64_t{length} * d, rng);
+  const std::vector<T> c =
+      RandomVector<T>(plan.num_pairs() * int64_t{d}, rng);
+
+  const int nq = length - tail_begin;
+  std::vector<T> scores;
+  std::vector<T> contiguous(static_cast<size_t>(nq) * d);
+  PackedAttentionForwardRows<T, simd::VecOps>(
+      q.data() + int64_t{tail_begin} * d, k.data(), v.data(), c.data(), plan,
+      /*packed_srpe=*/true, d, tail_begin, &scores, /*alpha_out=*/nullptr,
+      contiguous.data());
+
+  const int64_t stride = int64_t{num_heads} * d;
+  for (int h = 0; h < num_heads; ++h) {
+    std::vector<T> strided(static_cast<size_t>(nq) * stride, T(-1));
+    PackedAttentionForwardRowsStrided<T, simd::VecOps>(
+        q.data() + int64_t{tail_begin} * d, k.data(), v.data(), c.data(),
+        plan, /*packed_srpe=*/true, d, tail_begin, &scores,
+        /*alpha_out=*/nullptr, strided.data() + int64_t{h} * d, stride);
+    for (int r = 0; r < nq; ++r) {
+      EXPECT_EQ(0, std::memcmp(contiguous.data() + int64_t{r} * d,
+                               strided.data() + r * stride + int64_t{h} * d,
+                               d * sizeof(T)))
+          << "row " << r << " head " << h;
+      // Rows outside the head's column block must be untouched.
+      for (int64_t j = 0; j < stride; ++j) {
+        if (j < int64_t{h} * d || j >= int64_t{h + 1} * d) {
+          EXPECT_EQ(T(-1), strided[r * stride + j]);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, StridedAttentionMatchesContiguous) {
+  Rng rng(0xE4);
+  for (int length : {1, 2, 5, 23}) {
+    for (int num_observed : {0, 1, length / 2, length}) {
+      for (int tail_begin : {0, num_observed}) {
+        CheckStridedAttentionOnce<double>(length, num_observed, /*d=*/8,
+                                          /*num_heads=*/2, tail_begin, &rng);
+        CheckStridedAttentionOnce<float>(length, num_observed, /*d=*/8,
+                                         /*num_heads=*/2, tail_begin, &rng);
+      }
+    }
+  }
+}
+
+// Paper-config geometry for the whole fused chain: L=123, m=113, H=2,
+// d_model=d_k=16, d_ff=256 — the exact shapes SpaFormer serves.
+TEST(KernelDifferentialTest, FusedServingPaperConfig) {
+  Rng rng(0xE5);
+  CheckFusedQkvOnce<double>(123, 16, 16, 2, /*tail_begin=*/113, &rng);
+  CheckFusedQkvOnce<float>(123, 16, 16, 2, /*tail_begin=*/113, &rng);
+  CheckFusedEpilogueOnce<double>(123, 32, 16, /*bias=*/false, &rng);
+  CheckFusedEpilogueOnce<float>(123, 32, 16, /*bias=*/false, &rng);
+  CheckFusedFfnOnce<double>(123, 16, 256, /*relu=*/true, /*bias=*/true, &rng);
+  CheckFusedFfnOnce<float>(123, 16, 256, /*relu=*/true, /*bias=*/true, &rng);
+  CheckStridedAttentionOnce<double>(123, 113, 16, 2, /*tail_begin=*/113,
+                                    &rng);
+  CheckStridedAttentionOnce<float>(123, 113, 16, 2, /*tail_begin=*/113,
+                                   &rng);
 }
 
 }  // namespace
