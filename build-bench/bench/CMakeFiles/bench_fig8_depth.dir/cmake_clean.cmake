@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_depth.dir/bench_fig8_depth.cc.o"
+  "CMakeFiles/bench_fig8_depth.dir/bench_fig8_depth.cc.o.d"
+  "bench_fig8_depth"
+  "bench_fig8_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

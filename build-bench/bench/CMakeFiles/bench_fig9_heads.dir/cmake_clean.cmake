@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_heads.dir/bench_fig9_heads.cc.o"
+  "CMakeFiles/bench_fig9_heads.dir/bench_fig9_heads.cc.o.d"
+  "bench_fig9_heads"
+  "bench_fig9_heads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_heads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_model_cost.dir/bench_table5_model_cost.cc.o"
+  "CMakeFiles/bench_table5_model_cost.dir/bench_table5_model_cost.cc.o.d"
+  "bench_table5_model_cost"
+  "bench_table5_model_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_model_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

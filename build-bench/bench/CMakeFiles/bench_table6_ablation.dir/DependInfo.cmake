@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table6_ablation.cc" "bench/CMakeFiles/bench_table6_ablation.dir/bench_table6_ablation.cc.o" "gcc" "bench/CMakeFiles/bench_table6_ablation.dir/bench_table6_ablation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-bench/src/eval/CMakeFiles/ssin_eval.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/baselines/CMakeFiles/ssin_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/core/CMakeFiles/ssin_core.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/data/CMakeFiles/ssin_data.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/nn/CMakeFiles/ssin_nn.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/geo/CMakeFiles/ssin_geo.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/tensor/CMakeFiles/ssin_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/common/CMakeFiles/ssin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_data_amount.dir/bench_table7_data_amount.cc.o"
+  "CMakeFiles/bench_table7_data_amount.dir/bench_table7_data_amount.cc.o.d"
+  "bench_table7_data_amount"
+  "bench_table7_data_amount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_data_amount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_traffic.dir/bench_table9_traffic.cc.o"
+  "CMakeFiles/bench_table9_traffic.dir/bench_table9_traffic.cc.o.d"
+  "bench_table9_traffic"
+  "bench_table9_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

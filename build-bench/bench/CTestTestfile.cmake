@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-bench/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_telemetry_overhead_smoke "/root/repo/build-bench/bench/bench_telemetry_overhead" "--smoke")
+set_tests_properties(bench_telemetry_overhead_smoke PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig7_fused_smoke "/root/repo/build-bench/bench/bench_fig7_attention_kernel" "--smoke")
+set_tests_properties(bench_fig7_fused_smoke PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")

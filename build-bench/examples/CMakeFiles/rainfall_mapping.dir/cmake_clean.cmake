@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rainfall_mapping.dir/rainfall_mapping.cpp.o"
+  "CMakeFiles/rainfall_mapping.dir/rainfall_mapping.cpp.o.d"
+  "rainfall_mapping"
+  "rainfall_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rainfall_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_interpolation.dir/traffic_interpolation.cpp.o"
+  "CMakeFiles/traffic_interpolation.dir/traffic_interpolation.cpp.o.d"
+  "traffic_interpolation"
+  "traffic_interpolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/delaunay.cc" "src/baselines/CMakeFiles/ssin_baselines.dir/delaunay.cc.o" "gcc" "src/baselines/CMakeFiles/ssin_baselines.dir/delaunay.cc.o.d"
+  "/root/repo/src/baselines/idw.cc" "src/baselines/CMakeFiles/ssin_baselines.dir/idw.cc.o" "gcc" "src/baselines/CMakeFiles/ssin_baselines.dir/idw.cc.o.d"
+  "/root/repo/src/baselines/ignnk.cc" "src/baselines/CMakeFiles/ssin_baselines.dir/ignnk.cc.o" "gcc" "src/baselines/CMakeFiles/ssin_baselines.dir/ignnk.cc.o.d"
+  "/root/repo/src/baselines/kcn.cc" "src/baselines/CMakeFiles/ssin_baselines.dir/kcn.cc.o" "gcc" "src/baselines/CMakeFiles/ssin_baselines.dir/kcn.cc.o.d"
+  "/root/repo/src/baselines/kriging.cc" "src/baselines/CMakeFiles/ssin_baselines.dir/kriging.cc.o" "gcc" "src/baselines/CMakeFiles/ssin_baselines.dir/kriging.cc.o.d"
+  "/root/repo/src/baselines/rbf.cc" "src/baselines/CMakeFiles/ssin_baselines.dir/rbf.cc.o" "gcc" "src/baselines/CMakeFiles/ssin_baselines.dir/rbf.cc.o.d"
+  "/root/repo/src/baselines/tin.cc" "src/baselines/CMakeFiles/ssin_baselines.dir/tin.cc.o" "gcc" "src/baselines/CMakeFiles/ssin_baselines.dir/tin.cc.o.d"
+  "/root/repo/src/baselines/tps.cc" "src/baselines/CMakeFiles/ssin_baselines.dir/tps.cc.o" "gcc" "src/baselines/CMakeFiles/ssin_baselines.dir/tps.cc.o.d"
+  "/root/repo/src/baselines/variogram.cc" "src/baselines/CMakeFiles/ssin_baselines.dir/variogram.cc.o" "gcc" "src/baselines/CMakeFiles/ssin_baselines.dir/variogram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-bench/src/core/CMakeFiles/ssin_core.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/nn/CMakeFiles/ssin_nn.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/data/CMakeFiles/ssin_data.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/geo/CMakeFiles/ssin_geo.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/tensor/CMakeFiles/ssin_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/common/CMakeFiles/ssin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssin_baselines.dir/delaunay.cc.o"
+  "CMakeFiles/ssin_baselines.dir/delaunay.cc.o.d"
+  "CMakeFiles/ssin_baselines.dir/idw.cc.o"
+  "CMakeFiles/ssin_baselines.dir/idw.cc.o.d"
+  "CMakeFiles/ssin_baselines.dir/ignnk.cc.o"
+  "CMakeFiles/ssin_baselines.dir/ignnk.cc.o.d"
+  "CMakeFiles/ssin_baselines.dir/kcn.cc.o"
+  "CMakeFiles/ssin_baselines.dir/kcn.cc.o.d"
+  "CMakeFiles/ssin_baselines.dir/kriging.cc.o"
+  "CMakeFiles/ssin_baselines.dir/kriging.cc.o.d"
+  "CMakeFiles/ssin_baselines.dir/rbf.cc.o"
+  "CMakeFiles/ssin_baselines.dir/rbf.cc.o.d"
+  "CMakeFiles/ssin_baselines.dir/tin.cc.o"
+  "CMakeFiles/ssin_baselines.dir/tin.cc.o.d"
+  "CMakeFiles/ssin_baselines.dir/tps.cc.o"
+  "CMakeFiles/ssin_baselines.dir/tps.cc.o.d"
+  "CMakeFiles/ssin_baselines.dir/variogram.cc.o"
+  "CMakeFiles/ssin_baselines.dir/variogram.cc.o.d"
+  "libssin_baselines.a"
+  "libssin_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssin_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/csv.cc" "src/common/CMakeFiles/ssin_common.dir/csv.cc.o" "gcc" "src/common/CMakeFiles/ssin_common.dir/csv.cc.o.d"
+  "/root/repo/src/common/json_writer.cc" "src/common/CMakeFiles/ssin_common.dir/json_writer.cc.o" "gcc" "src/common/CMakeFiles/ssin_common.dir/json_writer.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/common/CMakeFiles/ssin_common.dir/log.cc.o" "gcc" "src/common/CMakeFiles/ssin_common.dir/log.cc.o.d"
+  "/root/repo/src/common/matrix.cc" "src/common/CMakeFiles/ssin_common.dir/matrix.cc.o" "gcc" "src/common/CMakeFiles/ssin_common.dir/matrix.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/ssin_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/ssin_common.dir/stats.cc.o.d"
+  "/root/repo/src/common/telemetry.cc" "src/common/CMakeFiles/ssin_common.dir/telemetry.cc.o" "gcc" "src/common/CMakeFiles/ssin_common.dir/telemetry.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/ssin_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/ssin_common.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssin_common.dir/csv.cc.o"
+  "CMakeFiles/ssin_common.dir/csv.cc.o.d"
+  "CMakeFiles/ssin_common.dir/json_writer.cc.o"
+  "CMakeFiles/ssin_common.dir/json_writer.cc.o.d"
+  "CMakeFiles/ssin_common.dir/log.cc.o"
+  "CMakeFiles/ssin_common.dir/log.cc.o.d"
+  "CMakeFiles/ssin_common.dir/matrix.cc.o"
+  "CMakeFiles/ssin_common.dir/matrix.cc.o.d"
+  "CMakeFiles/ssin_common.dir/stats.cc.o"
+  "CMakeFiles/ssin_common.dir/stats.cc.o.d"
+  "CMakeFiles/ssin_common.dir/telemetry.cc.o"
+  "CMakeFiles/ssin_common.dir/telemetry.cc.o.d"
+  "CMakeFiles/ssin_common.dir/thread_pool.cc.o"
+  "CMakeFiles/ssin_common.dir/thread_pool.cc.o.d"
+  "libssin_common.a"
+  "libssin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

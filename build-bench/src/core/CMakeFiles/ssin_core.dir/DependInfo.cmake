@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/inference_engine.cc" "src/core/CMakeFiles/ssin_core.dir/inference_engine.cc.o" "gcc" "src/core/CMakeFiles/ssin_core.dir/inference_engine.cc.o.d"
+  "/root/repo/src/core/interpolation.cc" "src/core/CMakeFiles/ssin_core.dir/interpolation.cc.o" "gcc" "src/core/CMakeFiles/ssin_core.dir/interpolation.cc.o.d"
+  "/root/repo/src/core/masking.cc" "src/core/CMakeFiles/ssin_core.dir/masking.cc.o" "gcc" "src/core/CMakeFiles/ssin_core.dir/masking.cc.o.d"
+  "/root/repo/src/core/spaformer.cc" "src/core/CMakeFiles/ssin_core.dir/spaformer.cc.o" "gcc" "src/core/CMakeFiles/ssin_core.dir/spaformer.cc.o.d"
+  "/root/repo/src/core/spatial_context.cc" "src/core/CMakeFiles/ssin_core.dir/spatial_context.cc.o" "gcc" "src/core/CMakeFiles/ssin_core.dir/spatial_context.cc.o.d"
+  "/root/repo/src/core/ssin_interpolator.cc" "src/core/CMakeFiles/ssin_core.dir/ssin_interpolator.cc.o" "gcc" "src/core/CMakeFiles/ssin_core.dir/ssin_interpolator.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/ssin_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/ssin_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-bench/src/nn/CMakeFiles/ssin_nn.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/geo/CMakeFiles/ssin_geo.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/data/CMakeFiles/ssin_data.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/tensor/CMakeFiles/ssin_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/common/CMakeFiles/ssin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssin_core.dir/inference_engine.cc.o"
+  "CMakeFiles/ssin_core.dir/inference_engine.cc.o.d"
+  "CMakeFiles/ssin_core.dir/interpolation.cc.o"
+  "CMakeFiles/ssin_core.dir/interpolation.cc.o.d"
+  "CMakeFiles/ssin_core.dir/masking.cc.o"
+  "CMakeFiles/ssin_core.dir/masking.cc.o.d"
+  "CMakeFiles/ssin_core.dir/spaformer.cc.o"
+  "CMakeFiles/ssin_core.dir/spaformer.cc.o.d"
+  "CMakeFiles/ssin_core.dir/spatial_context.cc.o"
+  "CMakeFiles/ssin_core.dir/spatial_context.cc.o.d"
+  "CMakeFiles/ssin_core.dir/ssin_interpolator.cc.o"
+  "CMakeFiles/ssin_core.dir/ssin_interpolator.cc.o.d"
+  "CMakeFiles/ssin_core.dir/trainer.cc.o"
+  "CMakeFiles/ssin_core.dir/trainer.cc.o.d"
+  "libssin_core.a"
+  "libssin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv_loader.cc" "src/data/CMakeFiles/ssin_data.dir/csv_loader.cc.o" "gcc" "src/data/CMakeFiles/ssin_data.dir/csv_loader.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/ssin_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/ssin_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/rainfall_generator.cc" "src/data/CMakeFiles/ssin_data.dir/rainfall_generator.cc.o" "gcc" "src/data/CMakeFiles/ssin_data.dir/rainfall_generator.cc.o.d"
+  "/root/repo/src/data/traffic_generator.cc" "src/data/CMakeFiles/ssin_data.dir/traffic_generator.cc.o" "gcc" "src/data/CMakeFiles/ssin_data.dir/traffic_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-bench/src/common/CMakeFiles/ssin_common.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/geo/CMakeFiles/ssin_geo.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/tensor/CMakeFiles/ssin_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssin_data.dir/csv_loader.cc.o"
+  "CMakeFiles/ssin_data.dir/csv_loader.cc.o.d"
+  "CMakeFiles/ssin_data.dir/dataset.cc.o"
+  "CMakeFiles/ssin_data.dir/dataset.cc.o.d"
+  "CMakeFiles/ssin_data.dir/rainfall_generator.cc.o"
+  "CMakeFiles/ssin_data.dir/rainfall_generator.cc.o.d"
+  "CMakeFiles/ssin_data.dir/traffic_generator.cc.o"
+  "CMakeFiles/ssin_data.dir/traffic_generator.cc.o.d"
+  "libssin_data.a"
+  "libssin_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssin_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssin_eval.dir/crossval.cc.o"
+  "CMakeFiles/ssin_eval.dir/crossval.cc.o.d"
+  "CMakeFiles/ssin_eval.dir/metrics.cc.o"
+  "CMakeFiles/ssin_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/ssin_eval.dir/outage.cc.o"
+  "CMakeFiles/ssin_eval.dir/outage.cc.o.d"
+  "CMakeFiles/ssin_eval.dir/raster.cc.o"
+  "CMakeFiles/ssin_eval.dir/raster.cc.o.d"
+  "CMakeFiles/ssin_eval.dir/runner.cc.o"
+  "CMakeFiles/ssin_eval.dir/runner.cc.o.d"
+  "CMakeFiles/ssin_eval.dir/tuner.cc.o"
+  "CMakeFiles/ssin_eval.dir/tuner.cc.o.d"
+  "libssin_eval.a"
+  "libssin_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssin_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

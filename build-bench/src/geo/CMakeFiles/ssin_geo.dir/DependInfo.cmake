@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/coords.cc" "src/geo/CMakeFiles/ssin_geo.dir/coords.cc.o" "gcc" "src/geo/CMakeFiles/ssin_geo.dir/coords.cc.o.d"
+  "/root/repo/src/geo/relpos.cc" "src/geo/CMakeFiles/ssin_geo.dir/relpos.cc.o" "gcc" "src/geo/CMakeFiles/ssin_geo.dir/relpos.cc.o.d"
+  "/root/repo/src/geo/road_graph.cc" "src/geo/CMakeFiles/ssin_geo.dir/road_graph.cc.o" "gcc" "src/geo/CMakeFiles/ssin_geo.dir/road_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-bench/src/common/CMakeFiles/ssin_common.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/tensor/CMakeFiles/ssin_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

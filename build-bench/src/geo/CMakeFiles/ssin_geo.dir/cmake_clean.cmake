@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssin_geo.dir/coords.cc.o"
+  "CMakeFiles/ssin_geo.dir/coords.cc.o.d"
+  "CMakeFiles/ssin_geo.dir/relpos.cc.o"
+  "CMakeFiles/ssin_geo.dir/relpos.cc.o.d"
+  "CMakeFiles/ssin_geo.dir/road_graph.cc.o"
+  "CMakeFiles/ssin_geo.dir/road_graph.cc.o.d"
+  "libssin_geo.a"
+  "libssin_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssin_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/ssin_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/ssin_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/inference.cc" "src/nn/CMakeFiles/ssin_nn.dir/inference.cc.o" "gcc" "src/nn/CMakeFiles/ssin_nn.dir/inference.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/ssin_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/ssin_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/ssin_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/ssin_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/ssin_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/ssin_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/ssin_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/ssin_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/nn/CMakeFiles/ssin_nn.dir/transformer.cc.o" "gcc" "src/nn/CMakeFiles/ssin_nn.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-bench/src/tensor/CMakeFiles/ssin_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-bench/src/common/CMakeFiles/ssin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

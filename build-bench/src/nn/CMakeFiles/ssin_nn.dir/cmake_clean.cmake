@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssin_nn.dir/attention.cc.o"
+  "CMakeFiles/ssin_nn.dir/attention.cc.o.d"
+  "CMakeFiles/ssin_nn.dir/inference.cc.o"
+  "CMakeFiles/ssin_nn.dir/inference.cc.o.d"
+  "CMakeFiles/ssin_nn.dir/layers.cc.o"
+  "CMakeFiles/ssin_nn.dir/layers.cc.o.d"
+  "CMakeFiles/ssin_nn.dir/module.cc.o"
+  "CMakeFiles/ssin_nn.dir/module.cc.o.d"
+  "CMakeFiles/ssin_nn.dir/optimizer.cc.o"
+  "CMakeFiles/ssin_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/ssin_nn.dir/serialize.cc.o"
+  "CMakeFiles/ssin_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/ssin_nn.dir/transformer.cc.o"
+  "CMakeFiles/ssin_nn.dir/transformer.cc.o.d"
+  "libssin_nn.a"
+  "libssin_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssin_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

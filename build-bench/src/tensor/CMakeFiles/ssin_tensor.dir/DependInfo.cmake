@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/attention_kernels.cc" "src/tensor/CMakeFiles/ssin_tensor.dir/attention_kernels.cc.o" "gcc" "src/tensor/CMakeFiles/ssin_tensor.dir/attention_kernels.cc.o.d"
+  "/root/repo/src/tensor/graph.cc" "src/tensor/CMakeFiles/ssin_tensor.dir/graph.cc.o" "gcc" "src/tensor/CMakeFiles/ssin_tensor.dir/graph.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/tensor/CMakeFiles/ssin_tensor.dir/ops.cc.o" "gcc" "src/tensor/CMakeFiles/ssin_tensor.dir/ops.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/tensor/CMakeFiles/ssin_tensor.dir/tensor.cc.o" "gcc" "src/tensor/CMakeFiles/ssin_tensor.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-bench/src/common/CMakeFiles/ssin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

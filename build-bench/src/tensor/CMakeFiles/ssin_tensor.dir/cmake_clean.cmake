@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssin_tensor.dir/attention_kernels.cc.o"
+  "CMakeFiles/ssin_tensor.dir/attention_kernels.cc.o.d"
+  "CMakeFiles/ssin_tensor.dir/graph.cc.o"
+  "CMakeFiles/ssin_tensor.dir/graph.cc.o.d"
+  "CMakeFiles/ssin_tensor.dir/ops.cc.o"
+  "CMakeFiles/ssin_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/ssin_tensor.dir/tensor.cc.o"
+  "CMakeFiles/ssin_tensor.dir/tensor.cc.o.d"
+  "libssin_tensor.a"
+  "libssin_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssin_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

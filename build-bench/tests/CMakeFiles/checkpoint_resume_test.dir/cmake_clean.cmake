@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_resume_test.dir/checkpoint_resume_test.cc.o"
+  "CMakeFiles/checkpoint_resume_test.dir/checkpoint_resume_test.cc.o.d"
+  "checkpoint_resume_test"
+  "checkpoint_resume_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_resume_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_tools_test.dir/eval_tools_test.cc.o"
+  "CMakeFiles/eval_tools_test.dir/eval_tools_test.cc.o.d"
+  "eval_tools_test"
+  "eval_tools_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_tools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

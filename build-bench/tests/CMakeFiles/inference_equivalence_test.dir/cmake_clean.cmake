@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_equivalence_test.dir/inference_equivalence_test.cc.o"
+  "CMakeFiles/inference_equivalence_test.dir/inference_equivalence_test.cc.o.d"
+  "inference_equivalence_test"
+  "inference_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

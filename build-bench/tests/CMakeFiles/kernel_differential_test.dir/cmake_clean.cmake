@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_differential_test.dir/kernel_differential_test.cc.o"
+  "CMakeFiles/kernel_differential_test.dir/kernel_differential_test.cc.o.d"
+  "kernel_differential_test"
+  "kernel_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

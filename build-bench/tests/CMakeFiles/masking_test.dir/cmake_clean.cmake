@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masking_test.dir/masking_test.cc.o"
+  "CMakeFiles/masking_test.dir/masking_test.cc.o.d"
+  "masking_test"
+  "masking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_srpe_equivalence_test.dir/packed_srpe_equivalence_test.cc.o"
+  "CMakeFiles/packed_srpe_equivalence_test.dir/packed_srpe_equivalence_test.cc.o.d"
+  "packed_srpe_equivalence_test"
+  "packed_srpe_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_srpe_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbf_test.dir/rbf_test.cc.o"
+  "CMakeFiles/rbf_test.dir/rbf_test.cc.o.d"
+  "rbf_test"
+  "rbf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spaformer_test.dir/spaformer_test.cc.o"
+  "CMakeFiles/spaformer_test.dir/spaformer_test.cc.o.d"
+  "spaformer_test"
+  "spaformer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spaformer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
