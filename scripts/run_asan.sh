@@ -16,7 +16,7 @@ BUILD_DIR="${1:-build-asan}"
 cmake -B "${BUILD_DIR}" -S . -DSSIN_ADDRESS_SANITIZER=ON
 cmake --build "${BUILD_DIR}" -j --target serialize_test csv_loader_test \
   checkpoint_resume_test inference_equivalence_test \
-  kernel_differential_test
+  kernel_differential_test serve_test
 
 echo "== kernel_differential_test (ASan+UBSan) =="
 # The SIMD kernels' unrolled tails and row-split partitions must not read
@@ -36,5 +36,10 @@ echo "== inference_equivalence_test (ASan+UBSan) =="
 # The inference engine's workspace arena and layout cache must be clean of
 # memory errors, including across cache invalidation and reuse.
 "${BUILD_DIR}/tests/inference_equivalence_test"
+
+echo "== serve_test (ASan+UBSan) =="
+# Queued requests, promise lifetimes, and the double-buffered registry
+# swap must be clean of use-after-free across shutdown and hot-swap.
+"${BUILD_DIR}/tests/serve_test"
 
 echo "ASan run clean."

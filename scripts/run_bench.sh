@@ -38,7 +38,7 @@ cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release -DSSIN_NATIVE_ARCH=ON \
   >/dev/null
 cmake --build "$BUILD" -j --target bench_fig7_attention_kernel \
   --target bench_table5_model_cost --target bench_telemetry_overhead \
-  --target quickstart
+  --target bench_serving --target quickstart
 
 # Provenance gate: a debug-built benchmark binary must not overwrite the
 # checked-in reports. The bench main records the compile flags of the
@@ -164,6 +164,35 @@ SSIN_BENCH_TELEMETRY_JSON=BENCH_telemetry_overhead.json \
   "$BUILD"/bench/bench_telemetry_overhead
 
 echo "Wrote BENCH_telemetry_overhead.json"
+
+# Serving-core load replay: the throughput-vs-latency curve at the three
+# target rates. The bench embeds its own ssin_build_type provenance; gate
+# on it the same way as the kernel benches before keeping the report.
+SSIN_BENCH_SERVING_JSON=BENCH_serving.json "$BUILD"/bench/bench_serving
+python3 - <<'EOF'
+import json, sys
+
+with open("BENCH_serving.json") as f:
+    report = json.load(f)
+if report.get("ssin_build_type") != "release":
+    sys.exit("refusing to keep BENCH_serving.json: ssin_build_type=%r"
+             % report.get("ssin_build_type"))
+curve = report.get("curve", [])
+targets = [point.get("target_qps") for point in curve]
+if targets != [1000.0, 10000.0, 100000.0]:
+    sys.exit("BENCH_serving.json curve targets %r != [1k, 10k, 100k] qps"
+             % targets)
+for point in curve:
+    if point.get("accepted", 0) <= 0 or point.get("p99_us", 0) <= 0:
+        sys.exit("BENCH_serving.json curve point %r served nothing"
+                 % point.get("target_qps"))
+print("serving curve [%s]: " % report.get("simd_isa", "unknown") +
+      ", ".join("%gqps -> %.0f achieved, p99 %.0fus, shed %d"
+                % (p["target_qps"], p["achieved_qps"], p["p99_us"],
+                   p["rejected"]) for p in curve))
+EOF
+
+echo "Wrote BENCH_serving.json"
 
 # Telemetry reports from an instrumented end-to-end run (the quickstart
 # example runs EvaluateInterpolator with EvalOptions::telemetry on when

@@ -13,7 +13,8 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "${BUILD_DIR}" -S . -DSSIN_THREAD_SANITIZER=ON
 cmake --build "${BUILD_DIR}" -j --target thread_pool_test \
   parallel_equivalence_test packed_srpe_equivalence_test \
-  inference_equivalence_test telemetry_test kernel_differential_test
+  inference_equivalence_test telemetry_test kernel_differential_test \
+  serve_test
 
 echo "== thread_pool_test (TSan) =="
 "${BUILD_DIR}/tests/thread_pool_test"
@@ -36,5 +37,11 @@ echo "== inference_equivalence_test (TSan) =="
 # Death tests fork, which TSan dislikes; run the concurrency-relevant ones.
 "${BUILD_DIR}/tests/inference_equivalence_test" \
   --gtest_filter=-InferenceValidationDeath.*
+
+echo "== serve_test (TSan) =="
+# The serving core's whole point is concurrency: admission vs batcher vs
+# hot-swap promotions must be race-free. TSan is the gate for the queue,
+# the registry swap protocol, and the atomic serving-precision toggle.
+"${BUILD_DIR}/tests/serve_test"
 
 echo "TSan run clean."

@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "common/check.h"
+#include "common/log.h"
 #include "common/telemetry.h"
 
 namespace ssin {
@@ -13,6 +14,23 @@ namespace {
 // any pool detect it and degrade to an inline serial loop instead of
 // waiting on a queue their own worker is blocking.
 thread_local bool t_inside_pool_task = false;
+
+// RAII setter for t_inside_pool_task: restores the previous value even
+// when the task throws, so an exception can never leave a worker
+// permanently flagged as "inside a task" (which would silently degrade
+// every later ParallelFor it executes to an inline serial loop).
+class ScopedInsidePoolTask {
+ public:
+  ScopedInsidePoolTask() : saved_(t_inside_pool_task) {
+    t_inside_pool_task = true;
+  }
+  ~ScopedInsidePoolTask() { t_inside_pool_task = saved_; }
+  ScopedInsidePoolTask(const ScopedInsidePoolTask&) = delete;
+  ScopedInsidePoolTask& operator=(const ScopedInsidePoolTask&) = delete;
+
+ private:
+  bool saved_;
+};
 
 // Pool telemetry, aggregated across every pool in the process. The
 // queue-wait and busy probes only fire for tasks whose enqueue stamped a
@@ -81,7 +99,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop() {
-  const int64_t worker_start_ns = telemetry::NowNs();
+  // Same -1 sentinel convention as Task::enqueue_ns: a worker started with
+  // telemetry off never reads the clock — here or at exit — keeping the
+  // "disabled run never reads the clock" contract above. A worker born
+  // before telemetry was enabled simply contributes no lifetime sample.
+  const int64_t worker_start_ns =
+      telemetry::Enabled() ? telemetry::NowNs() : -1;
   for (;;) {
     Task task;
     {
@@ -98,15 +121,26 @@ void ThreadPool::WorkerLoop() {
       QueueWaitHistogram()->Observe(
           static_cast<double>(run_start_ns - task.enqueue_ns) / 1e3);
     }
-    t_inside_pool_task = true;
-    task.fn();
-    t_inside_pool_task = false;
+    {
+      ScopedInsidePoolTask inside;
+      // RunChunk catches and forwards its own exceptions; a future task
+      // type that lets one escape must not take down this long-lived
+      // worker (the serving batcher keeps pools alive for the process
+      // lifetime), so contain it here.
+      try {
+        task.fn();
+      } catch (const std::exception& e) {
+        SSIN_LOG(Error) << "thread pool task threw: " << e.what();
+      } catch (...) {
+        SSIN_LOG(Error) << "thread pool task threw a non-std exception";
+      }
+    }
     if (instrumented) {
       TasksRunCounter()->Add(1);
       BusyNsCounter()->Add(telemetry::NowNs() - run_start_ns);
     }
   }
-  if (telemetry::Enabled()) {
+  if (worker_start_ns >= 0 && telemetry::Enabled()) {
     // Per-worker busy fraction = busy_ns / worker_ns, aggregated over all
     // workers of all pools (each worker contributes its lifetime here).
     WorkerNsCounter()->Add(telemetry::NowNs() - worker_start_ns);

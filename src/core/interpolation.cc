@@ -1,5 +1,8 @@
 #include "core/interpolation.h"
 
+#include <sstream>
+
+#include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace ssin {
@@ -26,31 +29,51 @@ std::vector<std::vector<double>> SpatialInterpolator::InterpolateBatch(
   return out;
 }
 
+std::string InterpolationIdsError(const std::vector<double>& all_values,
+                                  int num_stations,
+                                  const std::vector<int>& observed_ids,
+                                  const std::vector<int>& query_ids) {
+  auto error = [](auto&&... parts) {
+    std::ostringstream stream;
+    (stream << ... << parts);
+    return stream.str();
+  };
+  if (observed_ids.empty()) {
+    return error("interpolation needs at least one observed station");
+  }
+  std::vector<uint8_t> seen(num_stations, 0);
+  for (int id : observed_ids) {
+    if (id < 0 || id >= num_stations) {
+      return error("observed id ", id, " outside station network of size ",
+                   num_stations);
+    }
+    if (static_cast<size_t>(id) >= all_values.size()) {
+      return error("observed id ", id, " outside the values vector");
+    }
+    if (seen[id]) return error("duplicate observed id ", id);
+    seen[id] = 1;
+  }
+  for (int id : query_ids) {
+    if (id < 0 || id >= num_stations) {
+      return error("query id ", id, " outside station network of size ",
+                   num_stations);
+    }
+    if (seen[id]) {
+      return error("station ", id,
+                   " is both observed and queried (or queried twice)");
+    }
+    seen[id] = 1;
+  }
+  return std::string();
+}
+
 void ValidateInterpolationIds(const std::vector<double>& all_values,
                               int num_stations,
                               const std::vector<int>& observed_ids,
                               const std::vector<int>& query_ids) {
-  SSIN_CHECK_GE(observed_ids.size(), 1u)
-      << "interpolation needs at least one observed station";
-  std::vector<uint8_t> seen(num_stations, 0);
-  for (int id : observed_ids) {
-    SSIN_CHECK(id >= 0 && id < num_stations)
-        << "observed id " << id << " outside station network of size "
-        << num_stations;
-    SSIN_CHECK_LT(static_cast<size_t>(id), all_values.size())
-        << "observed id " << id << " outside the values vector";
-    SSIN_CHECK(!seen[id]) << "duplicate observed id " << id;
-    seen[id] = 1;
-  }
-  for (int id : query_ids) {
-    SSIN_CHECK(id >= 0 && id < num_stations)
-        << "query id " << id << " outside station network of size "
-        << num_stations;
-    SSIN_CHECK(!seen[id])
-        << "station " << id
-        << " is both observed and queried (or queried twice)";
-    seen[id] = 1;
-  }
+  const std::string error = InterpolationIdsError(all_values, num_stations,
+                                                  observed_ids, query_ids);
+  SSIN_CHECK(error.empty()) << error;
 }
 
 void StationGeometry::Capture(const SpatialDataset& data,

@@ -54,12 +54,22 @@ class SpatialInterpolator {
       const std::vector<int>& query_ids, int num_threads = 1);
 };
 
-/// Validates the id lists of an InterpolateTimestamp/InterpolateBatch call
+/// Checks the id lists of an InterpolateTimestamp/InterpolateBatch call
 /// against the station network: every id must be in [0, num_stations),
 /// observed ids must also index `all_values`, at least one station must be
 /// observed, and no id may appear twice (within a list or across the two —
-/// an overlap would leak the queried truth into the input). Aborts via
-/// SSIN_CHECK with a message naming the offending id.
+/// an overlap would leak the queried truth into the input). Returns an
+/// empty string when valid, otherwise a message naming the offending id.
+/// The interpolation server uses this non-aborting form to *reject* a
+/// malformed request instead of taking the process down with it.
+std::string InterpolationIdsError(const std::vector<double>& all_values,
+                                  int num_stations,
+                                  const std::vector<int>& observed_ids,
+                                  const std::vector<int>& query_ids);
+
+/// Aborting wrapper over InterpolationIdsError (SSIN_CHECK) — the contract
+/// of the direct interpolator entry points, where an invalid id is a
+/// programming error.
 void ValidateInterpolationIds(const std::vector<double>& all_values,
                               int num_stations,
                               const std::vector<int>& observed_ids,

@@ -25,25 +25,43 @@ telemetry::Gauge* WorkspaceArenaGauge() {
   return gauge;
 }
 
-/// Process-wide high-water mark of InferenceWorkspace::ArenaBytes across
-/// every predict call — the number the fused serving chain drives down.
-/// Kept as a monotone atomic so concurrent serving threads race safely;
-/// the gauge mirrors the current maximum after each call.
+/// High-water mark of InferenceWorkspace::ArenaBytes — the number the
+/// fused serving chain drives down. `serve.arena_peak_bytes` mirrors the
+/// peak of the most recently serving *interpolator instance*, which resets
+/// with its caches on every weight mutation (a hot-swapped smaller model
+/// must not keep reporting the old model's high-water mark);
+/// `serve.arena_peak_bytes_process` is the process-lifetime monotone
+/// across every instance.
 telemetry::Gauge* ArenaPeakGauge() {
   static telemetry::Gauge* gauge =
       telemetry::GetGauge("serve.arena_peak_bytes");
   return gauge;
 }
 
-void RecordArenaPeak(size_t arena_bytes) {
-  static std::atomic<size_t> peak{0};
-  size_t seen = peak.load(std::memory_order_relaxed);
-  while (arena_bytes > seen &&
-         !peak.compare_exchange_weak(seen, arena_bytes,
-                                     std::memory_order_relaxed)) {
+telemetry::Gauge* ProcessArenaPeakGauge() {
+  static telemetry::Gauge* gauge =
+      telemetry::GetGauge("serve.arena_peak_bytes_process");
+  return gauge;
+}
+
+/// Monotone CAS-max fold so concurrent serving threads race safely.
+void FoldPeak(std::atomic<size_t>* peak, size_t value) {
+  size_t seen = peak->load(std::memory_order_relaxed);
+  while (value > seen &&
+         !peak->compare_exchange_weak(seen, value,
+                                      std::memory_order_relaxed)) {
   }
+}
+
+void RecordArenaPeak(std::atomic<size_t>* instance_peak,
+                     size_t arena_bytes) {
+  static std::atomic<size_t> process_peak{0};
+  FoldPeak(instance_peak, arena_bytes);
+  FoldPeak(&process_peak, arena_bytes);
   ArenaPeakGauge()->Set(
-      static_cast<double>(peak.load(std::memory_order_relaxed)));
+      static_cast<double>(instance_peak->load(std::memory_order_relaxed)));
+  ProcessArenaPeakGauge()->Set(
+      static_cast<double>(process_peak.load(std::memory_order_relaxed)));
 }
 
 }  // namespace
@@ -57,6 +75,10 @@ SsinInterpolator::~SsinInterpolator() = default;
 void SsinInterpolator::InvalidateServingCaches() {
   layout_cache_.Clear();
   f32_weights_.Clear();
+  // New weights start a fresh arena high-water story; the process-wide
+  // monotone (serve.arena_peak_bytes_process) is deliberately untouched.
+  arena_peak_bytes_.store(0, std::memory_order_relaxed);
+  ArenaPeakGauge()->Set(0.0);
 }
 
 void SsinInterpolator::Prepare(const SpatialDataset& data,
@@ -149,6 +171,10 @@ std::vector<double> SsinInterpolator::PredictWithLayout(
     InferenceWorkspace* ws) {
   SSIN_TRACE_SPAN("serve.predict");
   const int64_t begin_ns = telemetry::Enabled() ? telemetry::NowNs() : -1;
+  // Latch the precision once per request: a concurrent
+  // set_serving_precision (or a MeasureF32ServingDelta mid-measurement
+  // flip) must never switch arithmetic halfway through one prediction.
+  const ServingPrecision precision = serving_precision();
   std::vector<double> observed_values;
   observed_values.reserve(layout.num_observed);
   for (int i = 0; i < layout.num_observed; ++i) {
@@ -160,15 +186,17 @@ std::vector<double> SsinInterpolator::PredictWithLayout(
   MaskedSequence seq = BuildInferenceSequence(
       observed_values, layout.length() - layout.num_observed, options);
 
-  if (seq.target_positions.empty()) return {};
-
   // Predict returns the query (trailing) rows only; target position p is
   // its row p - num_observed. The f32 path reads the same converted-weight
   // snapshot from every thread and destandardizes/clamps in f64, so only
   // the network arithmetic narrows.
   std::vector<double> out;
   out.reserve(seq.target_positions.size());
-  if (serving_precision_ == ServingPrecision::kFloat32) {
+  if (seq.target_positions.empty()) {
+    // No query rows: nothing to predict, but the latency observation this
+    // call already started still lands below (an empty request is still a
+    // served request).
+  } else if (precision == ServingPrecision::kFloat32) {
     std::shared_ptr<const F32WeightCache::Map> weights =
         f32_weights_.EnsureFrom(model_.get());
     const TensorF32& values =
@@ -191,9 +219,13 @@ std::vector<double> SsinInterpolator::PredictWithLayout(
   if (begin_ns >= 0) {
     PredictLatencyHistogram()->Observe(
         static_cast<double>(telemetry::NowNs() - begin_ns) / 1e3);
+  }
+  if (!seq.target_positions.empty()) {
+    // Arena statistics only describe calls that actually ran the network;
+    // like the cache counters they record regardless of the telemetry flag.
     const size_t arena_bytes = ws->ArenaBytes();
     WorkspaceArenaGauge()->Set(static_cast<double>(arena_bytes));
-    RecordArenaPeak(arena_bytes);
+    RecordArenaPeak(&arena_peak_bytes_, arena_bytes);
   }
   return out;
 }
@@ -267,14 +299,16 @@ double SsinInterpolator::MeasureF32ServingDelta(
     const std::vector<int>& observed_ids,
     const std::vector<int>& query_ids) {
   SSIN_CHECK(prepared_) << "call Fit() first";
-  const ServingPrecision saved = serving_precision_;
-  serving_precision_ = ServingPrecision::kFloat64;
+  // The entry precision is restored on every exit path — including an
+  // InterpolateBatch that throws — so a failed measurement can never leave
+  // the interpolator stuck in the wrong precision.
+  ScopedPrecisionRestore restore(this);
+  set_serving_precision(ServingPrecision::kFloat64);
   std::vector<std::vector<double>> ref =
       InterpolateBatch(batch_values, observed_ids, query_ids);
-  serving_precision_ = ServingPrecision::kFloat32;
+  set_serving_precision(ServingPrecision::kFloat32);
   std::vector<std::vector<double>> f32 =
       InterpolateBatch(batch_values, observed_ids, query_ids);
-  serving_precision_ = saved;
 
   double max_delta = 0.0;
   for (size_t i = 0; i < ref.size(); ++i) {
@@ -291,10 +325,14 @@ double SsinInterpolator::EnableF32Serving(
     const std::vector<const std::vector<double>*>& batch_values,
     const std::vector<int>& observed_ids, const std::vector<int>& query_ids,
     double max_abs_delta) {
+  // An empty calibration batch would measure delta 0.0 and enable f32 with
+  // zero evidence; refuse it outright.
+  SSIN_CHECK(!batch_values.empty())
+      << "refusing to gate f32 serving on an empty calibration batch";
   const double delta =
       MeasureF32ServingDelta(batch_values, observed_ids, query_ids);
-  serving_precision_ = delta <= max_abs_delta ? ServingPrecision::kFloat32
-                                              : ServingPrecision::kFloat64;
+  set_serving_precision(delta <= max_abs_delta ? ServingPrecision::kFloat32
+                                               : ServingPrecision::kFloat64);
   return delta;
 }
 

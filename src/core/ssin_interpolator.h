@@ -1,6 +1,8 @@
 #ifndef SSIN_CORE_SSIN_INTERPOLATOR_H_
 #define SSIN_CORE_SSIN_INTERPOLATOR_H_
 
+#include <atomic>
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -110,15 +112,41 @@ class SsinInterpolator : public SpatialInterpolator {
   enum class ServingPrecision { kFloat64, kFloat32 };
 
   /// Switches serving precision directly (no accuracy check). Training,
-  /// checkpoints and InterpolateTimestampAutograd always stay f64.
+  /// checkpoints and InterpolateTimestampAutograd always stay f64. Safe to
+  /// call while other threads serve: the flag is atomic and every request
+  /// latches it once at predict start, so no request mixes precisions.
   void set_serving_precision(ServingPrecision precision) {
-    serving_precision_ = precision;
+    serving_precision_.store(precision, std::memory_order_release);
   }
-  ServingPrecision serving_precision() const { return serving_precision_; }
+  ServingPrecision serving_precision() const {
+    return serving_precision_.load(std::memory_order_acquire);
+  }
+
+  /// RAII restore of the serving precision: captures the precision at
+  /// construction and stores it back at destruction, on normal *and*
+  /// exceptional exit. MeasureF32ServingDelta flips the live precision to
+  /// compare both paths; this guard is what guarantees a throwing
+  /// InterpolateBatch cannot leave the interpolator stuck mid-flip.
+  class ScopedPrecisionRestore {
+   public:
+    explicit ScopedPrecisionRestore(SsinInterpolator* interpolator)
+        : interpolator_(interpolator),
+          saved_(interpolator->serving_precision()) {}
+    ~ScopedPrecisionRestore() { interpolator_->set_serving_precision(saved_); }
+    ScopedPrecisionRestore(const ScopedPrecisionRestore&) = delete;
+    ScopedPrecisionRestore& operator=(const ScopedPrecisionRestore&) = delete;
+
+   private:
+    SsinInterpolator* interpolator_;
+    ServingPrecision saved_;
+  };
 
   /// Runs `batch_values` through both precisions and returns the largest
   /// absolute f64-vs-f32 difference across every prediction, in output
-  /// units (mm of rainfall). The serving precision is left unchanged.
+  /// units (mm of rainfall). The serving precision is restored on exit
+  /// (ScopedPrecisionRestore); while the measurement runs, concurrent
+  /// requests each serve one consistent precision — f64 or f32, never a
+  /// mix within a request.
   double MeasureF32ServingDelta(
       const std::vector<const std::vector<double>*>& batch_values,
       const std::vector<int>& observed_ids,
@@ -127,6 +155,8 @@ class SsinInterpolator : public SpatialInterpolator {
   /// Accuracy-gated switch to f32 serving: measures the delta on the probe
   /// batch and enables kFloat32 only when it is within `max_abs_delta`
   /// (otherwise the precision stays f64). Returns the measured delta.
+  /// An empty calibration batch is rejected (SSIN_CHECK): a delta of 0.0
+  /// over zero predictions is no evidence that f32 is safe.
   double EnableF32Serving(
       const std::vector<const std::vector<double>*>& batch_values,
       const std::vector<int>& observed_ids,
@@ -136,6 +166,23 @@ class SsinInterpolator : public SpatialInterpolator {
   /// (conversion/invalidation counters for tests). Cleared alongside the
   /// layout cache on every weight mutation.
   const F32WeightCache& f32_weights() const { return f32_weights_; }
+
+  /// High-water mark of the inference workspace arena across every predict
+  /// served by *this* interpolator since the last weight mutation — the
+  /// serving caches and this peak reset together (InvalidateServingCaches),
+  /// so after a hot-swap the gauge describes the promoted weights, not a
+  /// stale larger model. The process-lifetime monotone lives in the
+  /// `serve.arena_peak_bytes_process` gauge.
+  size_t arena_peak_bytes() const {
+    return arena_peak_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Stations in the network this interpolator was prepared with (0 before
+  /// Fit()/Prepare()). The interpolation server validates request ids
+  /// against this bound at admission time.
+  int num_stations() const {
+    return prepared_ ? context_.num_stations() : 0;
+  }
 
   /// Overrides the non-negative output clamp captured from the dataset at
   /// Fit()/Prepare() time.
@@ -174,7 +221,12 @@ class SsinInterpolator : public SpatialInterpolator {
   TrainStats train_stats_;
   LayoutCache layout_cache_;
   F32WeightCache f32_weights_;
-  ServingPrecision serving_precision_ = ServingPrecision::kFloat64;
+  /// Atomic: serving threads read it (once per request) while admin calls
+  /// (EnableF32Serving, MeasureF32ServingDelta, hot-swap probes) write it.
+  std::atomic<ServingPrecision> serving_precision_{
+      ServingPrecision::kFloat64};
+  /// Instance arena high-water mark; reset by InvalidateServingCaches.
+  std::atomic<size_t> arena_peak_bytes_{0};
   bool non_negative_ = false;
   bool prepared_ = false;
 };

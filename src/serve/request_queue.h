@@ -1,0 +1,81 @@
+#ifndef SSIN_SERVE_REQUEST_QUEUE_H_
+#define SSIN_SERVE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ssin {
+namespace serve {
+
+/// One interpolation query as a client submits it: which resident model to
+/// ask, the per-station values of one timestamp, and the station layout
+/// (same contract as SpatialInterpolator::InterpolateTimestamp).
+struct Request {
+  std::string model;
+  std::vector<double> all_values;
+  std::vector<int> observed_ids;
+  std::vector<int> query_ids;
+};
+
+/// A request in flight between Submit and the batcher: the client's query,
+/// the promise the dispatch fulfills, and the enqueue timestamp feeding
+/// the per-model latency SLO histogram.
+struct QueuedRequest {
+  Request request;
+  std::promise<std::vector<double>> promise;
+  int64_t enqueue_ns = 0;
+};
+
+/// Bounded MPMC queue between submitting clients and the batcher.
+///
+/// Admission control is the point of the bound: TryPush never blocks —
+/// when the queue is at capacity the push fails and the server rejects the
+/// request explicitly (serve.rejected_total) instead of stalling every
+/// client behind an overloaded model. PopWave blocks until work arrives,
+/// then drains up to `max` requests in one wave, optionally lingering so a
+/// micro-batch can fill; that wave is the batcher's coalescing window.
+///
+/// The queue depth is mirrored into the `serve.queue_depth` gauge after
+/// every push and pop.
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity);
+
+  /// Enqueues one request. Returns false — without ever blocking — when
+  /// the queue is full or closed; `*item` is left untouched then, so the
+  /// caller still owns the promise to fail or retry.
+  bool TryPush(QueuedRequest* item);
+
+  /// Appends up to `max` requests to `out`. Blocks until at least one
+  /// request is available, or the queue is closed *and* drained (returns
+  /// false — the consumer's shutdown signal). With `linger_us` > 0, once
+  /// the first request is seen the pop waits up to that long for the wave
+  /// to fill to `max` before draining what is there.
+  bool PopWave(std::vector<QueuedRequest>* out, size_t max,
+               int64_t linger_us);
+
+  /// Rejects all future pushes; already-queued requests still drain
+  /// through PopWave. Idempotent.
+  void Close();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  bool closed() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable nonempty_cv_;
+  std::deque<QueuedRequest> items_;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace ssin
+
+#endif  // SSIN_SERVE_REQUEST_QUEUE_H_

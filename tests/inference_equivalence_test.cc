@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/telemetry.h"
@@ -390,6 +393,120 @@ TEST(F32ServingTest, WeightSnapshotConvertsOnceAndInvalidates) {
   EXPECT_TRUE(ssin.f32_weights().empty());
 }
 
+TEST(F32ServingTest, MeasureDeltaRestoresPrecisionUnderConcurrentReaders) {
+  Fixture f;
+  SsinInterpolator ssin(TinyModel(/*packed_srpe=*/true),
+                        FastTraining(/*mean_fill=*/true));
+  ssin.Fit(f.data, f.observed_ids);
+  ssin.set_serving_precision(SsinInterpolator::ServingPrecision::kFloat32);
+
+  std::vector<const std::vector<double>*> batch;
+  for (int t = 0; t < f.data.num_timestamps(); ++t) {
+    batch.push_back(&f.data.Values(t));
+  }
+
+  // serving_precision_ is an atomic: threads observing the precision while
+  // MeasureF32ServingDelta flips it mid-measurement must only ever see one
+  // of the two enumerators (TSan is the gate for this test), and the
+  // measurement must restore the caller's precision when it finishes.
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn_reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const SsinInterpolator::ServingPrecision p = ssin.serving_precision();
+        if (p != SsinInterpolator::ServingPrecision::kFloat64 &&
+            p != SsinInterpolator::ServingPrecision::kFloat32) {
+          torn_reads.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 4; ++i) {
+    ssin.MeasureF32ServingDelta(batch, f.observed_ids, f.query_ids);
+    EXPECT_EQ(ssin.serving_precision(),
+              SsinInterpolator::ServingPrecision::kFloat32)
+        << "measurement " << i << " leaked its precision flip";
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(torn_reads.load(), 0);
+}
+
+TEST(F32ServingTest, ScopedPrecisionRestoreIsExceptionSafe) {
+  Fixture f;
+  SsinInterpolator ssin(TinyModel(/*packed_srpe=*/true),
+                        FastTraining(/*mean_fill=*/true));
+  ssin.Fit(f.data, f.observed_ids);
+  ssin.set_serving_precision(SsinInterpolator::ServingPrecision::kFloat32);
+
+  // The guard restores on the exceptional exit path — the failure mode the
+  // old measure-then-restore-by-hand code had.
+  EXPECT_THROW(
+      {
+        SsinInterpolator::ScopedPrecisionRestore restore(&ssin);
+        ssin.set_serving_precision(
+            SsinInterpolator::ServingPrecision::kFloat64);
+        throw std::runtime_error("mid-measurement failure");
+      },
+      std::runtime_error);
+  EXPECT_EQ(ssin.serving_precision(),
+            SsinInterpolator::ServingPrecision::kFloat32);
+}
+
+TEST(ServingArenaPeak, InstancePeakResetsOnWeightMutation) {
+  Fixture f;
+  SsinInterpolator ssin(TinyModel(/*packed_srpe=*/true),
+                        FastTraining(/*mean_fill=*/true));
+  ssin.Fit(f.data, f.observed_ids);
+  SsinInterpolator other(TinyModel(/*packed_srpe=*/true),
+                         FastTraining(/*mean_fill=*/true));
+  other.Fit(f.data, f.observed_ids);
+
+  EXPECT_EQ(ssin.arena_peak_bytes(), 0u);
+  ssin.InterpolateTimestamp(f.data.Values(0), f.observed_ids, f.query_ids);
+  const size_t peak = ssin.arena_peak_bytes();
+  EXPECT_GT(peak, 0u);
+
+  // The peak is tied to this instance's serving caches: a weight mutation
+  // (hot-swap path) resets it instead of letting a stale high-water mark
+  // from the previous weight generation linger...
+  ssin.CopyParametersFrom(other);
+  EXPECT_EQ(ssin.arena_peak_bytes(), 0u);
+  if (telemetry::CompiledIn()) {
+    EXPECT_EQ(telemetry::GetGauge("serve.arena_peak_bytes")->Value(), 0.0);
+    // ...while the clearly-labeled process-lifetime aggregate stays
+    // monotone across the reset.
+    EXPECT_GE(telemetry::GetGauge("serve.arena_peak_bytes_process")->Value(),
+              static_cast<double>(peak));
+  }
+
+  ssin.InterpolateTimestamp(f.data.Values(0), f.observed_ids, f.query_ids);
+  EXPECT_EQ(ssin.arena_peak_bytes(), peak);  // Same geometry, same arena.
+}
+
+TEST(ServingArenaPeak, EmptyQueryStillObservesLatency) {
+  if (!telemetry::CompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  Fixture f;
+  SsinInterpolator ssin(TinyModel(/*packed_srpe=*/true),
+                        FastTraining(/*mean_fill=*/true));
+  ssin.Fit(f.data, f.observed_ids);
+
+  // An empty query list is a legal request; the early return that skips
+  // the network must not skip the serve.predict_us observation the call
+  // already started.
+  telemetry::SetEnabled(true);
+  const int64_t count_before =
+      telemetry::GetHistogram("serve.predict_us")->Snapshot().count;
+  const std::vector<double> out = ssin.InterpolateTimestamp(
+      f.data.Values(0), f.observed_ids, /*query_ids=*/{});
+  telemetry::SetEnabled(false);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(telemetry::GetHistogram("serve.predict_us")->Snapshot().count,
+            count_before + 1);
+}
+
 // ------------------------------------------------- fused serving chain
 
 TEST(FusedServingTest, FusedMatchesUnfusedExactlyBothPrecisions) {
@@ -558,6 +675,23 @@ TEST(InferenceValidationDeath, RejectsMalformedIdLists) {
                "queried twice");
   EXPECT_DEATH(ssin.InterpolateTimestamp(values, {}, {2}),
                "at least one observed");
+}
+
+TEST(InferenceValidationDeath, EmptyF32CalibrationBatchRejected) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Fixture f;
+  SsinInterpolator ssin(TinyModel(/*packed_srpe=*/true),
+                        FastTraining(/*mean_fill=*/true));
+  ssin.Fit(f.data, f.observed_ids);
+
+  // Gating f32 serving on zero calibration points would report delta 0.0
+  // and enable the narrowed path with no accuracy evidence at all: loud
+  // rejection, not silent enablement.
+  EXPECT_DEATH(ssin.EnableF32Serving({}, f.observed_ids, f.query_ids,
+                                     kF32ServingGate),
+               "empty calibration batch");
+  EXPECT_EQ(ssin.serving_precision(),
+            SsinInterpolator::ServingPrecision::kFloat64);
 }
 
 }  // namespace

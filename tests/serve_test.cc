@@ -1,0 +1,439 @@
+/// Pins the contract of the long-lived serving core (src/serve/): the
+/// batcher's micro-batch coalescing is invisible in the results (bit
+/// identical to direct InterpolateTimestamp calls), admission control
+/// rejects instead of blocking or deadlocking when the bounded queue
+/// fills, and a double-buffered hot-swap under sustained concurrent load
+/// drops zero requests while every prediction matches exactly one of the
+/// two weight generations.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/telemetry.h"
+#include "core/ssin_interpolator.h"
+#include "data/rainfall_generator.h"
+#include "serve/interpolation_server.h"
+#include "serve/model_registry.h"
+#include "serve/request_queue.h"
+
+namespace ssin {
+namespace {
+
+using serve::InterpolationServer;
+using serve::ModelRegistry;
+using serve::Request;
+using serve::ServerConfig;
+using serve::SubmitStatus;
+
+RainfallRegionConfig TinyRegion() {
+  RainfallRegionConfig config = HkRegionConfig();
+  config.num_gauges = 24;
+  config.width_km = 30.0;
+  config.height_km = 24.0;
+  return config;
+}
+
+SpaFormerConfig TinyModel() {
+  SpaFormerConfig config;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.d_model = 8;
+  config.d_k = 8;
+  config.d_ff = 32;
+  return config;
+}
+
+TrainConfig FastTraining(uint64_t seed) {
+  TrainConfig config;
+  config.epochs = 2;
+  config.masks_per_sequence = 2;
+  config.batch_size = 8;
+  config.warmup_steps = 20;
+  config.lr_factor = 0.2;
+  config.seed = seed;
+  return config;
+}
+
+/// Dataset + station split + two independently trained weight generations
+/// (seed 13 = generation A, seed 99 = generation B) with their reference
+/// predictions, plus factories for registry instances.
+struct ServeFixture {
+  ServeFixture()
+      : generator(TinyRegion()), data(generator.GenerateHours(16, 7)) {
+    for (int i = 0; i < data.num_stations(); ++i) {
+      (i % 4 == 3 ? query_ids : observed_ids).push_back(i);
+    }
+    source_a = std::make_unique<SsinInterpolator>(TinyModel(),
+                                                  FastTraining(13));
+    source_a->Fit(data, observed_ids);
+    source_b = std::make_unique<SsinInterpolator>(TinyModel(),
+                                                  FastTraining(99));
+    source_b->Fit(data, observed_ids);
+    for (int t = 0; t < data.num_timestamps(); ++t) {
+      expected_a.push_back(source_a->InterpolateTimestamp(
+          data.Values(t), observed_ids, query_ids));
+      expected_b.push_back(source_b->InterpolateTimestamp(
+          data.Values(t), observed_ids, query_ids));
+    }
+  }
+
+  /// A registry-ready (active, standby) pair serving generation A.
+  std::pair<std::shared_ptr<SsinInterpolator>,
+            std::shared_ptr<SsinInterpolator>>
+  MakeBuffers() {
+    auto active = std::make_shared<SsinInterpolator>(TinyModel(),
+                                                     FastTraining(13));
+    active->Prepare(data, observed_ids);
+    active->CopyParametersFrom(*source_a);
+    auto standby = std::make_shared<SsinInterpolator>(TinyModel(),
+                                                      FastTraining(13));
+    standby->Prepare(data, observed_ids);
+    return {std::move(active), std::move(standby)};
+  }
+
+  Request RequestFor(int t, const std::string& model = "hk") const {
+    Request request;
+    request.model = model;
+    request.all_values = data.Values(t);
+    request.observed_ids = observed_ids;
+    request.query_ids = query_ids;
+    return request;
+  }
+
+  RainfallGenerator generator;
+  SpatialDataset data;
+  std::vector<int> observed_ids;
+  std::vector<int> query_ids;
+  std::unique_ptr<SsinInterpolator> source_a;
+  std::unique_ptr<SsinInterpolator> source_b;
+  std::vector<std::vector<double>> expected_a;
+  std::vector<std::vector<double>> expected_b;
+};
+
+/// The fixture trains two models; share it across tests in this file.
+ServeFixture& Fixture() {
+  static ServeFixture* fixture = new ServeFixture();
+  return *fixture;
+}
+
+void ExpectExactly(const std::vector<double>& actual,
+                   const std::vector<double>& expected,
+                   const char* label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << label << " element " << i;
+  }
+}
+
+// ------------------------------------------------------- request queue
+
+TEST(RequestQueueTest, TryPushFailsAtCapacityWithoutBlocking) {
+  serve::RequestQueue queue(2);
+  serve::QueuedRequest a, b, c;
+  EXPECT_TRUE(queue.TryPush(&a));
+  EXPECT_TRUE(queue.TryPush(&b));
+  EXPECT_FALSE(queue.TryPush(&c));  // Full: fails immediately.
+  EXPECT_EQ(queue.size(), 2u);
+
+  std::vector<serve::QueuedRequest> wave;
+  EXPECT_TRUE(queue.PopWave(&wave, 8, /*linger_us=*/0));
+  EXPECT_EQ(wave.size(), 2u);
+  EXPECT_TRUE(queue.TryPush(&c));  // Space again.
+}
+
+TEST(RequestQueueTest, CloseDrainsThenSignalsShutdown) {
+  serve::RequestQueue queue(4);
+  serve::QueuedRequest a;
+  EXPECT_TRUE(queue.TryPush(&a));
+  queue.Close();
+  serve::QueuedRequest late;
+  EXPECT_FALSE(queue.TryPush(&late));  // Closed: rejected.
+
+  std::vector<serve::QueuedRequest> wave;
+  EXPECT_TRUE(queue.PopWave(&wave, 8, /*linger_us=*/0));  // Drains.
+  EXPECT_EQ(wave.size(), 1u);
+  EXPECT_FALSE(queue.PopWave(&wave, 8, /*linger_us=*/0));  // Shutdown.
+}
+
+TEST(RequestQueueTest, PopWaveCapsAtMax) {
+  serve::RequestQueue queue(8);
+  for (int i = 0; i < 6; ++i) {
+    serve::QueuedRequest item;
+    ASSERT_TRUE(queue.TryPush(&item));
+  }
+  std::vector<serve::QueuedRequest> wave;
+  EXPECT_TRUE(queue.PopWave(&wave, 4, /*linger_us=*/0));
+  EXPECT_EQ(wave.size(), 4u);
+  wave.clear();
+  EXPECT_TRUE(queue.PopWave(&wave, 4, /*linger_us=*/0));
+  EXPECT_EQ(wave.size(), 2u);
+}
+
+// ------------------------------------------------------ model registry
+
+TEST(ModelRegistryTest, PromoteSwapsActiveAndCountsSwaps) {
+  ServeFixture& f = Fixture();
+  ModelRegistry registry;
+  auto [active, standby] = f.MakeBuffers();
+  SsinInterpolator* active_raw = active.get();
+  SsinInterpolator* standby_raw = standby.get();
+  registry.Register("hk", std::move(active), std::move(standby));
+
+  EXPECT_TRUE(registry.Contains("hk"));
+  EXPECT_FALSE(registry.Contains("bw"));
+  EXPECT_EQ(registry.Acquire("bw"), nullptr);
+  EXPECT_EQ(registry.Acquire("hk").get(), active_raw);
+
+  EXPECT_FALSE(registry.Promote("bw", *f.source_b));
+  EXPECT_TRUE(registry.Promote("hk", *f.source_b));
+  EXPECT_EQ(registry.promotions(), 1);
+  // The standby buffer, now carrying generation-B weights, serves.
+  EXPECT_EQ(registry.Acquire("hk").get(), standby_raw);
+  ExpectExactly(registry.Acquire("hk")->InterpolateTimestamp(
+                    f.data.Values(0), f.observed_ids, f.query_ids),
+                f.expected_b[0], "promoted model");
+}
+
+TEST(ModelRegistryTest, MultipleResidentModelsServeIndependently) {
+  ServeFixture& f = Fixture();
+  ModelRegistry registry;
+  auto [active_a, standby_a] = f.MakeBuffers();
+  auto [active_b, standby_b] = f.MakeBuffers();
+  active_b->CopyParametersFrom(*f.source_b);
+  registry.Register("hk", std::move(active_a), std::move(standby_a));
+  registry.Register("bw", std::move(active_b), std::move(standby_b));
+  ASSERT_EQ(registry.Names().size(), 2u);
+  ExpectExactly(registry.Acquire("hk")->InterpolateTimestamp(
+                    f.data.Values(1), f.observed_ids, f.query_ids),
+                f.expected_a[1], "model hk");
+  ExpectExactly(registry.Acquire("bw")->InterpolateTimestamp(
+                    f.data.Values(1), f.observed_ids, f.query_ids),
+                f.expected_b[1], "model bw");
+}
+
+// -------------------------------------------------- coalescing batcher
+
+TEST(InterpolationServerTest, CoalescedBatchesMatchDirectCalls) {
+  ServeFixture& f = Fixture();
+  ServerConfig config;
+  config.start_paused = true;  // Queue everything, then cut one wave.
+  config.max_batch_size = 64;
+  config.batch_linger_us = 0;
+  InterpolationServer server(config);
+  auto [active, standby] = f.MakeBuffers();
+  server.registry().Register("hk", std::move(active), std::move(standby));
+
+  // Two distinct layouts: timestamps 0..11 share the fixture layout; the
+  // "holdout" layout queries one extra station. Coalescing must group them
+  // separately and change no result.
+  std::vector<int> holdout_observed = f.observed_ids;
+  std::vector<int> holdout_query = f.query_ids;
+  holdout_query.push_back(holdout_observed.back());
+  holdout_observed.pop_back();
+  const std::vector<double> holdout_direct =
+      f.source_a->InterpolateTimestamp(f.data.Values(3), holdout_observed,
+                                       holdout_query);
+
+  std::vector<std::future<std::vector<double>>> futures(13);
+  for (int t = 0; t < 12; ++t) {
+    ASSERT_EQ(server.Submit(f.RequestFor(t), &futures[t]),
+              SubmitStatus::kAccepted);
+  }
+  Request holdout;
+  holdout.model = "hk";
+  holdout.all_values = f.data.Values(3);
+  holdout.observed_ids = holdout_observed;
+  holdout.query_ids = holdout_query;
+  ASSERT_EQ(server.Submit(std::move(holdout), &futures[12]),
+            SubmitStatus::kAccepted);
+  ASSERT_EQ(server.queue_depth(), 13u);
+
+  server.Resume();
+  for (int t = 0; t < 12; ++t) {
+    ExpectExactly(futures[t].get(), f.expected_a[t], "coalesced request");
+  }
+  ExpectExactly(futures[12].get(), holdout_direct, "holdout layout");
+
+  // Join the batcher so its post-dispatch bookkeeping (batch counter, SLO
+  // observations) is complete before asserting on it.
+  server.Shutdown();
+
+  // All 13 queued requests were cut into exactly two micro-batches: one
+  // per layout group — coalescing really happened.
+  EXPECT_EQ(server.accepted_total(), 13);
+  EXPECT_EQ(server.batches_total(), 2);
+  const InterpolationServer::ModelSlo slo = server.Slo("hk");
+  EXPECT_EQ(slo.requests, 13);
+  EXPECT_GT(slo.p50_us, 0.0);
+  EXPECT_LE(slo.p50_us, slo.p99_us);
+  EXPECT_LE(slo.p99_us, slo.max_us);
+}
+
+TEST(InterpolationServerTest, BatchThreadFanOutChangesNoResult) {
+  ServeFixture& f = Fixture();
+  ServerConfig config;
+  config.start_paused = true;
+  config.batch_threads = 4;  // Fan each micro-batch across a pool.
+  InterpolationServer server(config);
+  auto [active, standby] = f.MakeBuffers();
+  server.registry().Register("hk", std::move(active), std::move(standby));
+
+  std::vector<std::future<std::vector<double>>> futures(8);
+  for (int t = 0; t < 8; ++t) {
+    ASSERT_EQ(server.Submit(f.RequestFor(t), &futures[t]),
+              SubmitStatus::kAccepted);
+  }
+  server.Resume();
+  for (int t = 0; t < 8; ++t) {
+    ExpectExactly(futures[t].get(), f.expected_a[t], "fan-out request");
+  }
+}
+
+// ----------------------------------------------------- admission control
+
+TEST(InterpolationServerTest, FullQueueRejectsInsteadOfDeadlocking) {
+  ServeFixture& f = Fixture();
+  ServerConfig config;
+  config.queue_capacity = 6;
+  config.start_paused = true;  // Nothing drains: the queue must fill.
+  InterpolationServer server(config);
+  auto [active, standby] = f.MakeBuffers();
+  server.registry().Register("hk", std::move(active), std::move(standby));
+
+  std::vector<std::future<std::vector<double>>> futures(6);
+  for (int t = 0; t < 6; ++t) {
+    ASSERT_EQ(server.Submit(f.RequestFor(t), &futures[t]),
+              SubmitStatus::kAccepted);
+  }
+  // Admission control: the 7th request fails fast — no blocking, no drop
+  // of anything already accepted.
+  std::future<std::vector<double>> rejected;
+  EXPECT_EQ(server.Submit(f.RequestFor(6), &rejected),
+            SubmitStatus::kQueueFull);
+  EXPECT_EQ(server.rejected_total(), 1);
+  EXPECT_EQ(server.accepted_total(), 6);
+
+  server.Resume();
+  for (int t = 0; t < 6; ++t) {
+    ExpectExactly(futures[t].get(), f.expected_a[t], "accepted request");
+  }
+}
+
+TEST(InterpolationServerTest, MalformedRequestsRejectedAtAdmission) {
+  ServeFixture& f = Fixture();
+  InterpolationServer server;
+  auto [active, standby] = f.MakeBuffers();
+  server.registry().Register("hk", std::move(active), std::move(standby));
+
+  std::future<std::vector<double>> future;
+  EXPECT_EQ(server.Submit(f.RequestFor(0, "no-such-model"), &future),
+            SubmitStatus::kUnknownModel);
+
+  Request overlapping = f.RequestFor(0);
+  overlapping.query_ids.push_back(overlapping.observed_ids[0]);
+  EXPECT_EQ(server.Submit(std::move(overlapping), &future),
+            SubmitStatus::kInvalidRequest);
+
+  Request out_of_range = f.RequestFor(0);
+  out_of_range.query_ids.push_back(f.data.num_stations() + 7);
+  EXPECT_EQ(server.Submit(std::move(out_of_range), &future),
+            SubmitStatus::kInvalidRequest);
+  EXPECT_EQ(server.rejected_total(), 3);
+
+  // A well-formed request still sails through after the rejections.
+  ExpectExactly(server.Interpolate(f.RequestFor(0)), f.expected_a[0],
+                "post-rejection request");
+}
+
+TEST(InterpolationServerTest, ShutdownDrainsAcceptedThenRejects) {
+  ServeFixture& f = Fixture();
+  ServerConfig config;
+  config.start_paused = true;
+  InterpolationServer server(config);
+  auto [active, standby] = f.MakeBuffers();
+  server.registry().Register("hk", std::move(active), std::move(standby));
+
+  std::vector<std::future<std::vector<double>>> futures(4);
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_EQ(server.Submit(f.RequestFor(t), &futures[t]),
+              SubmitStatus::kAccepted);
+  }
+  // Shutdown with the batcher paused: every accepted request must still be
+  // served before the batcher exits.
+  server.Shutdown();
+  for (int t = 0; t < 4; ++t) {
+    ExpectExactly(futures[t].get(), f.expected_a[t], "drained request");
+  }
+  std::future<std::vector<double>> late;
+  EXPECT_EQ(server.Submit(f.RequestFor(0), &late), SubmitStatus::kShutdown);
+}
+
+// ------------------------------------------------------------ hot-swap
+
+TEST(InterpolationServerTest, HotSwapUnderLoadDropsNothing) {
+  ServeFixture& f = Fixture();
+  ServerConfig config;
+  config.queue_capacity = 4096;
+  config.batch_linger_us = 50;
+  config.batch_threads = 2;
+  InterpolationServer server(config);
+  auto [active, standby] = f.MakeBuffers();
+  server.registry().Register("hk", std::move(active), std::move(standby));
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 40;
+  std::atomic<int> accepted{0};
+  std::atomic<int> matched_a{0};
+  std::atomic<int> matched_b{0};
+  std::atomic<int> mismatched{0};
+
+  auto client = [&](int seed) {
+    for (int i = 0; i < kPerClient; ++i) {
+      const int t = (seed * 7 + i) % f.data.num_timestamps();
+      std::future<std::vector<double>> future;
+      // The queue is sized for the whole burst: every submit must land.
+      ASSERT_EQ(server.Submit(f.RequestFor(t), &future),
+                SubmitStatus::kAccepted);
+      accepted.fetch_add(1);
+      const std::vector<double> result = future.get();
+      // Zero-drop and no torn weights: each prediction matches one of the
+      // two weight generations exactly, never a mixture.
+      if (result == f.expected_a[t]) {
+        matched_a.fetch_add(1);
+      } else if (result == f.expected_b[t]) {
+        matched_b.fetch_add(1);
+      } else {
+        mismatched.fetch_add(1);
+      }
+    }
+  };
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back(client, c + 1);
+  }
+  // Promote B, then A, then B again while the clients hammer the server —
+  // three zero-drop swaps under sustained concurrent load.
+  ASSERT_TRUE(server.registry().Promote("hk", *f.source_b));
+  ASSERT_TRUE(server.registry().Promote("hk", *f.source_a));
+  ASSERT_TRUE(server.registry().Promote("hk", *f.source_b));
+  for (std::thread& thread : clients) thread.join();
+
+  EXPECT_EQ(accepted.load(), kClients * kPerClient);
+  EXPECT_EQ(mismatched.load(), 0);
+  EXPECT_EQ(matched_a.load() + matched_b.load(), kClients * kPerClient);
+  EXPECT_EQ(server.registry().promotions(), 3);
+
+  // Post-swap requests serve the promoted (generation B) weights.
+  ExpectExactly(server.Interpolate(f.RequestFor(0)), f.expected_b[0],
+                "post-swap request");
+}
+
+}  // namespace
+}  // namespace ssin

@@ -4,9 +4,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "common/telemetry.h"
 
 namespace ssin {
 namespace {
@@ -108,6 +111,71 @@ TEST(ThreadPoolTest, WorkerExceptionSurfacesOnCaller) {
   std::atomic<int64_t> sum{0};
   pool.ParallelFor(10, [&](int64_t i, int /*slot*/) { sum += i; });
   EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, WorkerBornWithTelemetryOffRecordsNoLifetime) {
+  if (!telemetry::CompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  // The "disabled run never reads the clock" contract, extended to worker
+  // lifetimes: a worker born while telemetry is off must not record a
+  // thread_pool.worker_ns sample at exit — even if telemetry was enabled
+  // for part of its life. (It uses the same -1 sentinel as task enqueue
+  // stamps; the old code read the clock at birth unconditionally.)
+  telemetry::SetEnabled(false);
+  const int64_t worker_ns_before =
+      telemetry::GetCounter("thread_pool.worker_ns")->Value();
+  {
+    ThreadPool pool(4);  // Workers born with telemetry off.
+    // Barrier round: every chunk blocks until all four participants (three
+    // workers + the caller) have arrived, proving each worker sampled its
+    // birth sentinel while telemetry was still off.
+    std::atomic<int> arrived{0};
+    pool.ParallelFor(4, [&](int64_t /*i*/, int /*slot*/) {
+      arrived.fetch_add(1);
+      while (arrived.load() < 4) std::this_thread::yield();
+    });
+    telemetry::SetEnabled(true);
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(100, [&](int64_t i, int /*slot*/) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950);
+  }  // Workers exit with telemetry on: still no lifetime sample.
+  telemetry::SetEnabled(false);
+  EXPECT_EQ(telemetry::GetCounter("thread_pool.worker_ns")->Value(),
+            worker_ns_before);
+}
+
+TEST(ThreadPoolTest, WorkerBornWithTelemetryOnRecordsLifetime) {
+  if (!telemetry::CompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  const int64_t worker_ns_before =
+      telemetry::GetCounter("thread_pool.worker_ns")->Value();
+  telemetry::SetEnabled(true);
+  {
+    ThreadPool pool(4);
+    pool.ParallelFor(8, [](int64_t /*i*/, int /*slot*/) {});
+  }
+  telemetry::SetEnabled(false);
+  EXPECT_GT(telemetry::GetCounter("thread_pool.worker_ns")->Value(),
+            worker_ns_before);
+}
+
+TEST(ThreadPoolTest, PoolStaysHealthyAcrossManyExceptionRounds) {
+  // The worker loop's containment of escaped exceptions (and the RAII
+  // restore of the inside-a-task flag) must leave every worker alive and
+  // un-degraded: full parallel coverage still works after repeated
+  // exception rounds.
+  ThreadPool pool(4);
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_THROW(
+        pool.ParallelFor(100,
+                         [](int64_t i, int /*slot*/) {
+                           if (i % 7 == 3) throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+  }
+  std::vector<int> visits(1000, 0);
+  pool.ParallelFor(1000, [&](int64_t i, int /*slot*/) {
+    ++visits[static_cast<size_t>(i)];
+  });
+  for (int v : visits) EXPECT_EQ(v, 1);
 }
 
 TEST(ThreadPoolTest, SingleThreadPoolRunsWorkOnCaller) {
