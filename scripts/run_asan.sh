@@ -16,7 +16,7 @@ BUILD_DIR="${1:-build-asan}"
 cmake -B "${BUILD_DIR}" -S . -DSSIN_ADDRESS_SANITIZER=ON
 cmake --build "${BUILD_DIR}" -j --target serialize_test csv_loader_test \
   checkpoint_resume_test inference_equivalence_test \
-  kernel_differential_test serve_test
+  kernel_differential_test serve_test geo_test knn_shielding_test
 
 echo "== kernel_differential_test (ASan+UBSan) =="
 # The SIMD kernels' unrolled tails and row-split partitions must not read
@@ -36,6 +36,17 @@ echo "== inference_equivalence_test (ASan+UBSan) =="
 # The inference engine's workspace arena and layout cache must be clean of
 # memory errors, including across cache invalidation and reuse.
 "${BUILD_DIR}/tests/inference_equivalence_test"
+
+echo "== geo_test (ASan+UBSan) =="
+# The spatial index's grid-cell arithmetic and ring walks must stay in
+# bounds for queries outside the indexed bounding box and degenerate
+# (empty / coincident / collinear) point sets.
+"${BUILD_DIR}/tests/geo_test"
+
+echo "== knn_shielding_test (ASan+UBSan) =="
+# Neighbor-limited plans index packed SRPE rows through int64 pair rows;
+# every gather and the on-demand RelposForPairs path must be clean.
+"${BUILD_DIR}/tests/knn_shielding_test"
 
 echo "== serve_test (ASan+UBSan) =="
 # Queued requests, promise lifetimes, and the double-buffered registry

@@ -38,7 +38,7 @@ cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release -DSSIN_NATIVE_ARCH=ON \
   >/dev/null
 cmake --build "$BUILD" -j --target bench_fig7_attention_kernel \
   --target bench_table5_model_cost --target bench_telemetry_overhead \
-  --target bench_serving --target quickstart
+  --target bench_serving --target bench_scaling --target quickstart
 
 # Provenance gate: a debug-built benchmark binary must not overwrite the
 # checked-in reports. The bench main records the compile flags of the
@@ -154,6 +154,53 @@ else:
 EOF
 
 echo "Wrote BENCH_attention.json"
+
+# Neighbor-limited scaling study (ROADMAP item 3): ms-vs-L at L in
+# {123, 1k, 5k, 10k} and accuracy-vs-k at L=1000. The bench embeds its own
+# ssin_build_type provenance; gate on it, sanity-check the curve, and merge
+# it into BENCH_attention.json as the "scaling" block.
+SSIN_BENCH_SCALING_JSON=.bench_scaling.json "$BUILD"/bench/bench_scaling
+python3 - <<'EOF'
+import json, sys
+
+with open(".bench_scaling.json") as f:
+    scaling = json.load(f)
+if scaling.get("ssin_build_type") != "release":
+    sys.exit("refusing to merge scaling block: ssin_build_type=%r"
+             % scaling.get("ssin_build_type"))
+
+curve = scaling.get("ms_vs_l", [])
+knn = {p["length"]: p for p in curve if p["neighbor_k"] > 0}
+if sorted(knn) != [123, 1000, 5000, 10000]:
+    sys.exit("scaling ms-vs-L lengths %r != [123, 1k, 5k, 10k]" % sorted(knn))
+k = scaling.get("neighbor_k", 0)
+for length, p in knn.items():
+    if not p.get("timed") or p.get("warm_serve_ms", 0) <= 0:
+        sys.exit("scaling point L=%d was not timed" % length)
+    if p["pairs"] > length * (k + 2):
+        sys.exit("scaling point L=%d has %d pairs, above the O(L*k) bound"
+                 % (length, p["pairs"]))
+
+points = scaling.get("accuracy_vs_k", {}).get("points", [])
+if [p["neighbor_k"] for p in points] != [4, 8, 16, 32, 64, 0]:
+    sys.exit("scaling accuracy sweep ks are wrong: %r"
+             % [p["neighbor_k"] for p in points])
+
+with open("BENCH_attention.json") as f:
+    report = json.load(f)
+report["scaling"] = scaling
+with open("BENCH_attention.json", "w") as f:
+    json.dump(report, f, indent=1)
+    f.write("\n")
+print("scaling: " + ", ".join(
+    "L=%d %.0fms" % (length, knn[length]["warm_serve_ms"])
+    for length in sorted(knn)) + " (k=%d warm serve); accuracy full rmse "
+    "%.4f vs k=32 %.4f" % (
+        k, [p for p in points if p["neighbor_k"] == 0][0]["rmse"],
+        [p for p in points if p["neighbor_k"] == 32][0]["rmse"]))
+EOF
+rm -f .bench_scaling.json
+echo "Merged scaling block into BENCH_attention.json"
 
 SSIN_BENCH_INFERENCE_JSON=BENCH_inference.json \
   "$BUILD"/bench/bench_table5_model_cost

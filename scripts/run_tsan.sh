@@ -14,7 +14,7 @@ cmake -B "${BUILD_DIR}" -S . -DSSIN_THREAD_SANITIZER=ON
 cmake --build "${BUILD_DIR}" -j --target thread_pool_test \
   parallel_equivalence_test packed_srpe_equivalence_test \
   inference_equivalence_test telemetry_test kernel_differential_test \
-  serve_test
+  serve_test knn_shielding_test
 
 echo "== thread_pool_test (TSan) =="
 "${BUILD_DIR}/tests/thread_pool_test"
@@ -37,6 +37,13 @@ echo "== inference_equivalence_test (TSan) =="
 # Death tests fork, which TSan dislikes; run the concurrency-relevant ones.
 "${BUILD_DIR}/tests/inference_equivalence_test" \
   --gtest_filter=-InferenceValidationDeath.*
+
+echo "== knn_shielding_test (TSan) =="
+# SetNeighborK flips plan construction while the layout cache may be read
+# from serving threads; the parallel trainer builds per-item limited plans
+# concurrently. Death tests fork, which TSan dislikes; skip them.
+"${BUILD_DIR}/tests/knn_shielding_test" \
+  --gtest_filter=-SpatialContextDeathTest.*
 
 echo "== serve_test (TSan) =="
 # The serving core's whole point is concurrency: admission vs batcher vs

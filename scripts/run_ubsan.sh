@@ -16,7 +16,8 @@ BUILD_DIR="${1:-build-ubsan}"
 
 cmake -B "${BUILD_DIR}" -S . -DSSIN_UB_SANITIZER=ON
 cmake --build "${BUILD_DIR}" -j --target kernel_differential_test \
-  ops_test attention_test inference_equivalence_test
+  ops_test attention_test inference_equivalence_test geo_test \
+  knn_shielding_test
 
 echo "== kernel_differential_test (UBSan) =="
 "${BUILD_DIR}/tests/kernel_differential_test"
@@ -29,5 +30,13 @@ echo "== attention_test (UBSan) =="
 
 echo "== inference_equivalence_test (UBSan) =="
 "${BUILD_DIR}/tests/inference_equivalence_test"
+
+echo "== geo_test (UBSan) =="
+# Grid-cell index arithmetic (negative offsets, clamped casts) and the
+# int64 dense-shape math must be UB-free, including the overflow guards.
+"${BUILD_DIR}/tests/geo_test"
+
+echo "== knn_shielding_test (UBSan) =="
+"${BUILD_DIR}/tests/knn_shielding_test"
 
 echo "UBSan run clean."

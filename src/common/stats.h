@@ -46,6 +46,18 @@ class RunningStats {
   }
   double stddev() const { return std::sqrt(variance()); }
 
+  /// Finalizes into the two-pass ComputeMeanStd contract: population std,
+  /// clamped to `min_std` so callers can divide by it safely. Lets streaming
+  /// consumers replace a vector + ComputeMeanStd pair without changing the
+  /// downstream standardization semantics.
+  MeanStd ToMeanStd(double min_std = 1e-8) const {
+    MeanStd out;
+    out.mean = mean();
+    out.std = stddev();
+    if (out.std < min_std) out.std = min_std;
+    return out;
+  }
+
  private:
   size_t count_ = 0;
   double mean_ = 0.0;

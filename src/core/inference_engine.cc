@@ -35,6 +35,34 @@ telemetry::Counter* InvalidationsCounter() {
 
 }  // namespace
 
+std::shared_ptr<const AttentionPlan> BuildSequencePlan(
+    const SpaFormerConfig& config, const SpatialContext& context,
+    const std::vector<int>& node_ids, const std::vector<uint8_t>& observed) {
+  auto plan = std::make_shared<AttentionPlan>();
+  if (config.shielded && config.neighbor_k > 0) {
+    BuildAttentionPlanLimited(
+        observed,
+        context.NearestObservedKeys(node_ids, observed, config.neighbor_k),
+        plan.get());
+  } else {
+    BuildAttentionPlan(observed, config.shielded, plan.get());
+  }
+  return plan;
+}
+
+Tensor RelposRowsForPlan(const SpatialContext& context,
+                         const std::vector<int>& node_ids,
+                         const AttentionPlan& plan,
+                         const SpaFormerConfig& config) {
+  if (config.position_mode != SpaFormerConfig::PositionMode::kSrpe) {
+    return Tensor();
+  }
+  if (config.packed_srpe) {
+    return context.RelposForPairs(node_ids, plan.pair_rows);
+  }
+  return context.RelposFor(node_ids);
+}
+
 std::shared_ptr<const SequenceLayout> BuildSequenceLayout(
     SpaFormer* model, const SpatialContext& context,
     const std::vector<int>& observed_ids, const std::vector<int>& query_ids,
@@ -48,17 +76,15 @@ std::shared_ptr<const SequenceLayout> BuildSequenceLayout(
   layout->observed.assign(layout->node_ids.size(), 0);
   for (int i = 0; i < layout->num_observed; ++i) layout->observed[i] = 1;
 
-  auto plan = std::make_shared<AttentionPlan>();
-  BuildAttentionPlan(layout->observed, model->config().shielded, plan.get());
-  layout->plan = std::move(plan);
-
-  if (model->config().position_mode ==
-      SpaFormerConfig::PositionMode::kSrpe) {
-    layout->relpos = context.RelposFor(layout->node_ids);
-  }
+  layout->plan = BuildSequencePlan(model->config(), context, layout->node_ids,
+                                   layout->observed);
   layout->abspos = context.AbsposFor(layout->node_ids);
 
-  model->EmbedLayoutPositions(layout.get(), ws);
+  // The relpos rows live only for the embedding forward below; the layout
+  // keeps the embedded result, not the geometry.
+  const Tensor relpos_rows = RelposRowsForPlan(context, layout->node_ids,
+                                               *layout->plan, model->config());
+  model->EmbedLayoutPositions(layout.get(), relpos_rows, ws);
   // Converting the embedded positions up front (an empty tensor converts
   // to an empty tensor) keeps the layout usable by either precision
   // without re-touching model weights.

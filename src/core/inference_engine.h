@@ -17,6 +17,7 @@ namespace ssin {
 
 class SpaFormer;
 class SpatialContext;
+struct SpaFormerConfig;
 
 /// Everything about one inference sequence that does not depend on the
 /// sensor *values* — only on which stations are observed and which are
@@ -36,9 +37,11 @@ struct SequenceLayout {
   std::vector<uint8_t> observed;  ///< Per-node flags (1 = observed).
   std::shared_ptr<const AttentionPlan> plan;
 
-  /// Standardized geometry, as SpaFormer::Forward consumes it: relpos
-  /// [L*L, 2] (SRPE mode only), abspos [L, 2].
-  Tensor relpos;
+  /// Standardized absolute coordinates, [L, 2]. Relative positions are
+  /// *not* stored: only the legal pairs' rows are ever computed
+  /// (RelposRowsForPlan), consumed by the position embedding at build
+  /// time, and discarded — a layout's relpos footprint is O(L*k) while it
+  /// builds and zero afterwards, never the dense [L*L, 2].
   Tensor abspos;
 
   /// Pre-embedded positions: srpe is [num_pairs, d_k] (packed) or
@@ -63,6 +66,27 @@ std::shared_ptr<const SequenceLayout> BuildSequenceLayout(
     SpaFormer* model, const SpatialContext& context,
     const std::vector<int>& observed_ids, const std::vector<int>& query_ids,
     InferenceWorkspace* ws);
+
+/// Builds the attention plan for one sequence under `config`: the full
+/// shielded (or unshielded) plan, or — when config.shielded and
+/// config.neighbor_k > 0 — the neighbor-limited plan over the k nearest
+/// observed stations per query (SpatialContext::NearestObservedKeys).
+/// The single plan-construction policy shared by training, the serving
+/// layouts, and the autograd reference, so every path agrees on which
+/// pairs are legal.
+std::shared_ptr<const AttentionPlan> BuildSequencePlan(
+    const SpaFormerConfig& config, const SpatialContext& context,
+    const std::vector<int>& node_ids, const std::vector<uint8_t>& observed);
+
+/// Standardized relative positions for exactly the rows
+/// SpaFormer::ForwardWithPlan consumes under `config`: packed-SRPE —
+/// [plan.num_pairs(), 2] legal-pair rows; dense-SRPE — the [L*L, 2]
+/// reference layout (subject to the kMaxDenseRelposLength cap); SAPE —
+/// an empty tensor (no relative positions at all).
+Tensor RelposRowsForPlan(const SpatialContext& context,
+                         const std::vector<int>& node_ids,
+                         const AttentionPlan& plan,
+                         const SpaFormerConfig& config);
 
 /// Thread-safe cache of SequenceLayouts keyed by (node_ids, num_observed).
 ///

@@ -3,6 +3,7 @@
 #include "common/simd.h"
 #include "common/telemetry.h"
 #include "core/inference_engine.h"
+#include "geo/relpos.h"
 
 namespace ssin {
 
@@ -103,10 +104,51 @@ Var SpaFormer::ApplyEmbedding(Linear* linear, Fcn2* fcn, Var in) {
 Var SpaFormer::Forward(Graph* graph, const Tensor& x, const Tensor& relpos,
                        const Tensor& abspos,
                        const std::vector<uint8_t>& observed) {
+  const int length = x.dim(0);
+  SSIN_CHECK_EQ(static_cast<int>(observed.size()), length);
+  // The dense entry point has no station geometry to derive neighbor
+  // lists from; neighbor-limited callers go through ForwardWithPlan.
+  SSIN_CHECK_EQ(config_.neighbor_k, 0)
+      << "Forward cannot apply neighbor-limited shielding; build a limited "
+         "plan and call ForwardWithPlan";
+
+  // One legal-pair plan per sequence, shared by every layer/head kernel
+  // invocation and kept alive by the backward closures that capture it.
+  auto plan = std::make_shared<AttentionPlan>();
+  BuildAttentionPlan(observed, config_.shielded, plan.get());
+
+  Tensor relpos_rows;
+  if (config_.position_mode == SpaFormerConfig::PositionMode::kSrpe) {
+    SSIN_CHECK_EQ(relpos.dim(0), DenseRelPosRows(length));
+    SSIN_CHECK_EQ(relpos.dim(1), 2);
+    if (config_.packed_srpe) {
+      // Gather the legal pairs' rows so the position embedding (and its
+      // backward) runs on num_pairs rows instead of L*L.
+      const int num_pairs = static_cast<int>(plan->num_pairs());
+      relpos_rows = Tensor({num_pairs, 2});
+      const double* src = relpos.data();
+      double* dst = relpos_rows.data();
+      for (int t = 0; t < num_pairs; ++t) {
+        const double* row = src + plan->pair_rows[t] * 2;
+        dst[2 * t] = row[0];
+        dst[2 * t + 1] = row[1];
+      }
+    } else {
+      relpos_rows = relpos;
+    }
+  }
+  return ForwardWithPlan(graph, x, std::move(plan), relpos_rows, abspos);
+}
+
+Var SpaFormer::ForwardWithPlan(Graph* graph, const Tensor& x,
+                               std::shared_ptr<const AttentionPlan> plan,
+                               const Tensor& relpos_rows,
+                               const Tensor& abspos) {
   SSIN_TRACE_SPAN("spaformer.forward");
   const int length = x.dim(0);
   SSIN_CHECK_EQ(x.dim(1), 1);
-  SSIN_CHECK_EQ(static_cast<int>(observed.size()), length);
+  SSIN_CHECK(plan != nullptr);
+  SSIN_CHECK_EQ(plan->length, length);
 
   // Input Embedding Module.
   Var e;
@@ -115,35 +157,22 @@ Var SpaFormer::Forward(Graph* graph, const Tensor& x, const Tensor& relpos,
     e = ApplyEmbedding(value_linear_, value_fcn_, graph->Constant(x));
   }
 
-  // One legal-pair plan per sequence, shared by every layer/head kernel
-  // invocation and kept alive by the backward closures that capture it.
-  auto plan = std::make_shared<AttentionPlan>();
-  BuildAttentionPlan(observed, config_.shielded, plan.get());
-
   Var srpe;  // Stays invalid in SAPE mode.
   if (config_.position_mode == SpaFormerConfig::PositionMode::kSrpe) {
     SSIN_TRACE_SPAN("spaformer.srpe");
-    SSIN_CHECK_EQ(relpos.dim(0), length * length);
-    SSIN_CHECK_EQ(relpos.dim(1), 2);
+    SSIN_CHECK_EQ(relpos_rows.dim(1), 2);
     if (config_.packed_srpe) {
-      // Embed only the legal pairs: gather their relpos rows so the
-      // position embedding (and its backward) runs on num_pairs rows
-      // instead of L*L.
-      const int num_pairs = static_cast<int>(plan->num_pairs());
-      Tensor packed_relpos({num_pairs, 2});
-      const double* src = relpos.data();
-      double* dst = packed_relpos.data();
-      for (int t = 0; t < num_pairs; ++t) {
-        const double* row = src + static_cast<int64_t>(plan->pair_rows[t]) * 2;
-        dst[2 * t] = row[0];
-        dst[2 * t + 1] = row[1];
-      }
-      srpe = ApplyEmbedding(position_linear_, position_fcn_,
-                            graph->Constant(packed_relpos));
+      SSIN_CHECK_EQ(relpos_rows.dim(0), plan->num_pairs());
     } else {
-      srpe = ApplyEmbedding(position_linear_, position_fcn_,
-                            graph->Constant(relpos));
+      // The dense reference embeds all L*L rows; refuse sequences where
+      // that working set is no longer sane instead of OOM-ing.
+      SSIN_CHECK_LE(length, kMaxDenseRelposLength)
+          << "dense SRPE embeds [L*L, d_k] rows; enable packed_srpe for "
+             "networks this large";
+      SSIN_CHECK_EQ(relpos_rows.dim(0), DenseRelPosRows(length));
     }
+    srpe = ApplyEmbedding(position_linear_, position_fcn_,
+                          graph->Constant(relpos_rows));
   } else {
     SSIN_TRACE_SPAN("spaformer.sape");
     SSIN_CHECK_EQ(abspos.dim(0), length);
@@ -164,31 +193,23 @@ Tensor& SpaFormer::InferEmbedding(Linear* linear, Fcn2* fcn, const Tensor& in,
 }
 
 void SpaFormer::EmbedLayoutPositions(SequenceLayout* layout,
+                                     const Tensor& relpos_rows,
                                      InferenceWorkspace* ws) {
   SSIN_TRACE_SPAN("spaformer.embed_positions");
   ws->Reset();
   if (config_.position_mode == SpaFormerConfig::PositionMode::kSrpe) {
     const int length = layout->length();
-    SSIN_CHECK_EQ(layout->relpos.dim(0), length * length);
-    SSIN_CHECK_EQ(layout->relpos.dim(1), 2);
+    SSIN_CHECK_EQ(relpos_rows.dim(1), 2);
     if (config_.packed_srpe) {
-      // Same legal-pair gather as Forward, then the same embedding.
-      const int num_pairs = static_cast<int>(layout->plan->num_pairs());
-      Tensor packed_relpos({num_pairs, 2});
-      const double* src = layout->relpos.data();
-      double* dst = packed_relpos.data();
-      for (int t = 0; t < num_pairs; ++t) {
-        const double* row =
-            src + static_cast<int64_t>(layout->plan->pair_rows[t]) * 2;
-        dst[2 * t] = row[0];
-        dst[2 * t + 1] = row[1];
-      }
-      layout->srpe =
-          InferEmbedding(position_linear_, position_fcn_, packed_relpos, ws);
+      SSIN_CHECK_EQ(relpos_rows.dim(0), layout->plan->num_pairs());
     } else {
-      layout->srpe =
-          InferEmbedding(position_linear_, position_fcn_, layout->relpos, ws);
+      SSIN_CHECK_LE(length, kMaxDenseRelposLength)
+          << "dense SRPE embeds [L*L, d_k] rows; enable packed_srpe for "
+             "networks this large";
+      SSIN_CHECK_EQ(relpos_rows.dim(0), DenseRelPosRows(length));
     }
+    layout->srpe =
+        InferEmbedding(position_linear_, position_fcn_, relpos_rows, ws);
   } else {
     SSIN_CHECK_EQ(layout->abspos.dim(0), layout->length());
     layout->sape =

@@ -39,6 +39,17 @@ struct SpaFormerConfig {
   /// Shielded attention (paper) vs. full self-attention (ablation).
   bool shielded = true;
 
+  /// Neighbor-limited shielding (ROADMAP item 3). 0 — the default — is
+  /// full shielding, the paper's exact §3.3.3 semantics and the bit-exact
+  /// reference. k > 0 caps every query's legal observed keys at its k
+  /// spatially nearest (self always stays legal), so attention-plan pair
+  /// counts and packed-SRPE rows grow O(L*k) instead of O(L*m) — the knob
+  /// that makes 1k–10k-station networks tractable. Requires shielded and
+  /// the plan-based entry points (ForwardWithPlan / the serving layouts);
+  /// when k >= num_observed the limited plan is identical to the full one,
+  /// pair for pair, so results are bit-identical.
+  int neighbor_k = 0;
+
   /// Legal-pair-sparse SRPE pipeline (default): only the relative
   /// positions of the sequence's legal attention pairs are embedded, and
   /// the attention kernels index the packed [num_pairs, d_k] SRPE tensor
@@ -87,6 +98,22 @@ class SpaFormer : public Module {
   Var Forward(Graph* graph, const Tensor& x, const Tensor& relpos,
               const Tensor& abspos, const std::vector<uint8_t>& observed);
 
+  /// Plan-based forward — the scalable entry point: the caller supplies
+  /// the attention plan (full or neighbor-limited) and the relative
+  /// positions for exactly the rows the configuration consumes, so no
+  /// dense [L*L] tensor is ever required.
+  ///
+  /// relpos_rows: packed-SRPE mode — [plan->num_pairs(), 2], row t =
+  /// standardized relpos of legal pair t (SpatialContext::RelposForPairs);
+  /// dense-SRPE mode — the historical [L*L, 2] layout; SAPE mode —
+  /// ignored (pass an empty tensor). Forward() is a wrapper over this:
+  /// it builds the full-shielding plan and gathers the packed rows from
+  /// its dense relpos argument, so both entry points are bit-identical
+  /// for full shielding.
+  Var ForwardWithPlan(Graph* graph, const Tensor& x,
+                      std::shared_ptr<const AttentionPlan> plan,
+                      const Tensor& relpos_rows, const Tensor& abspos);
+
   /// Graph-free forward for serving: evaluates the same network as Forward
   /// with zero autograd bookkeeping, reusing the plan and pre-embedded
   /// positions of `layout` and the activation arena of `ws` (resetting it).
@@ -112,10 +139,13 @@ class SpaFormer : public Module {
                               InferenceWorkspace* ws);
 
   /// Fills layout->srpe (SRPE mode; packed or dense per the config) or
-  /// layout->sape (SAPE mode) by running the position-embedding module on
-  /// the layout's geometry with the *current* weights. The layout's
-  /// relpos/abspos/plan must already be set.
-  void EmbedLayoutPositions(SequenceLayout* layout, InferenceWorkspace* ws);
+  /// layout->sape (SAPE mode) by running the position-embedding module
+  /// with the *current* weights. `relpos_rows` follows the ForwardWithPlan
+  /// contract: packed [num_pairs, 2], dense [L*L, 2], or empty in SAPE
+  /// mode (which embeds layout->abspos instead). The layout's abspos/plan
+  /// must already be set.
+  void EmbedLayoutPositions(SequenceLayout* layout, const Tensor& relpos_rows,
+                            InferenceWorkspace* ws);
 
   const SpaFormerConfig& config() const { return config_; }
 
@@ -123,6 +153,11 @@ class SpaFormer : public Module {
   /// a serving kill switch and the hook equivalence tests flip to compare
   /// fused against unfused predictions on identical weights.
   void set_fused_serving(bool fused) { config_.fused_serving = fused; }
+
+  /// Runtime toggle for neighbor-limited shielding (config().neighbor_k).
+  /// Affects only plan construction for *future* sequences; the owning
+  /// interpolator must invalidate its layout cache when flipping this.
+  void set_neighbor_k(int k) { config_.neighbor_k = k; }
 
  private:
   std::unique_ptr<Module> MakeEmbedding(SpaFormerConfig::Embedding kind,

@@ -240,6 +240,25 @@ bool SsinInterpolator::fused_serving() const {
   return model_->config().fused_serving;
 }
 
+void SsinInterpolator::SetNeighborK(int k) {
+  SSIN_CHECK(prepared_) << "call Fit() or Prepare() first";
+  SSIN_CHECK_GE(k, 0);
+  if (k > 0) {
+    SSIN_CHECK(model_->config().shielded)
+        << "neighbor-limited attention requires shielded attention";
+  }
+  if (model_->config().neighbor_k == k) return;
+  model_->set_neighbor_k(k);
+  model_config_.neighbor_k = k;
+  // Cached layouts hold plans (and SRPE rows) built for the previous k.
+  InvalidateServingCaches();
+}
+
+int SsinInterpolator::neighbor_k() const {
+  SSIN_CHECK(prepared_) << "call Fit() or Prepare() first";
+  return model_->config().neighbor_k;
+}
+
 std::vector<double> SsinInterpolator::InterpolateTimestamp(
     const std::vector<double>& all_values,
     const std::vector<int>& observed_ids, const std::vector<int>& query_ids) {
@@ -274,15 +293,18 @@ std::vector<double> SsinInterpolator::InterpolateTimestampAutograd(
   MaskedSequence seq = BuildInferenceSequence(
       observed_values, static_cast<int>(query_ids.size()), options);
 
-  const Tensor relpos =
-      model_config_.position_mode == SpaFormerConfig::PositionMode::kSrpe
-          ? context_.RelposFor(node_ids)
-          : Tensor();
+  // The exact plan/relpos pipeline the serving layouts use — so this
+  // autograd reference covers neighbor-limited configurations too, and
+  // never materializes a dense [L*L, 2] tensor in packed mode.
+  std::shared_ptr<const AttentionPlan> plan =
+      BuildSequencePlan(model_->config(), context_, node_ids, seq.observed);
+  const Tensor relpos_rows =
+      RelposRowsForPlan(context_, node_ids, *plan, model_->config());
   const Tensor abspos = context_.AbsposFor(node_ids);
 
   Graph graph;
-  Var pred =
-      model_->Forward(&graph, seq.input, relpos, abspos, seq.observed);
+  Var pred = model_->ForwardWithPlan(&graph, seq.input, std::move(plan),
+                                     relpos_rows, abspos);
 
   std::vector<double> out;
   out.reserve(query_ids.size());

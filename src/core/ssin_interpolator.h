@@ -197,6 +197,18 @@ class SsinInterpolator : public SpatialInterpolator {
   void SetFusedServing(bool fused);
   bool fused_serving() const;
 
+  /// Runtime switch for neighbor-limited shielding (see
+  /// SpaFormerConfig::neighbor_k). 0 restores full shielding, the paper's
+  /// bit-exact semantics; k > 0 caps every query's legal keys at its k
+  /// nearest observed stations so serving (and any subsequent training)
+  /// scales O(L*k). Invalidates the serving caches: cached layouts embed
+  /// the plan built for the previous k. Must be called after
+  /// Fit()/Prepare(); requires a shielded configuration when k > 0. When
+  /// k >= the observed count of a sequence, predictions are bit-identical
+  /// to full shielding.
+  void SetNeighborK(int k);
+  int neighbor_k() const;
+
  private:
   /// Cached-or-built layout for one (observed_ids, query_ids) pair.
   std::shared_ptr<const SequenceLayout> LayoutFor(

@@ -8,6 +8,7 @@
 
 #include "common/log.h"
 #include "common/telemetry.h"
+#include "core/inference_engine.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "nn/serialize.h"
@@ -115,8 +116,16 @@ TrainStats SsinTrainer::Train(const SpatialDataset& data,
   SSIN_CHECK_GT(length, 1);
 
   // Static spatial inputs for the training sub-network: sequence node i is
-  // station train_ids[i].
-  const Tensor relpos = context_->RelposFor(train_ids);
+  // station train_ids[i]. Only the dense-SRPE reference mode precomputes a
+  // shared [L*L, 2] tensor; the packed path derives each item's O(L*k)
+  // legal-pair rows from the context on demand (RunBatch), and SAPE needs
+  // no relative positions at all — so the default training configuration
+  // never materializes an [L*L] relpos tensor.
+  const SpaFormerConfig& model_config = model_->config();
+  const bool dense_srpe =
+      model_config.position_mode == SpaFormerConfig::PositionMode::kSrpe &&
+      !model_config.packed_srpe;
+  const Tensor relpos = dense_srpe ? context_->RelposFor(train_ids) : Tensor();
   const Tensor abspos = context_->AbsposFor(train_ids);
 
   MaskingOptions mask_options;
@@ -209,8 +218,9 @@ TrainStats SsinTrainer::Train(const SpatialDataset& data,
       const size_t end =
           std::min(item_order_.size(), start + config_.batch_size);
       model_->ZeroGrad();
-      RunBatch(item_order_, start, end, sequences, static_masks_, relpos,
-               abspos, mask_options, parallel.get(), &loss_sum, &loss_count);
+      RunBatch(item_order_, start, end, train_ids, sequences, static_masks_,
+               relpos, abspos, mask_options, parallel.get(), &loss_sum,
+               &loss_count);
       if (telemetry::Enabled()) {
         // Read-only probe of the reduced (pre-step) batch gradient.
         GradNormHistogram()->Observe(GlobalGradNorm(model_->Parameters()));
@@ -321,15 +331,35 @@ bool SsinTrainer::ResumeFrom(const std::string& path) {
 }
 
 void SsinTrainer::RunBatch(const std::vector<int>& items, size_t start,
-                           size_t end,
+                           size_t end, const std::vector<int>& node_ids,
                            const std::vector<std::vector<double>>& sequences,
                            const std::vector<std::vector<int>>& static_masks,
-                           const Tensor& relpos, const Tensor& abspos,
+                           const Tensor& dense_relpos, const Tensor& abspos,
                            const MaskingOptions& mask_options,
                            ParallelTrainState* parallel, double* loss_sum,
                            int64_t* loss_count) {
   const int num_sequences = static_cast<int>(sequences.size());
   const int length = static_cast<int>(sequences[0].size());
+  const SpaFormerConfig& model_config = model_->config();
+
+  // Per-item plan + relpos rows: each item's mask pattern defines its own
+  // legal-pair set. The packed path computes exactly those pairs' rows —
+  // O(pairs), never [L*L] — and the dense reference reuses the shared
+  // tensor built once per Train() call.
+  const auto forward = [&](Graph* graph,
+                           const MaskedSequence& seq) -> Var {
+    std::shared_ptr<const AttentionPlan> plan =
+        BuildSequencePlan(model_config, *context_, node_ids, seq.observed);
+    Tensor relpos_rows;
+    if (model_config.position_mode == SpaFormerConfig::PositionMode::kSrpe) {
+      relpos_rows =
+          model_config.packed_srpe
+              ? context_->RelposForPairs(node_ids, plan->pair_rows)
+              : dense_relpos;
+    }
+    return model_->ForwardWithPlan(graph, seq.input, std::move(plan),
+                                   relpos_rows, abspos);
+  };
   // Per-batch gradient averaging: the seed of every item's backward pass is
   // scaled by 1/|batch|, the *actual* batch size — for a partial final
   // batch that is the number of items it really holds, so each optimizer
@@ -350,8 +380,7 @@ void SsinTrainer::RunBatch(const std::vector<int>& items, size_t start,
           BuildMaskedSequence(sequences[t], mask, mask_options);
 
       Graph graph;
-      Var pred = model_->Forward(&graph, seq.input, relpos, abspos,
-                                 seq.observed);
+      Var pred = forward(&graph, seq);
       Var masked_pred = GatherRows(pred, seq.target_positions);
       Var loss = MseLoss(masked_pred, seq.targets);
       *loss_sum += loss.value()[0];
@@ -394,8 +423,7 @@ void SsinTrainer::RunBatch(const std::vector<int>& items, size_t start,
         for (size_t pi = 0; pi < parallel->params.size(); ++pi) {
           graph.RedirectGradient(&parallel->params[pi]->grad, &grads[pi]);
         }
-        Var pred = model_->Forward(&graph, seq.input, relpos, abspos,
-                                   seq.observed);
+        Var pred = forward(&graph, seq);
         Var masked_pred = GatherRows(pred, seq.target_positions);
         Var loss = MseLoss(masked_pred, seq.targets);
         parallel->item_losses[bi] = loss.value()[0];

@@ -57,6 +57,25 @@ RainfallRegionConfig BwRegionConfig() {
   return config;
 }
 
+RainfallRegionConfig NationalRegionConfig(int num_gauges) {
+  SSIN_CHECK_GT(num_gauges, 1);
+  RainfallRegionConfig config = BwRegionConfig();
+  config.name = "NAT";
+  config.width_km = 900.0;
+  config.height_km = 700.0;
+  config.num_gauges = num_gauges;
+  config.origin = LatLon{47.3, 6.0};
+  // Rain structures keep their regional physical scale; only the domain
+  // grows. A larger domain needs a lower wet-fraction bar — a single
+  // stratiform system cannot cover a whole country.
+  config.orography_corr_km = 45.0;
+  config.stratiform_corr_km = 90.0;
+  config.mean_cells_per_event = 12.0;
+  config.min_wet_fraction = 0.04;
+  config.station_seed = 20261;
+  return config;
+}
+
 SmoothField::SmoothField(double correlation_km, int num_features, Rng* rng)
     : SmoothField(correlation_km, correlation_km, 0.0, num_features, rng) {}
 

@@ -77,6 +77,14 @@ RainfallRegionConfig HkRegionConfig();
 /// roughly a third of HK's).
 RainfallRegionConfig BwRegionConfig();
 
+/// National-scale dense network for the L=1k–10k scaling experiments
+/// (ROADMAP item 3): BW-like climate over a country-sized domain, gauge
+/// count chosen by the caller. Field feature sizes stay regional, so at
+/// thousands of gauges a station's rainfall is genuinely predictable only
+/// from its spatial neighborhood — the regime neighbor-limited shielding
+/// targets.
+RainfallRegionConfig NationalRegionConfig(int num_gauges);
+
 /// A smooth stationary Gaussian random field sampled via random Fourier
 /// features; evaluation is O(#features) per point.
 class SmoothField {

@@ -1,15 +1,27 @@
 #include "geo/relpos.h"
 
+#include <climits>
 #include <cmath>
 
 namespace ssin {
+
+int64_t DenseRelPosRows(int length) {
+  SSIN_CHECK_GE(length, 0);
+  const int64_t rows = static_cast<int64_t>(length) * length;
+  // Tensor dimensions are int: reject unrepresentable dense shapes cleanly
+  // instead of wrapping negative (L >= 46341 overflows `length * length`).
+  SSIN_CHECK_LE(rows, static_cast<int64_t>(INT_MAX))
+      << "dense [L*L] relpos shape overflows a Tensor dimension at L="
+      << length << "; use the packed pair-row APIs instead";
+  return rows;
+}
 
 namespace {
 
 Tensor BuildRelPosImpl(const std::vector<PointKm>& points,
                        const Matrix* distance) {
   const int length = static_cast<int>(points.size());
-  Tensor relpos({length * length, 2});
+  Tensor relpos({static_cast<int>(DenseRelPosRows(length)), 2});
   for (int i = 0; i < length; ++i) {
     for (int j = 0; j < length; ++j) {
       const int64_t row = static_cast<int64_t>(i) * length + j;
@@ -48,20 +60,23 @@ RelPosStats ComputeRelPosStats(const Tensor& relpos) {
       std::sqrt(static_cast<double>(pairs))));
   SSIN_CHECK_EQ(static_cast<int64_t>(length) * length, pairs);
 
-  std::vector<double> dists, azims;
-  dists.reserve(pairs);
-  azims.reserve(pairs);
+  // One streaming pass over the off-diagonal pairs (the diagonal rows are
+  // the (0, 0) self-pair convention, not samples). The old implementation
+  // copied every sample into transient vectors first — 2 * L^2 doubles of
+  // peak memory, and it reserved `pairs` entries although the diagonal is
+  // always skipped.
+  RunningStats dists, azims;
   for (int i = 0; i < length; ++i) {
     for (int j = 0; j < length; ++j) {
       if (i == j) continue;
       const int64_t row = static_cast<int64_t>(i) * length + j;
-      dists.push_back(relpos[row * 2]);
-      azims.push_back(relpos[row * 2 + 1]);
+      dists.Add(relpos[row * 2]);
+      azims.Add(relpos[row * 2 + 1]);
     }
   }
   RelPosStats stats;
-  stats.distance = ComputeMeanStd(dists);
-  stats.azimuth = ComputeMeanStd(azims);
+  stats.distance = dists.ToMeanStd();
+  stats.azimuth = azims.ToMeanStd();
   return stats;
 }
 

@@ -18,6 +18,18 @@ struct RelPosStats {
   MeanStd azimuth;
 };
 
+/// Largest sequence length any dense [L*L] relpos / SRPE path will serve.
+/// Dense tensors are the bit-exact reference at paper scale (L=123) but grow
+/// quadratically — at L=5k a single [L*L, d_k] SRPE embedding is ~3 GB.
+/// Callers that need larger networks must use the packed plan-row APIs
+/// (SpatialContext::RelposForPairs) with neighbor-limited shielding.
+inline constexpr int kMaxDenseRelposLength = 2048;
+
+/// Row count of the dense [L*L, 2] relpos tensor, computed in 64-bit: the
+/// naive `length * length` overflows int at L >= 46341. Rejects (SSIN_CHECK)
+/// products that do not fit a Tensor dimension instead of wrapping negative.
+int64_t DenseRelPosRows(int length);
+
 /// Builds the raw relative-position tensor r for a node sequence:
 /// shape [L*L, 2]; row i*L+j holds [distance(p_i,p_j), azimuth(p_i->p_j)].
 /// The self-pair azimuth is 0 by convention (distance is 0).

@@ -41,7 +41,7 @@ void BuildAttentionPlan(const std::vector<uint8_t>& observed, bool shielded,
       const int64_t row_base = static_cast<int64_t>(i) * length;
       for (int j = 0; j < length; ++j) {
         plan->key_index.push_back(j);
-        plan->pair_rows.push_back(static_cast<int>(row_base + j));
+        plan->pair_rows.push_back(row_base + j);
       }
       plan->offset[i + 1] = plan->key_index.size();
     }
@@ -57,14 +57,68 @@ void BuildAttentionPlan(const std::vector<uint8_t>& observed, bool shielded,
       // Unobserved nodes attend to themselves plus all observed nodes.
       if (!observed[i]) {
         plan->key_index.push_back(i);
-        plan->pair_rows.push_back(static_cast<int>(row_base + i));
+        plan->pair_rows.push_back(row_base + i);
       }
       for (int j : observed_ids) {
         plan->key_index.push_back(j);
-        plan->pair_rows.push_back(static_cast<int>(row_base + j));
+        plan->pair_rows.push_back(row_base + j);
       }
       plan->offset[i + 1] = plan->key_index.size();
     }
+  }
+}
+
+void BuildAttentionPlanLimited(
+    const std::vector<uint8_t>& observed,
+    const std::vector<std::vector<int>>& neighbor_keys, AttentionPlan* plan) {
+  g_plan_builds.fetch_add(1, std::memory_order_relaxed);
+  const int length = static_cast<int>(observed.size());
+  SSIN_CHECK_EQ(static_cast<int>(neighbor_keys.size()), length);
+  plan->length = length;
+  plan->shielded = true;
+  plan->key_index.clear();
+  plan->pair_rows.clear();
+  plan->offset.assign(length + 1, 0);
+
+  plan->num_observed = 0;
+  for (int i = 0; i < length; ++i) {
+    if (observed[i]) ++plan->num_observed;
+  }
+
+  size_t pairs = 0;
+  for (const std::vector<int>& keys : neighbor_keys) pairs += keys.size() + 1;
+  plan->key_index.reserve(pairs);
+  plan->pair_rows.reserve(pairs);
+
+  for (int i = 0; i < length; ++i) {
+    const int64_t row_base = static_cast<int64_t>(i) * length;
+    auto push = [&](int j) {
+      plan->key_index.push_back(j);
+      plan->pair_rows.push_back(row_base + j);
+    };
+    // Full shielding's key order, restricted to the neighbor set: an
+    // unobserved query lists itself first, then its observed keys
+    // ascending; an observed query lists its observed keys ascending with
+    // itself merged into sorted position. Every query keeps at least one
+    // legal key (itself), so the softmax is always well-defined.
+    if (!observed[i]) push(i);
+    bool self_pushed = observed[i] == 0;
+    int prev = -1;
+    for (int j : neighbor_keys[i]) {
+      SSIN_CHECK_GT(j, prev) << "neighbor keys of query " << i
+                             << " must be strictly ascending";
+      SSIN_CHECK_LT(j, length);
+      SSIN_CHECK(observed[j]) << "neighbor key " << j << " is not observed";
+      SSIN_CHECK_NE(j, i) << "neighbor keys must exclude the query itself";
+      if (observed[i] && !self_pushed && i < j) {
+        push(i);
+        self_pushed = true;
+      }
+      push(j);
+      prev = j;
+    }
+    if (observed[i] && !self_pushed) push(i);
+    plan->offset[i + 1] = plan->key_index.size();
   }
 }
 
@@ -304,7 +358,7 @@ int64_t PackedAttentionWorkspaceBytes(int length, int num_observed, int d_k,
   // Plan (key indices + pair rows + offsets) + packed alpha + the packed
   // [pairs, d_k] SRPE rows — only the c_ij of legal pairs exist at all.
   int64_t bytes = pairs * static_cast<int64_t>(sizeof(int));       // keys
-  bytes += pairs * static_cast<int64_t>(sizeof(int));              // rows
+  bytes += pairs * static_cast<int64_t>(sizeof(int64_t));          // rows
   bytes += (l + 1) * static_cast<int64_t>(sizeof(int64_t));        // offsets
   bytes += pairs * static_cast<int64_t>(sizeof(double));           // alpha
   bytes += pairs * d_k * static_cast<int64_t>(sizeof(double));     // c rows

@@ -52,8 +52,9 @@ struct AttentionPlan {
   int num_observed = 0;
   bool shielded = true;
   std::vector<int> key_index;
-  std::vector<int64_t> offset;  ///< size length+1
-  std::vector<int> pair_rows;   ///< size num_pairs()
+  std::vector<int64_t> offset;     ///< size length+1
+  std::vector<int64_t> pair_rows;  ///< size num_pairs(); i*L+j needs 64 bits
+                                   ///< once L*L exceeds INT_MAX (L >= 46341)
 
   int64_t num_pairs() const {
     return static_cast<int64_t>(key_index.size());
@@ -64,6 +65,20 @@ struct AttentionPlan {
 /// nodes whose input value is a real observation (not masked/queried).
 void BuildAttentionPlan(const std::vector<uint8_t>& observed, bool shielded,
                         AttentionPlan* plan);
+
+/// Neighbor-limited shielded plan: query i's observed keys are restricted
+/// to `neighbor_keys[i]` — strictly ascending sequence positions of
+/// observed nodes, self excluded — instead of every observed node. Self
+/// stays legal for every query (prepended for unobserved queries, merged
+/// into sorted position for observed ones), reproducing full shielding's
+/// exact key order. When every neighbor list holds all observed nodes
+/// minus self (k >= num_observed suffices), the plan — key order, offsets
+/// and pair rows — is identical to BuildAttentionPlan(shielded=true), so
+/// packed-kernel summation order and therefore results are bit-identical.
+/// Pair counts stay O(L*k) instead of O(L*m).
+void BuildAttentionPlanLimited(
+    const std::vector<uint8_t>& observed,
+    const std::vector<std::vector<int>>& neighbor_keys, AttentionPlan* plan);
 
 /// Number of BuildAttentionPlan calls since process start. Test hook for
 /// the once-per-sequence contract (a SpaFormer forward must build exactly
@@ -120,8 +135,7 @@ void PackedAttentionForwardRowsStrided(const T* q, const T* k, const T* v,
       T s;
       if (c != nullptr) {
         const int64_t c_row =
-            packed_srpe ? begin + t
-                        : static_cast<int64_t>(plan.pair_rows[begin + t]);
+            packed_srpe ? begin + t : plan.pair_rows[begin + t];
         s = Ops::Dot3(q_row, k_row, c + c_row * d, d);
       } else {
         s = Ops::Dot(q_row, k_row, d);

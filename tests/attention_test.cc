@@ -353,7 +353,7 @@ TEST(AttentionTest, WorkspaceBytesMatchesActualAllocations) {
 
     const int64_t actual =
         static_cast<int64_t>(plan.key_index.size()) * sizeof(int) +
-        static_cast<int64_t>(plan.pair_rows.size()) * sizeof(int) +
+        static_cast<int64_t>(plan.pair_rows.size()) * sizeof(int64_t) +
         static_cast<int64_t>(plan.offset.size()) * sizeof(int64_t) +
         static_cast<int64_t>(ctx.alpha.size()) * sizeof(double) +
         c_packed.numel() * static_cast<int64_t>(sizeof(double));

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "common/rng.h"
 #include "geo/coords.h"
 #include "geo/relpos.h"
 #include "geo/road_graph.h"
+#include "geo/spatial_index.h"
 
 namespace ssin {
 namespace {
@@ -132,6 +136,170 @@ TEST(RoadGraphTest, DisconnectedIsUnreachable) {
   g.AddNode({100, 100});
   std::vector<double> dist = g.ShortestPathsFrom(0);
   EXPECT_EQ(dist[1], RoadGraph::kUnreachable);
+}
+
+TEST(DenseRelPosRowsTest, ShapeMathRunsIn64Bit) {
+  EXPECT_EQ(DenseRelPosRows(0), 0);
+  EXPECT_EQ(DenseRelPosRows(123), 123 * 123);
+  // The largest length whose square still fits an int: 46340^2 =
+  // 2147395600 < 2^31 - 1. The naive int product would wrap negative one
+  // step later.
+  EXPECT_EQ(DenseRelPosRows(46340), int64_t{2147395600});
+}
+
+TEST(DenseRelPosRowsDeathTest, RejectsOverflowInsteadOfWrapping) {
+  // 46341^2 = 2147488281 > INT_MAX: must SSIN_CHECK with a pointer at the
+  // packed APIs, never wrap into a negative Tensor dimension.
+  EXPECT_DEATH(DenseRelPosRows(46341), "packed pair-row");
+  EXPECT_DEATH(DenseRelPosRows(100000), "packed pair-row");
+}
+
+TEST(RelPosStatsTest, StreamingMatchesTwoPassVectorReference) {
+  Rng rng(77);
+  std::vector<PointKm> pts;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.Uniform(0, 80), rng.Uniform(0, 60)});
+  }
+  const Tensor raw = BuildRelPos(pts);
+  const RelPosStats streaming = ComputeRelPosStats(raw);
+
+  // The retired implementation: collect every off-diagonal value into
+  // vectors, then mean/population-std with the 1e-8 floor.
+  std::vector<double> distances, azimuths;
+  const int n = static_cast<int>(pts.size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const int64_t row = static_cast<int64_t>(i) * n + j;
+      distances.push_back(raw[row * 2]);
+      azimuths.push_back(raw[row * 2 + 1]);
+    }
+  }
+  const auto two_pass = [](const std::vector<double>& v) {
+    double sum = 0.0;
+    for (double x : v) sum += x;
+    const double mean = sum / v.size();
+    double sq = 0.0;
+    for (double x : v) sq += (x - mean) * (x - mean);
+    const double std_dev = std::sqrt(sq / v.size());
+    return MeanStd{mean, std::max(std_dev, 1e-8)};
+  };
+  const MeanStd dist_ref = two_pass(distances);
+  const MeanStd azim_ref = two_pass(azimuths);
+  EXPECT_NEAR(streaming.distance.mean, dist_ref.mean, 1e-12);
+  EXPECT_NEAR(streaming.distance.std, dist_ref.std, 1e-12);
+  EXPECT_NEAR(streaming.azimuth.mean, azim_ref.mean, 1e-12);
+  EXPECT_NEAR(streaming.azimuth.std, azim_ref.std, 1e-12);
+}
+
+// ------------------------------------------------------- SpatialIndex
+
+TEST(SpatialIndexTest, MatchesBruteForceOnRandomNetworks) {
+  Rng rng(101);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int n = 60 + trial * 80;
+    std::vector<PointKm> pts;
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({rng.Uniform(0, 120), rng.Uniform(0, 90)});
+    }
+    // Force exact duplicates (co-located gauges) so the (d2, index)
+    // tie-break is actually exercised.
+    for (int i = 0; i < n / 10; ++i) pts[n / 2 + i] = pts[i];
+    const SpatialIndex index(pts);
+    ASSERT_EQ(index.size(), n);
+    for (int q = 0; q < 30; ++q) {
+      // Queries inside and well outside the indexed bounding box.
+      const PointKm query{rng.Uniform(-40, 160), rng.Uniform(-40, 130)};
+      const int exclude = q % 3 == 0 ? q % n : -1;
+      for (int k : {1, 7, 23, n, n + 9}) {
+        EXPECT_EQ(index.KNearest(query, k, exclude),
+                  BruteForceKNearest(pts, query, k, exclude))
+            << "trial " << trial << " query " << q << " k " << k;
+      }
+    }
+  }
+}
+
+TEST(SpatialIndexTest, TieBreaksByAscendingIndex) {
+  // Four points exactly 5 km from the origin plus one closer point.
+  const std::vector<PointKm> pts = {
+      {5, 0}, {0, 5}, {-5, 0}, {0, -5}, {3, 0}};
+  const SpatialIndex index(pts);
+  EXPECT_EQ(index.KNearest({0, 0}, 3), (std::vector<int>{4, 0, 1}));
+  EXPECT_EQ(index.KNearest({0, 0}, 5), (std::vector<int>{4, 0, 1, 2, 3}));
+  // Excluding a tie member promotes the next index.
+  EXPECT_EQ(index.KNearest({0, 0}, 3, /*exclude=*/0),
+            (std::vector<int>{4, 1, 2}));
+}
+
+TEST(SpatialIndexTest, KBeyondSetSizeReturnsEveryPoint) {
+  const std::vector<PointKm> pts = {{0, 0}, {1, 0}, {2, 0}};
+  const SpatialIndex index(pts);
+  EXPECT_EQ(index.KNearest({-1, 0}, 100), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(index.KNearest({-1, 0}, 100, /*exclude=*/1),
+            (std::vector<int>{0, 2}));
+  EXPECT_TRUE(index.KNearest({0, 0}, 0).empty());
+}
+
+TEST(SpatialIndexTest, RadiusQueriesAreInclusiveSortedAndCanBeEmpty) {
+  std::vector<PointKm> pts;
+  for (int i = 0; i < 10; ++i) pts.push_back({static_cast<double>(i), 0.0});
+  const SpatialIndex index(pts);
+  // Inclusive boundary: the point at exactly radius distance is returned.
+  EXPECT_EQ(index.WithinRadius({0, 0}, 3.0), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(index.WithinRadius({0, 0}, 3.0, /*exclude=*/0),
+            (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(index.WithinRadius({100, 100}, 5.0).empty());
+  EXPECT_TRUE(index.WithinRadius({0, 0}, -1.0).empty());
+
+  // Differential check against a brute-force filter on a random cloud.
+  Rng rng(55);
+  std::vector<PointKm> cloud;
+  for (int i = 0; i < 150; ++i) {
+    cloud.push_back({rng.Uniform(0, 60), rng.Uniform(0, 60)});
+  }
+  const SpatialIndex cloud_index(cloud);
+  for (int q = 0; q < 20; ++q) {
+    const PointKm query{rng.Uniform(-10, 70), rng.Uniform(-10, 70)};
+    const double radius = rng.Uniform(0, 25);
+    std::vector<std::pair<double, int>> expected;
+    for (int i = 0; i < static_cast<int>(cloud.size()); ++i) {
+      const double dx = cloud[i].x - query.x, dy = cloud[i].y - query.y;
+      const double d2 = dx * dx + dy * dy;
+      if (d2 <= radius * radius) expected.emplace_back(d2, i);
+    }
+    std::sort(expected.begin(), expected.end());
+    std::vector<int> expected_ids;
+    for (const auto& [d2, i] : expected) expected_ids.push_back(i);
+    EXPECT_EQ(cloud_index.WithinRadius(query, radius), expected_ids);
+  }
+}
+
+TEST(SpatialIndexTest, DegenerateGeometriesStayCorrect) {
+  // Empty set.
+  const SpatialIndex empty((std::vector<PointKm>()));
+  EXPECT_TRUE(empty.KNearest({0, 0}, 5).empty());
+  EXPECT_TRUE(empty.WithinRadius({0, 0}, 5.0).empty());
+
+  // All points coincident: pure index-order ties, zero-area grid.
+  const std::vector<PointKm> same(7, PointKm{3.0, 4.0});
+  const SpatialIndex same_index(same);
+  EXPECT_EQ(same_index.KNearest({0, 0}, 3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(same_index.WithinRadius({3, 4}, 0.0),
+            (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+
+  // Collinear points: one axis degenerates to a single cell.
+  std::vector<PointKm> line;
+  for (int i = 0; i < 40; ++i) line.push_back({static_cast<double>(i), 2.0});
+  const SpatialIndex line_index(line);
+  for (int k : {1, 5, 40, 60}) {
+    EXPECT_EQ(line_index.KNearest({17.2, -3.0}, k),
+              BruteForceKNearest(line, {17.2, -3.0}, k));
+  }
+
+  // Single point excluded: nothing remains.
+  const SpatialIndex one(std::vector<PointKm>{{1, 1}});
+  EXPECT_TRUE(one.KNearest({0, 0}, 3, /*exclude=*/0).empty());
 }
 
 TEST(RoadGraphTest, AllPairsSymmetricAndTriangle) {
