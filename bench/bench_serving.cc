@@ -11,9 +11,14 @@
 /// of coordinated-omission-flattered latencies.
 ///
 /// Flags:
-///   --smoke   tiny replay, no pacing targets beyond a sanity rate; checks
-///             every served prediction bit-exactly against a direct
-///             InterpolateTimestamp reference (a ctest tier1 gate).
+///   --smoke          tiny replay, no pacing targets beyond a sanity rate;
+///                    checks every served prediction bit-exactly against a
+///                    direct InterpolateTimestamp reference (a ctest tier1
+///                    gate).
+///   --smoke-health   synthetic overload against a tiny paused queue: the
+///                    HealthMonitor must walk healthy → shedding →
+///                    healthy with exactly two transitions (a ctest tier1
+///                    gate; no JSON written).
 ///
 /// Writes BENCH_serving.json (override the path with
 /// SSIN_BENCH_SERVING_JSON).
@@ -31,15 +36,20 @@
 #include "common/json_writer.h"
 #include "common/simd.h"
 #include "common/telemetry.h"
+#include "serve/health_monitor.h"
 #include "serve/interpolation_server.h"
 
 namespace {
 
 using namespace ssin;
 using namespace ssin::bench;
+using serve::HealthMonitor;
+using serve::HealthState;
+using serve::HealthStateName;
 using serve::InterpolationServer;
 using serve::Request;
 using serve::ServerConfig;
+using serve::ServerStatus;
 using serve::SubmitStatus;
 
 using SteadyClock = std::chrono::steady_clock;
@@ -144,13 +154,105 @@ std::shared_ptr<SsinInterpolator> MakeResident(const RainfallSetup& setup) {
   return model;
 }
 
+/// Synthetic-overload smoke for the health monitor: a tiny queue behind a
+/// paused batcher saturates deterministically, so the monitor must report
+/// shedding; resuming and draining must bring it back to healthy. Latency
+/// and shed-ratio thresholds are pushed out of the way — the windowed
+/// reject count outlives the recovery this gate observes, so queue
+/// saturation alone drives the state here.
+int RunHealthSmoke(const RainfallSetup& setup) {
+  ServerConfig config;
+  config.queue_capacity = 4;
+  config.max_batch_size = 4;
+  config.batch_linger_us = 0;
+  config.batch_threads = 1;
+  config.start_paused = true;
+  InterpolationServer server(config);
+  server.registry().Register("hk-health", MakeResident(setup),
+                             MakeResident(setup));
+
+  HealthMonitor::Options options;
+  options.thresholds.slo_p99_us = 1e9;
+  options.thresholds.shed_ratio = 2.0;  // Unreachable: ratio is <= 1.
+  HealthMonitor monitor(&server, options);
+
+  if (monitor.Evaluate().state != HealthState::kHealthy) {
+    std::printf("FAIL: idle server reported %s, expected healthy\n",
+                HealthStateName(monitor.state()));
+    return 1;
+  }
+
+  // Fill the paused queue to capacity, then overflow it: admission control
+  // must reject the excess and the monitor must call the queue saturated.
+  std::vector<std::future<std::vector<double>>> futures;
+  int rejected = 0;
+  for (size_t i = 0; i < config.queue_capacity + 4; ++i) {
+    Request request;
+    request.model = "hk-health";
+    request.all_values =
+        setup.data.Values(static_cast<int>(i) % setup.data.num_timestamps());
+    request.observed_ids = setup.split.train_ids;
+    request.query_ids = setup.split.test_ids;
+    std::future<std::vector<double>> future;
+    if (server.Submit(std::move(request), &future) ==
+        SubmitStatus::kAccepted) {
+      futures.push_back(std::move(future));
+    } else {
+      ++rejected;
+    }
+  }
+  if (futures.size() != config.queue_capacity || rejected == 0) {
+    std::printf("FAIL: overload admitted %zu / rejected %d against a "
+                "capacity-%zu paused queue\n",
+                futures.size(), rejected, config.queue_capacity);
+    return 1;
+  }
+  const ServerStatus overloaded = monitor.Evaluate();
+  if (overloaded.state != HealthState::kShedding ||
+      overloaded.queue_fill < 1.0) {
+    std::printf("FAIL: saturated queue reported %s (fill %.2f), expected "
+                "shedding\n",
+                HealthStateName(overloaded.state), overloaded.queue_fill);
+    return 1;
+  }
+
+  server.Resume();
+  for (auto& future : futures) future.get();
+  const ServerStatus recovered = monitor.Evaluate();
+  if (recovered.state != HealthState::kHealthy) {
+    std::printf("FAIL: drained server reported %s, expected healthy\n",
+                HealthStateName(recovered.state));
+    return 1;
+  }
+  if (monitor.transitions() != 2) {
+    std::printf("FAIL: expected 2 transitions (healthy->shedding->healthy), "
+                "observed %lld\n",
+                static_cast<long long>(monitor.transitions()));
+    return 1;
+  }
+
+  // The background sampler must start and stop cleanly on top of the same
+  // state machine.
+  monitor.Start();
+  monitor.Stop();
+
+  std::printf("smoke-health: healthy -> shedding (fill %.2f, %d rejected) "
+              "-> healthy, 2 transitions\n",
+              overloaded.queue_fill, rejected);
+  std::printf("overloaded status: %s\n", overloaded.Json().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool smoke_health = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--smoke-health") == 0) {
+      smoke_health = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -162,8 +264,10 @@ int main(int argc, char** argv) {
 
   // Serving latency does not depend on trained weights: Prepare() the
   // paper-geometry model (HK, 123 gauges) and replay against it.
-  RainfallSetup setup(HkRegionConfig(), smoke ? 8 : Scaled(48),
+  RainfallSetup setup(HkRegionConfig(), (smoke || smoke_health) ? 8 : Scaled(48),
                       /*data_seed=*/21);
+
+  if (smoke_health) return RunHealthSmoke(setup);
 
   ServerConfig config;
   config.queue_capacity = 1024;

@@ -1,9 +1,12 @@
 /// Measures the wall-clock cost of the telemetry layer: the same fixed
 /// training + serving workload runs with the telemetry runtime disabled
 /// and enabled, interleaved over several repetitions, and the reported
-/// overhead is the relative gap between the best-of runs. The design
-/// budget is <2% (src/common/telemetry.h); scripts/check_overhead.sh
-/// fails the build above 5%.
+/// overhead is the relative gap between the best-of runs. The serving leg
+/// goes through the InterpolationServer submit path, so with telemetry on
+/// the measurement includes request tracing (trace ids, queue-wait spans,
+/// flow stitching) and the windowed serving metrics. The design budget is
+/// <2% (src/common/telemetry.h); scripts/check_overhead.sh fails the
+/// build above 5%.
 ///
 /// Flags:
 ///   --smoke                tiny workload, no threshold — a ctest tier1
@@ -16,13 +19,18 @@
 
 #include <algorithm>
 #include <cstring>
+#include <future>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/check.h"
 #include "common/json_writer.h"
 #include "common/telemetry.h"
 #include "common/timer.h"
+#include "serve/interpolation_server.h"
 
 namespace {
 
@@ -35,7 +43,11 @@ struct Workload {
   int serve_reps = 0;
 };
 
-/// One full train + serve pass; returns (seconds, flattened parameters).
+/// One full train + serve pass; returns (seconds, flattened parameters +
+/// served predictions). The serving leg submits every request through an
+/// InterpolationServer, so with telemetry on the timed region includes
+/// trace-id assignment, queue-wait spans and the windowed serving metrics
+/// — the exact instrumentation a production serve pays for.
 std::pair<double, std::vector<double>> RunOnce(const RainfallSetup& setup,
                                                const Workload& workload,
                                                bool telemetry_on) {
@@ -46,23 +58,59 @@ std::pair<double, std::vector<double>> RunOnce(const RainfallSetup& setup,
   training.epochs = workload.epochs;
 
   Timer timer;
-  SsinInterpolator ssin(SpaFormerConfig::Paper(), training);
-  ssin.Fit(setup.data, setup.split.train_ids);
+  auto ssin = std::make_shared<SsinInterpolator>(SpaFormerConfig::Paper(),
+                                                 training);
+  ssin->Fit(setup.data, setup.split.train_ids);
   std::vector<const std::vector<double>*> batch;
   batch.reserve(workload.serve_reps);
   for (int r = 0; r < workload.serve_reps; ++r) {
     batch.push_back(&setup.data.Values(r % setup.data.num_timestamps()));
   }
-  ssin.InterpolateBatch(batch, setup.split.train_ids, setup.split.test_ids,
-                        /*num_threads=*/1);
+  ssin->InterpolateBatch(batch, setup.split.train_ids, setup.split.test_ids,
+                         /*num_threads=*/1);
+
+  // Serving-core leg: the same timestamps again, now through Submit →
+  // queue → batcher → dispatch. The registry needs a distinct standby for
+  // the hot-swap contract; a Prepare()d (untrained) instance suffices —
+  // only the active model serves.
+  std::vector<double> served;
+  {
+    auto standby = std::make_shared<SsinInterpolator>(
+        SpaFormerConfig::Paper(), training);
+    standby->Prepare(setup.data, setup.split.train_ids);
+    serve::InterpolationServer server;
+    server.registry().Register("hk", ssin, standby);
+    std::vector<std::future<std::vector<double>>> futures;
+    futures.reserve(workload.serve_reps);
+    for (int r = 0; r < workload.serve_reps; ++r) {
+      serve::Request request;
+      request.model = "hk";
+      request.all_values = setup.data.Values(r % setup.data.num_timestamps());
+      request.observed_ids = setup.split.train_ids;
+      request.query_ids = setup.split.test_ids;
+      std::future<std::vector<double>> result;
+      const serve::SubmitStatus status =
+          server.Submit(std::move(request), &result);
+      SSIN_CHECK(status == serve::SubmitStatus::kAccepted)
+          << serve::SubmitStatusName(status);
+      futures.push_back(std::move(result));
+    }
+    for (auto& future : futures) {
+      for (double v : future.get()) served.push_back(v);
+    }
+    server.Shutdown();
+  }
   const double seconds = timer.Seconds();
 
   std::vector<double> flat;
-  for (Parameter* p : ssin.model()->Parameters()) {
+  for (Parameter* p : ssin->model()->Parameters()) {
     for (int64_t i = 0; i < p->value.numel(); ++i) {
       flat.push_back(p->value[i]);
     }
   }
+  // Served predictions join the bit-identity check: tracing must not
+  // change a single output bit either.
+  flat.insert(flat.end(), served.begin(), served.end());
   return {seconds, flat};
 }
 
@@ -119,12 +167,12 @@ int main(int argc, char** argv) {
   // The determinism contract, re-checked here end to end: instrumentation
   // must not change a single parameter bit.
   if (params_off.size() != params_on.size()) {
-    std::printf("FAIL: parameter count differs between modes\n");
+    std::printf("FAIL: parameter/prediction count differs between modes\n");
     return 1;
   }
   for (size_t i = 0; i < params_off.size(); ++i) {
     if (params_off[i] != params_on[i]) {
-      std::printf("FAIL: parameter scalar %zu differs with telemetry on\n",
+      std::printf("FAIL: scalar %zu differs with telemetry on\n",
                   i);
       return 1;
     }
@@ -134,7 +182,7 @@ int main(int argc, char** argv) {
       best_off > 0.0 ? (best_on - best_off) / best_off * 100.0 : 0.0;
   std::printf("\nbest off %.3fs  best on %.3fs  overhead %+.2f%%\n",
               best_off, best_on, overhead_pct);
-  std::printf("parameters bit-identical across modes: yes\n");
+  std::printf("parameters and served predictions bit-identical across modes: yes\n");
 
   JsonWriter json;
   json.BeginObject();
@@ -152,6 +200,8 @@ int main(int argc, char** argv) {
   json.Int(workload.epochs);
   json.Key("hours");
   json.Int(workload.hours);
+  json.Key("serve_reps");
+  json.Int(workload.serve_reps);
   json.Key("best_off_seconds");
   json.Number(best_off);
   json.Key("best_on_seconds");

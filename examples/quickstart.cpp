@@ -45,10 +45,11 @@ int main() {
   SsinInterpolator ssin(model, training);
 
   // 4. Train, then interpolate every test gauge at every hour and score.
-  //    Setting SSIN_TELEMETRY_DIR (e.g. to ".") additionally writes
-  //    telemetry_train.json and telemetry_serve.json there — versioned
-  //    metric reports that load in chrome://tracing / Perfetto (see the
-  //    README "Profiling a run" section).
+  //    Setting SSIN_TELEMETRY_DIR (e.g. to "telemetry", the gitignored
+  //    default) additionally writes telemetry_train.json and
+  //    telemetry_serve.json there — versioned metric reports that load in
+  //    chrome://tracing / Perfetto (see the README "Profiling a run"
+  //    section and docs/operations.md).
   EvalOptions options;
   if (const char* dir = std::getenv("SSIN_TELEMETRY_DIR")) {
     options.telemetry = true;

@@ -13,8 +13,8 @@
 #    -> BENCH_inference.json (includes the active SIMD ISA and an
 #    embedded "telemetry" snapshot of the serving phase)
 #  * the telemetry overhead bench -> BENCH_telemetry_overhead.json
-#  * a telemetry-instrumented evaluation pass -> telemetry_train.json and
-#    telemetry_serve.json (versioned metric reports that are also Chrome
+#  * a telemetry-instrumented evaluation pass -> telemetry/telemetry_train.json
+#    and telemetry/telemetry_serve.json (versioned metric reports that are also Chrome
 #    trace_event files — load them in chrome://tracing or Perfetto)
 # All JSON reports land in the repo root and are checked in.
 #
@@ -244,14 +244,14 @@ echo "Wrote BENCH_serving.json"
 # Telemetry reports from an instrumented end-to-end run (the quickstart
 # example runs EvaluateInterpolator with EvalOptions::telemetry on when
 # SSIN_TELEMETRY_DIR is set).
-SSIN_TELEMETRY_DIR=. "$BUILD"/examples/quickstart >/dev/null
+SSIN_TELEMETRY_DIR=telemetry "$BUILD"/examples/quickstart >/dev/null
 
 # The serving report must carry the arena gauges (per-call bytes and the
 # process-wide peak) — the memory half of the fused-serving story.
 python3 - <<'EOF'
 import json, sys
 
-with open("telemetry_serve.json") as f:
+with open("telemetry/telemetry_serve.json") as f:
     gauges = json.load(f).get("gauges", {})
 for name in ("serve.workspace_arena_bytes", "serve.arena_peak_bytes"):
     if gauges.get(name, 0) <= 0:
@@ -261,4 +261,4 @@ print("serve arena gauges: per-call %d bytes, peak %d bytes"
          gauges["serve.arena_peak_bytes"]))
 EOF
 
-echo "Wrote telemetry_train.json and telemetry_serve.json"
+echo "Wrote telemetry/telemetry_train.json and telemetry/telemetry_serve.json"

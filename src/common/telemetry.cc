@@ -30,6 +30,20 @@ uint64_t SplitMix64(uint64_t* state) {
   return z ^ (z >> 31);
 }
 
+constexpr int64_t kNsPerSecond = 1000000000;
+
+/// Wall-free epoch for the window rings: whole seconds on the NowNs clock.
+int64_t NowSecond() { return NowNs() / kNsPerSecond; }
+
+/// Ring size for a trailing window of `window_seconds`: one slot per
+/// second plus slack so a slot being recycled is never also in-window.
+int WindowSlotCount(int window_seconds) { return window_seconds + 2; }
+
+uint64_t ReservoirSeed(int shard, int64_t epoch) {
+  return 0x5851f42d4c957f2dull ^ (static_cast<uint64_t>(shard) << 32) ^
+         static_cast<uint64_t>(epoch);
+}
+
 }  // namespace
 
 #ifndef SSIN_TELEMETRY_DISABLED
@@ -70,20 +84,76 @@ int64_t Counter::Value() const {
 // ---------------------------------------------------------------------------
 // Histogram.
 
+namespace internal {
+
+void HistogramCell::Observe(double value, const std::vector<double>& bounds,
+                            size_t reservoir_capacity) {
+  if (buckets.empty()) buckets.assign(bounds.size() + 1, 0);
+  ++count;
+  sum += value;
+  min = std::min(min, value);
+  max = std::max(max, value);
+  // Inclusive upper bounds (Prometheus "le" semantics): value lands in the
+  // first bucket whose bound is >= value.
+  const size_t bucket =
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin();
+  ++buckets[bucket];
+  if (reservoir.size() < reservoir_capacity) {
+    reservoir.push_back(value);
+  } else {
+    // Algorithm R: keep a uniform subsample once the reservoir is full.
+    const uint64_t slot = SplitMix64(&rng) % static_cast<uint64_t>(count);
+    if (slot < reservoir_capacity) {
+      reservoir[static_cast<size_t>(slot)] = value;
+    }
+  }
+}
+
+void HistogramCell::MergeInto(HistogramSnapshot* snap) const {
+  snap->count += count;
+  snap->sum += sum;
+  snap->min = std::min(snap->min, min);
+  snap->max = std::max(snap->max, max);
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    snap->bucket_counts[b] += buckets[b];
+  }
+  snap->samples.insert(snap->samples.end(), reservoir.begin(),
+                       reservoir.end());
+}
+
+void HistogramCell::Reset() {
+  count = 0;
+  sum = 0.0;
+  min = std::numeric_limits<double>::infinity();
+  max = -std::numeric_limits<double>::infinity();
+  std::fill(buckets.begin(), buckets.end(), 0);
+  reservoir.clear();
+}
+
+}  // namespace internal
+
+namespace {
+
+void CheckAscendingBounds(const std::vector<double>& bounds) {
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    SSIN_CHECK_LT(bounds[i - 1], bounds[i])
+        << "histogram bucket bounds must be strictly ascending";
+  }
+}
+
+}  // namespace
+
 Histogram::Histogram(std::string name, const HistogramOptions& options)
     : name_(std::move(name)),
       bounds_(options.bucket_bounds.empty() ? DefaultBounds()
                                             : options.bucket_bounds),
       reservoir_capacity_(std::max<size_t>(1, options.reservoir_capacity)) {
-  for (size_t i = 1; i < bounds_.size(); ++i) {
-    SSIN_CHECK_LT(bounds_[i - 1], bounds_[i])
-        << "histogram bucket bounds must be strictly ascending";
-  }
+  CheckAscendingBounds(bounds_);
   shards_.reserve(kShards);
   for (int s = 0; s < kShards; ++s) {
     auto shard = std::make_unique<Shard>();
-    shard->buckets.assign(bounds_.size() + 1, 0);
-    shard->rng = 0x5851f42d4c957f2dull ^ static_cast<uint64_t>(s);
+    shard->cell.buckets.assign(bounds_.size() + 1, 0);
+    shard->cell.rng = ReservoirSeed(s, 0);
     shards_.push_back(std::move(shard));
   }
 }
@@ -91,26 +161,7 @@ Histogram::Histogram(std::string name, const HistogramOptions& options)
 void Histogram::Observe(double value) {
   Shard& shard = *shards_[ThreadShardIndex()];
   std::lock_guard<std::mutex> lock(shard.mu);
-  ++shard.count;
-  shard.sum += value;
-  shard.min = std::min(shard.min, value);
-  shard.max = std::max(shard.max, value);
-  // Inclusive upper bounds (Prometheus "le" semantics): value lands in the
-  // first bucket whose bound is >= value.
-  const size_t bucket =
-      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
-      bounds_.begin();
-  ++shard.buckets[bucket];
-  if (shard.reservoir.size() < reservoir_capacity_) {
-    shard.reservoir.push_back(value);
-  } else {
-    // Algorithm R: keep a uniform subsample once the reservoir is full.
-    const uint64_t slot =
-        SplitMix64(&shard.rng) % static_cast<uint64_t>(shard.count);
-    if (slot < reservoir_capacity_) {
-      shard.reservoir[static_cast<size_t>(slot)] = value;
-    }
-  }
+  shard.cell.Observe(value, bounds_, reservoir_capacity_);
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
@@ -121,15 +172,7 @@ HistogramSnapshot Histogram::Snapshot() const {
   for (const auto& shard_ptr : shards_) {
     const Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mu);
-    snap.count += shard.count;
-    snap.sum += shard.sum;
-    snap.min = std::min(snap.min, shard.min);
-    snap.max = std::max(snap.max, shard.max);
-    for (size_t b = 0; b < shard.buckets.size(); ++b) {
-      snap.bucket_counts[b] += shard.buckets[b];
-    }
-    snap.samples.insert(snap.samples.end(), shard.reservoir.begin(),
-                        shard.reservoir.end());
+    shard.cell.MergeInto(&snap);
   }
   std::sort(snap.samples.begin(), snap.samples.end());
   return snap;
@@ -139,12 +182,7 @@ void Histogram::Reset() {
   for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.count = 0;
-    shard.sum = 0.0;
-    shard.min = std::numeric_limits<double>::infinity();
-    shard.max = -std::numeric_limits<double>::infinity();
-    std::fill(shard.buckets.begin(), shard.buckets.end(), 0);
-    shard.reservoir.clear();
+    shard.cell.Reset();
   }
 }
 
@@ -156,6 +194,152 @@ double HistogramSnapshot::Quantile(double q) const {
   if (lo + 1 >= samples.size()) return samples.back();
   const double fraction = position - static_cast<double>(lo);
   return samples[lo] + fraction * (samples[lo + 1] - samples[lo]);
+}
+
+// ---------------------------------------------------------------------------
+// WindowedCounter.
+
+WindowedCounter::WindowedCounter(std::string name, int window_seconds)
+    : name_(std::move(name)),
+      window_seconds_(std::max(1, window_seconds)),
+      num_slots_(WindowSlotCount(window_seconds_)) {
+  for (Shard& shard : shards_) {
+    shard.slots = std::make_unique<Slot[]>(static_cast<size_t>(num_slots_));
+  }
+}
+
+void WindowedCounter::Add(int64_t delta) {
+  Shard& shard = shards_[ThreadShardIndex()];
+  shard.lifetime.fetch_add(delta, std::memory_order_relaxed);
+  const int64_t second = NowSecond();
+  Slot& slot = shard.slots[static_cast<size_t>(second % num_slots_)];
+  if (slot.epoch.load(std::memory_order_acquire) != second) {
+    // Recycle the slot for the new second; the exchange elects exactly one
+    // zeroing writer should two threads share the shard.
+    if (slot.epoch.exchange(second, std::memory_order_acq_rel) != second) {
+      slot.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  slot.value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t WindowedCounter::Value() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.lifetime.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t WindowedCounter::WindowValue() const {
+  // The window covers the current (partial) second and the
+  // window_seconds - 1 full seconds before it.
+  const int64_t oldest = NowSecond() - window_seconds_ + 1;
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    for (int i = 0; i < num_slots_; ++i) {
+      const Slot& slot = shard.slots[static_cast<size_t>(i)];
+      if (slot.epoch.load(std::memory_order_acquire) >= oldest) {
+        total += slot.value.load(std::memory_order_relaxed);
+      }
+    }
+  }
+  return total;
+}
+
+void WindowedCounter::Reset() {
+  for (Shard& shard : shards_) {
+    shard.lifetime.store(0, std::memory_order_relaxed);
+    for (int i = 0; i < num_slots_; ++i) {
+      Slot& slot = shard.slots[static_cast<size_t>(i)];
+      slot.epoch.store(-1, std::memory_order_relaxed);
+      slot.value.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WindowedHistogram.
+
+WindowedHistogram::WindowedHistogram(std::string name,
+                                     const HistogramOptions& options,
+                                     int window_seconds)
+    : name_(std::move(name)),
+      bounds_(options.bucket_bounds.empty() ? DefaultBounds()
+                                            : options.bucket_bounds),
+      reservoir_capacity_(std::max<size_t>(1, options.reservoir_capacity)),
+      window_reservoir_capacity_(
+          std::max<size_t>(1, options.window_reservoir_capacity)),
+      window_seconds_(std::max(1, window_seconds)),
+      num_slots_(WindowSlotCount(window_seconds_)) {
+  CheckAscendingBounds(bounds_);
+  shards_.reserve(kShards);
+  for (int s = 0; s < kShards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->lifetime.buckets.assign(bounds_.size() + 1, 0);
+    shard->lifetime.rng = ReservoirSeed(s, 0);
+    // Slot cells stay empty (no bucket vectors) until their first Observe.
+    shard->slots.resize(static_cast<size_t>(num_slots_));
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void WindowedHistogram::Observe(double value) {
+  const int shard_index = ThreadShardIndex();
+  Shard& shard = *shards_[shard_index];
+  const int64_t second = NowSecond();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.lifetime.Observe(value, bounds_, reservoir_capacity_);
+  Slot& slot = shard.slots[static_cast<size_t>(second % num_slots_)];
+  if (slot.epoch != second) {
+    slot.epoch = second;
+    slot.cell.Reset();
+    slot.cell.rng = ReservoirSeed(shard_index, second);
+  }
+  slot.cell.Observe(value, bounds_, window_reservoir_capacity_);
+}
+
+HistogramSnapshot WindowedHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.name = name_;
+  snap.bucket_bounds = bounds_;
+  snap.bucket_counts.assign(bounds_.size() + 1, 0);
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lifetime.MergeInto(&snap);
+  }
+  std::sort(snap.samples.begin(), snap.samples.end());
+  return snap;
+}
+
+HistogramSnapshot WindowedHistogram::WindowSnapshot() const {
+  HistogramSnapshot snap;
+  snap.name = name_;
+  snap.bucket_bounds = bounds_;
+  snap.bucket_counts.assign(bounds_.size() + 1, 0);
+  const int64_t oldest = NowSecond() - window_seconds_ + 1;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const Slot& slot : shard.slots) {
+      if (slot.epoch >= oldest) slot.cell.MergeInto(&snap);
+    }
+  }
+  std::sort(snap.samples.begin(), snap.samples.end());
+  return snap;
+}
+
+void WindowedHistogram::Reset() {
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lifetime.Reset();
+    for (Slot& slot : shard.slots) {
+      slot.epoch = -1;
+      slot.cell.Reset();
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -204,6 +388,25 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   });
 }
 
+WindowedCounter* MetricsRegistry::GetWindowedCounter(const std::string& name,
+                                                     int window_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrInsert(&windowed_counters_, name, [&] {
+    return std::unique_ptr<WindowedCounter>(
+        new WindowedCounter(name, window_seconds));
+  });
+}
+
+WindowedHistogram* MetricsRegistry::GetWindowedHistogram(
+    const std::string& name, const HistogramOptions& options,
+    int window_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrInsert(&windowed_histograms_, name, [&] {
+    return std::unique_ptr<WindowedHistogram>(
+        new WindowedHistogram(name, options, window_seconds));
+  });
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
@@ -215,6 +418,19 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
                                                          g->Value());
   snap.histograms.reserve(histograms_.size());
   for (const auto& h : histograms_) snap.histograms.push_back(h->Snapshot());
+  snap.windowed_counters.reserve(windowed_counters_.size());
+  for (const auto& wc : windowed_counters_) {
+    snap.windowed_counters.push_back({wc->name(), wc->window_seconds(),
+                                      wc->Value(), wc->WindowValue()});
+  }
+  snap.windowed_histograms.reserve(windowed_histograms_.size());
+  for (const auto& wh : windowed_histograms_) {
+    MetricsSnapshot::WindowedHistogramSnapshot entry;
+    entry.window_seconds = wh->window_seconds();
+    entry.lifetime = wh->Snapshot();
+    entry.window = wh->WindowSnapshot();
+    snap.windowed_histograms.push_back(std::move(entry));
+  }
   return snap;
 }
 
@@ -227,6 +443,8 @@ void MetricsRegistry::Reset() {
   }
   for (const auto& g : gauges_) g->Set(0.0);
   for (const auto& h : histograms_) h->Reset();
+  for (const auto& wc : windowed_counters_) wc->Reset();
+  for (const auto& wh : windowed_histograms_) wh->Reset();
 }
 
 // ---------------------------------------------------------------------------
@@ -249,10 +467,10 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
 }
 
 void TraceRecorder::Record(const char* name, int64_t begin_ns, int64_t end_ns,
-                           int depth) {
+                           int depth, uint64_t trace_id) {
   ThreadBuffer* buffer = BufferForThisThread();
   std::lock_guard<std::mutex> lock(buffer->mu);
-  const SpanEvent event{name, begin_ns, end_ns, depth};
+  const SpanEvent event{name, begin_ns, end_ns, depth, trace_id};
   if (buffer->ring.size() < kRingCapacity) {
     buffer->ring.push_back(event);
   } else {
@@ -306,15 +524,29 @@ int64_t TraceRecorder::TotalDropped() const {
   return dropped;
 }
 
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 #ifndef SSIN_TELEMETRY_DISABLED
 namespace internal {
 namespace {
 thread_local int t_span_depth = 0;
+thread_local uint64_t t_trace_id = 0;
 }  // namespace
 
 int EnterSpan() { return ++t_span_depth; }
 void ExitSpan() { --t_span_depth; }
+
+uint64_t ExchangeTraceId(uint64_t trace_id) {
+  const uint64_t prev = t_trace_id;
+  t_trace_id = trace_id;
+  return prev;
+}
 }  // namespace internal
+
+uint64_t CurrentTraceId() { return internal::t_trace_id; }
 #endif
 
 // ---------------------------------------------------------------------------
@@ -381,11 +613,18 @@ void WriteHistogramJson(JsonWriter* w, const HistogramSnapshot& h) {
 
 void WriteSnapshotMembers(JsonWriter* w, const MetricsSnapshot& metrics,
                           const std::vector<ThreadTrace>& traces) {
+  // Windowed lifetimes fold into the plain counters/histograms sections so
+  // existing consumers see one namespace; the trailing-window views get
+  // their own "windows" section below.
   w->Key("counters");
   w->BeginObject();
   for (const auto& [name, value] : metrics.counters) {
     w->Key(name);
     w->Int(value);
+  }
+  for (const auto& wc : metrics.windowed_counters) {
+    w->Key(wc.name);
+    w->Int(wc.lifetime);
   }
   w->EndObject();
 
@@ -402,6 +641,32 @@ void WriteSnapshotMembers(JsonWriter* w, const MetricsSnapshot& metrics,
   for (const HistogramSnapshot& h : metrics.histograms) {
     w->Key(h.name);
     WriteHistogramJson(w, h);
+  }
+  for (const auto& wh : metrics.windowed_histograms) {
+    w->Key(wh.lifetime.name);
+    WriteHistogramJson(w, wh.lifetime);
+  }
+  w->EndObject();
+
+  w->Key("windows");
+  w->BeginObject();
+  for (const auto& wc : metrics.windowed_counters) {
+    w->Key(wc.name);
+    w->BeginObject();
+    w->Key("window_seconds");
+    w->Int(wc.window_seconds);
+    w->Key("value");
+    w->Int(wc.window);
+    w->EndObject();
+  }
+  for (const auto& wh : metrics.windowed_histograms) {
+    w->Key(wh.window.name);
+    w->BeginObject();
+    w->Key("window_seconds");
+    w->Int(wh.window_seconds);
+    w->Key("histogram");
+    WriteHistogramJson(w, wh.window);
+    w->EndObject();
   }
   w->EndObject();
 
@@ -439,6 +704,63 @@ void WriteTraceEvents(JsonWriter* w, const std::vector<ThreadTrace>& traces) {
       w->Int(0);
       w->Key("tid");
       w->Int(trace.tid);
+      if (event.trace_id != 0) {
+        w->Key("args");
+        w->BeginObject();
+        w->Key("trace_id");
+        w->Int(static_cast<int64_t>(event.trace_id));
+        w->EndObject();
+      }
+      w->EndObject();
+    }
+  }
+
+  // Flow arrows: for every trace id spanning at least two slices, chain
+  // the slices in time order with s -> t ... t -> f events. Each flow
+  // event's ts sits at its slice's begin, which Chrome/Perfetto bind to
+  // the enclosing slice on that (pid, tid), drawing the arrows that stitch
+  // one request across the submit thread, the batcher and the engine
+  // workers.
+  struct FlowPoint {
+    int64_t begin_ns;
+    int tid;
+  };
+  std::map<uint64_t, std::vector<FlowPoint>> flows;
+  for (const ThreadTrace& trace : traces) {
+    for (const SpanEvent& event : trace.events) {
+      if (event.trace_id != 0) {
+        flows[event.trace_id].push_back({event.begin_ns, trace.tid});
+      }
+    }
+  }
+  for (auto& [trace_id, points] : flows) {
+    if (points.size() < 2) continue;
+    std::stable_sort(points.begin(), points.end(),
+                     [](const FlowPoint& a, const FlowPoint& b) {
+                       return a.begin_ns < b.begin_ns;
+                     });
+    for (size_t i = 0; i < points.size(); ++i) {
+      const bool first = i == 0;
+      const bool last = i + 1 == points.size();
+      w->BeginObject();
+      w->Key("name");
+      w->String("serve.request");
+      w->Key("cat");
+      w->String("ssin.flow");
+      w->Key("ph");
+      w->String(first ? "s" : (last ? "f" : "t"));
+      if (last) {
+        w->Key("bp");
+        w->String("e");
+      }
+      w->Key("id");
+      w->Int(static_cast<int64_t>(trace_id));
+      w->Key("ts");
+      w->Number(static_cast<double>(points[i].begin_ns) / 1e3);
+      w->Key("pid");
+      w->Int(0);
+      w->Key("tid");
+      w->Int(points[i].tid);
       w->EndObject();
     }
   }
@@ -483,6 +805,113 @@ std::string ReportJson(const std::string& kind) {
 
 bool WriteReport(const std::string& kind, const std::string& path) {
   return WriteFile(path, ReportJson(kind) + "\n");
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition.
+
+namespace {
+
+std::string PromName(const std::string& name) {
+  std::string out = "ssin_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendPromNumber(std::string* out, double value) {
+  if (std::isnan(value)) {
+    *out += "NaN";
+    return;
+  }
+  if (std::isinf(value)) {
+    *out += value > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+void AppendPromGauge(std::string* out, const std::string& prom,
+                     double value) {
+  *out += "# TYPE " + prom + " gauge\n" + prom + " ";
+  AppendPromNumber(out, value);
+  *out += "\n";
+}
+
+void AppendPromHistogram(std::string* out, const std::string& prom,
+                         const HistogramSnapshot& h) {
+  *out += "# TYPE " + prom + " histogram\n";
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+    cumulative += h.bucket_counts[b];
+    const bool is_overflow = b >= h.bucket_bounds.size();
+    // Empty finite buckets are elided (the default bound series has ~58 and
+    // most metrics touch a handful); cumulative `le` semantics stay valid
+    // because the running total carries across elided bounds. The +Inf
+    // bucket is always emitted.
+    if (h.bucket_counts[b] == 0 && !is_overflow) continue;
+    *out += prom + "_bucket{le=\"";
+    if (is_overflow) {
+      *out += "+Inf";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", h.bucket_bounds[b]);
+      *out += buf;
+    }
+    *out += "\"} " + std::to_string(cumulative) + "\n";
+  }
+  *out += prom + "_sum ";
+  AppendPromNumber(out, h.sum);
+  *out += "\n" + prom + "_count " + std::to_string(h.count) + "\n";
+}
+
+std::string WindowSuffix(int window_seconds) {
+  return "_last" + std::to_string(window_seconds) + "s";
+}
+
+}  // namespace
+
+std::string PrometheusText() {
+  const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
+  std::string out;
+  for (const auto& [name, value] : metrics.counters) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n" + prom + " " +
+           std::to_string(value) + "\n";
+  }
+  for (const auto& wc : metrics.windowed_counters) {
+    const std::string prom = PromName(wc.name);
+    out += "# TYPE " + prom + " counter\n" + prom + " " +
+           std::to_string(wc.lifetime) + "\n";
+    AppendPromGauge(&out, prom + WindowSuffix(wc.window_seconds),
+                    static_cast<double>(wc.window));
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    AppendPromGauge(&out, PromName(name), value);
+  }
+  for (const HistogramSnapshot& h : metrics.histograms) {
+    AppendPromHistogram(&out, PromName(h.name), h);
+  }
+  for (const auto& wh : metrics.windowed_histograms) {
+    const std::string prom = PromName(wh.lifetime.name);
+    AppendPromHistogram(&out, prom, wh.lifetime);
+    const std::string window = prom + WindowSuffix(wh.window_seconds);
+    AppendPromGauge(&out, window + "_count",
+                    static_cast<double>(wh.window.count));
+    AppendPromGauge(&out, window + "_sum", wh.window.sum);
+    AppendPromGauge(&out, window + "_p50", wh.window.Quantile(0.50));
+    AppendPromGauge(&out, window + "_p99", wh.window.Quantile(0.99));
+  }
+  return out;
+}
+
+bool WritePrometheusText(const std::string& path) {
+  return WriteFile(path, PrometheusText());
 }
 
 namespace {

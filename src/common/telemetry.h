@@ -129,6 +129,10 @@ struct HistogramOptions {
   /// shard switches to uniform reservoir subsampling (deterministic
   /// per-shard splitmix64 stream) and quantiles become estimates.
   size_t reservoir_capacity = 4096;
+  /// Per-(shard, second) reservoir size for WindowedHistogram's ring cells.
+  /// Smaller than the lifetime reservoir because each cell covers at most
+  /// one second of observations.
+  size_t window_reservoir_capacity = 1024;
 };
 
 /// Aggregated view of one histogram at snapshot time.
@@ -149,6 +153,31 @@ struct HistogramSnapshot {
   double Quantile(double q) const;
 };
 
+namespace internal {
+
+/// One fixed-bucket + reservoir accumulation cell — the state shared by
+/// Histogram (one per shard) and WindowedHistogram (one lifetime cell per
+/// shard plus one per ring slot). Callers synchronize via the owning
+/// shard's mutex; the cell itself is plain data. `buckets` is sized lazily
+/// on first Observe so idle window cells cost no memory.
+struct HistogramCell {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::vector<int64_t> buckets;  ///< bounds.size() + 1 once populated.
+  std::vector<double> reservoir;
+  uint64_t rng = 0;  ///< splitmix64 state for reservoir replacement.
+
+  void Observe(double value, const std::vector<double>& bounds,
+               size_t reservoir_capacity);
+  /// Adds this cell into `snap` (bucket_counts must already be sized).
+  void MergeInto(HistogramSnapshot* snap) const;
+  void Reset();
+};
+
+}  // namespace internal
+
 /// Fixed-bucket + streaming-quantile histogram. Observe() takes one
 /// uncontended per-shard mutex (threads own distinct shards up to kShards);
 /// Snapshot() merges the shards.
@@ -165,13 +194,7 @@ class Histogram {
 
   struct Shard {
     mutable std::mutex mu;
-    int64_t count = 0;
-    double sum = 0.0;
-    double min = std::numeric_limits<double>::infinity();
-    double max = -std::numeric_limits<double>::infinity();
-    std::vector<int64_t> buckets;
-    std::vector<double> reservoir;
-    uint64_t rng = 0;  ///< splitmix64 state for reservoir replacement.
+    internal::HistogramCell cell;
   };
 
   std::string name_;
@@ -180,14 +203,110 @@ class Histogram {
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 
+// ---------------------------------------------------------------------------
+// Trailing-window metrics.
+
+/// Default trailing-window length for the Windowed* metrics, in seconds.
+constexpr int kDefaultWindowSeconds = 60;
+
+/// Counter that tracks a lifetime total plus a trailing-window total kept
+/// as a per-shard ring of one-second buckets merged on read. Add() stays
+/// lock-free: one relaxed fetch_add on the lifetime cell plus one on the
+/// current second's slot. Slots recycle by epoch exchange; because shard
+/// indices are sticky per thread, two threads race a recycle only past
+/// kShards concurrent writers, and even then only increments landing in
+/// the same instant a 60s-stale slot turns over can be misattributed — the
+/// lifetime total is always exact.
+class WindowedCounter {
+ public:
+  void Add(int64_t delta = 1);
+  int64_t Value() const;        ///< Lifetime total (exact).
+  int64_t WindowValue() const;  ///< Total over the trailing window.
+  void Reset();
+  int window_seconds() const { return window_seconds_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  WindowedCounter(std::string name, int window_seconds);
+
+  struct Slot {
+    std::atomic<int64_t> epoch{-1};  ///< Second this slot currently holds.
+    std::atomic<int64_t> value{0};
+  };
+  struct alignas(64) Shard {
+    std::atomic<int64_t> lifetime{0};
+    std::unique_ptr<Slot[]> slots;  ///< num_slots_ entries.
+  };
+
+  std::string name_;
+  int window_seconds_;
+  int num_slots_;
+  Shard shards_[kShards];
+};
+
+/// Histogram that additionally maintains a trailing-window view as a
+/// per-shard ring of one-second cells. Observe() takes the same single
+/// uncontended per-shard mutex as Histogram (one extra cell update under
+/// the lock); WindowSnapshot() merges the in-window cells of every shard.
+/// Window quantiles are exact under the same condition as lifetime ones:
+/// no (shard, second) cell overflowed window_reservoir_capacity.
+class WindowedHistogram {
+ public:
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;        ///< Lifetime view.
+  HistogramSnapshot WindowSnapshot() const;  ///< Trailing-window view.
+  void Reset();
+  int window_seconds() const { return window_seconds_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  WindowedHistogram(std::string name, const HistogramOptions& options,
+                    int window_seconds);
+
+  struct Slot {
+    int64_t epoch = -1;  ///< Second this slot currently holds.
+    internal::HistogramCell cell;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    internal::HistogramCell lifetime;
+    std::vector<Slot> slots;  ///< num_slots_ entries.
+  };
+
+  std::string name_;
+  std::vector<double> bounds_;
+  size_t reservoir_capacity_;
+  size_t window_reservoir_capacity_;
+  int window_seconds_;
+  int num_slots_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
 /// Point-in-time aggregate of every registered metric, ordered by name.
 struct MetricsSnapshot {
+  struct WindowedCounterSnapshot {
+    std::string name;
+    int window_seconds = 0;
+    int64_t lifetime = 0;
+    int64_t window = 0;
+  };
+  struct WindowedHistogramSnapshot {
+    int window_seconds = 0;
+    HistogramSnapshot lifetime;  ///< .name carries the metric name.
+    HistogramSnapshot window;
+  };
+
   std::vector<std::pair<std::string, int64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<HistogramSnapshot> histograms;
+  std::vector<WindowedCounterSnapshot> windowed_counters;
+  std::vector<WindowedHistogramSnapshot> windowed_histograms;
 
-  /// Writes "counters"/"gauges"/"histograms" members into the writer's
-  /// currently open JSON object.
+  /// Writes "counters"/"gauges"/"histograms" (windowed lifetimes folded
+  /// into those) plus a "windows" member with the trailing-window views
+  /// into the writer's currently open JSON object.
   void WriteJson(JsonWriter* writer) const;
 };
 
@@ -204,6 +323,11 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name,
                           const HistogramOptions& options = {});
+  WindowedCounter* GetWindowedCounter(
+      const std::string& name, int window_seconds = kDefaultWindowSeconds);
+  WindowedHistogram* GetWindowedHistogram(
+      const std::string& name, const HistogramOptions& options = {},
+      int window_seconds = kDefaultWindowSeconds);
 
   MetricsSnapshot Snapshot() const;
 
@@ -219,6 +343,8 @@ class MetricsRegistry {
   std::vector<std::unique_ptr<Counter>> counters_;
   std::vector<std::unique_ptr<Gauge>> gauges_;
   std::vector<std::unique_ptr<Histogram>> histograms_;
+  std::vector<std::unique_ptr<WindowedCounter>> windowed_counters_;
+  std::vector<std::unique_ptr<WindowedHistogram>> windowed_histograms_;
 };
 
 /// Shorthands for the global registry.
@@ -232,6 +358,16 @@ inline Histogram* GetHistogram(const std::string& name,
                                const HistogramOptions& options = {}) {
   return MetricsRegistry::Global().GetHistogram(name, options);
 }
+inline WindowedCounter* GetWindowedCounter(
+    const std::string& name, int window_seconds = kDefaultWindowSeconds) {
+  return MetricsRegistry::Global().GetWindowedCounter(name, window_seconds);
+}
+inline WindowedHistogram* GetWindowedHistogram(
+    const std::string& name, const HistogramOptions& options = {},
+    int window_seconds = kDefaultWindowSeconds) {
+  return MetricsRegistry::Global().GetWindowedHistogram(name, options,
+                                                        window_seconds);
+}
 
 // ---------------------------------------------------------------------------
 // Trace spans.
@@ -243,6 +379,7 @@ struct SpanEvent {
   int64_t begin_ns = 0;
   int64_t end_ns = 0;
   int depth = 0;  ///< Nesting depth on the recording thread (1 = root).
+  uint64_t trace_id = 0;  ///< Request flow this span belongs to (0 = none).
 };
 
 /// All spans retained for one thread, oldest first.
@@ -263,8 +400,11 @@ class TraceRecorder {
 
   static TraceRecorder& Global();
 
-  /// Appends a completed span for the calling thread.
-  void Record(const char* name, int64_t begin_ns, int64_t end_ns, int depth);
+  /// Appends a completed span for the calling thread. `trace_id` tags the
+  /// span with the request flow it served (0 = untagged); the exporter
+  /// stitches same-id spans across threads with Chrome flow arrows.
+  void Record(const char* name, int64_t begin_ns, int64_t end_ns, int depth,
+              uint64_t trace_id = 0);
 
   /// Drops all retained spans (threads stay registered).
   void Clear();
@@ -291,29 +431,62 @@ class TraceRecorder {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
 };
 
+// ---------------------------------------------------------------------------
+// Request-scoped tracing.
+
+/// Allocates a fresh nonzero trace id (process-wide atomic counter).
+/// Trace ids stitch spans recorded on different threads into one request
+/// flow: tag the current thread with ScopedTrace and every span opened
+/// inside the scope inherits the id; the exporter then emits Chrome flow
+/// arrows (`ph:"s"/"t"/"f"`) connecting each id's spans across threads.
+uint64_t NextTraceId();
+
 #ifndef SSIN_TELEMETRY_DISABLED
+
+/// Trace id currently attached to the calling thread (0 = untagged).
+uint64_t CurrentTraceId();
 
 namespace internal {
 /// Current span nesting depth of this thread; Enter returns the new depth.
 int EnterSpan();
 void ExitSpan();
+/// Swaps the calling thread's trace id, returning the previous one.
+uint64_t ExchangeTraceId(uint64_t trace_id);
 }  // namespace internal
+
+/// RAII: tags the calling thread with `trace_id` for the scope's lifetime
+/// (spans opened inside inherit it) and restores the previous id on
+/// destruction. Pass 0 to explicitly untag.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(uint64_t trace_id)
+      : prev_(internal::ExchangeTraceId(trace_id)) {}
+  ~ScopedTrace() { internal::ExchangeTraceId(prev_); }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  uint64_t prev_;
+};
 
 /// RAII span: records [construction, destruction) into the trace recorder
 /// when telemetry is enabled. The enabled check is latched at construction
-/// so a mid-span toggle cannot produce an unbalanced event.
+/// so a mid-span toggle cannot produce an unbalanced event; the thread's
+/// current trace id is latched the same way.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name) {
     if (!Enabled()) return;
     name_ = name;
     depth_ = internal::EnterSpan();
+    trace_id_ = CurrentTraceId();
     begin_ns_ = NowNs();
   }
   ~ScopedSpan() {
     if (name_ == nullptr) return;
     const int64_t end_ns = NowNs();
-    TraceRecorder::Global().Record(name_, begin_ns_, end_ns, depth_);
+    TraceRecorder::Global().Record(name_, begin_ns_, end_ns, depth_,
+                                   trace_id_);
     internal::ExitSpan();
   }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -323,6 +496,7 @@ class ScopedSpan {
   const char* name_ = nullptr;
   int64_t begin_ns_ = 0;
   int depth_ = 0;
+  uint64_t trace_id_ = 0;
 };
 
 #define SSIN_TELEMETRY_CONCAT_INNER(a, b) a##b
@@ -334,6 +508,17 @@ class ScopedSpan {
                                                       __LINE__)(name)
 
 #else  // SSIN_TELEMETRY_DISABLED
+
+/// Disabled builds pin the thread trace id to 0 so guarded probes fold.
+constexpr uint64_t CurrentTraceId() { return 0; }
+
+/// No-op stand-in so call sites compile unchanged.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(uint64_t) {}
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+};
 
 #define SSIN_TRACE_SPAN(name) static_cast<void>(0)
 
@@ -358,6 +543,19 @@ std::string ReportJson(const std::string& kind);
 
 /// Writes ReportJson(kind) to `path`. Returns false on IO failure.
 bool WriteReport(const std::string& kind, const std::string& path);
+
+/// Prometheus text exposition (format version 0.0.4) of every registered
+/// metric: counters (and windowed-counter lifetimes) as `counter`, gauges
+/// as `gauge`, histograms (and windowed-histogram lifetimes) as
+/// `histogram` with cumulative `le` buckets plus `_sum`/`_count`.
+/// Trailing-window views export as gauges with a `_last<window>s` suffix
+/// (`..._last60s` for counters; `..._last60s_count/_sum/_p50/_p99` for
+/// histograms). Metric names are prefixed `ssin_` and sanitized — every
+/// byte outside [a-zA-Z0-9_:] becomes '_'.
+std::string PrometheusText();
+
+/// Writes PrometheusText() to `path`. Returns false on IO failure.
+bool WritePrometheusText(const std::string& path);
 
 /// Human-readable hierarchical time breakdown of the retained spans:
 /// children nested under the spans that contained them (by timestamp),

@@ -111,6 +111,9 @@ Var SpaFormer::Forward(Graph* graph, const Tensor& x, const Tensor& relpos,
   SSIN_CHECK_EQ(config_.neighbor_k, 0)
       << "Forward cannot apply neighbor-limited shielding; build a limited "
          "plan and call ForwardWithPlan";
+  SSIN_CHECK_EQ(config_.neighbor_radius_km, 0.0)
+      << "Forward cannot apply radius-limited shielding; build a limited "
+         "plan and call ForwardWithPlan";
 
   // One legal-pair plan per sequence, shared by every layer/head kernel
   // invocation and kept alive by the backward closures that capture it.

@@ -259,6 +259,26 @@ int SsinInterpolator::neighbor_k() const {
   return model_->config().neighbor_k;
 }
 
+void SsinInterpolator::SetNeighborRadius(double radius_km) {
+  SSIN_CHECK(prepared_) << "call Fit() or Prepare() first";
+  SSIN_CHECK_GE(radius_km, 0.0);
+  if (radius_km > 0.0) {
+    SSIN_CHECK(model_->config().shielded)
+        << "radius-limited attention requires shielded attention";
+  }
+  if (model_->config().neighbor_radius_km == radius_km) return;
+  model_->set_neighbor_radius_km(radius_km);
+  model_config_.neighbor_radius_km = radius_km;
+  // Cached layouts hold plans (and SRPE rows) built for the previous
+  // radius.
+  InvalidateServingCaches();
+}
+
+double SsinInterpolator::neighbor_radius_km() const {
+  SSIN_CHECK(prepared_) << "call Fit() or Prepare() first";
+  return model_->config().neighbor_radius_km;
+}
+
 std::vector<double> SsinInterpolator::InterpolateTimestamp(
     const std::vector<double>& all_values,
     const std::vector<int>& observed_ids, const std::vector<int>& query_ids) {
@@ -390,9 +410,14 @@ std::vector<std::vector<double>> SsinInterpolator::InterpolateBatch(
   for (int s = 0; s < threads; ++s) {
     workspaces.push_back(std::make_unique<InferenceWorkspace>());
   }
+  // Pool workers run on their own threads, so the caller's trace id (the
+  // request flow this batch serves) is re-applied inside each task to keep
+  // the per-item serve.predict spans stitched to the same flow.
+  const uint64_t trace_id = telemetry::CurrentTraceId();
   ThreadPool pool(threads);
   pool.ParallelFor(static_cast<int64_t>(batch_values.size()),
                    [&](int64_t i, int slot) {
+                     telemetry::ScopedTrace trace(trace_id);
                      out[i] = PredictWithLayout(*batch_values[i], *layout,
                                                 workspaces[slot].get());
                    });

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 
 #include "common/log.h"
 #include "common/telemetry.h"
@@ -26,6 +27,11 @@ namespace {
 // Writes one phase's TelemetryReport and logs on failure; then resets the
 // registry + span buffers so the next phase starts from zero.
 void FlushTelemetryPhase(const EvalOptions& options, const char* kind) {
+  // The default dir ("telemetry") is gitignored; create it on demand so
+  // an instrumented run works from a fresh checkout. Failure to create is
+  // surfaced by the write below.
+  std::error_code ec;
+  std::filesystem::create_directories(options.telemetry_dir, ec);
   const std::string path = options.telemetry_dir + "/telemetry_" + kind +
                            ".json";
   if (!telemetry::WriteReport(kind, path)) {

@@ -26,13 +26,15 @@ struct EvalOptions {
   /// telemetry runtime and writes one TelemetryReport per phase —
   /// `telemetry_train.json` after Fit() (when a fit runs) and
   /// `telemetry_serve.json` after the interpolation sweep — into
-  /// `telemetry_dir`. Each file is a versioned metrics report that is also
-  /// a Chrome trace_event JSON (load it in chrome://tracing or Perfetto).
+  /// `telemetry_dir` (created if missing; defaults to the gitignored
+  /// `telemetry/` so instrumented runs never dirty the work tree). Each
+  /// file is a versioned metrics report that is also a Chrome trace_event
+  /// JSON (load it in chrome://tracing or Perfetto).
   /// The registry and span buffers are reset at each phase boundary so a
   /// report covers exactly its phase. Instrumentation never changes
   /// numeric results (pinned by the equivalence tests).
   bool telemetry = false;
-  std::string telemetry_dir = ".";
+  std::string telemetry_dir = "telemetry";
 };
 
 /// Result of evaluating one method on one dataset.

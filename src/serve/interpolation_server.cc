@@ -13,27 +13,33 @@ namespace serve {
 
 namespace {
 
-telemetry::Counter* RequestsCounter() {
-  static telemetry::Counter* counter =
-      telemetry::GetCounter("serve.requests_total");
+telemetry::WindowedCounter* RequestsCounter() {
+  static telemetry::WindowedCounter* counter =
+      telemetry::GetWindowedCounter("serve.requests_total");
   return counter;
 }
 
-telemetry::Counter* RejectedCounter() {
-  static telemetry::Counter* counter =
-      telemetry::GetCounter("serve.rejected_total");
+telemetry::WindowedCounter* RejectedCounter() {
+  static telemetry::WindowedCounter* counter =
+      telemetry::GetWindowedCounter("serve.rejected_total");
   return counter;
 }
 
-telemetry::Counter* BatchesCounter() {
-  static telemetry::Counter* counter =
-      telemetry::GetCounter("serve.batches_total");
+telemetry::WindowedCounter* BatchesCounter() {
+  static telemetry::WindowedCounter* counter =
+      telemetry::GetWindowedCounter("serve.batches_total");
   return counter;
 }
 
-telemetry::Histogram* BatchSizeHistogram() {
-  static telemetry::Histogram* histogram =
-      telemetry::GetHistogram("serve.batch_size");
+telemetry::WindowedHistogram* BatchSizeHistogram() {
+  static telemetry::WindowedHistogram* histogram =
+      telemetry::GetWindowedHistogram("serve.batch_size");
+  return histogram;
+}
+
+telemetry::WindowedHistogram* QueueWaitHistogram() {
+  static telemetry::WindowedHistogram* histogram =
+      telemetry::GetWindowedHistogram("serve.queue_wait_us");
   return histogram;
 }
 
@@ -83,6 +89,13 @@ InterpolationServer::~InterpolationServer() { Shutdown(); }
 
 SubmitStatus InterpolationServer::Submit(
     Request request, std::future<std::vector<double>>* result) {
+  // Every span opened on this thread until return — and, via
+  // QueuedRequest::trace_id, the batcher/engine spans that later serve
+  // this request — carries one fresh trace id.
+  const uint64_t trace_id =
+      telemetry::Enabled() ? telemetry::NextTraceId() : 0;
+  telemetry::ScopedTrace trace(trace_id);
+  SSIN_TRACE_SPAN("serve.submit");
   if (queue_.closed()) return SubmitStatus::kShutdown;
   // Validate at admission so a malformed request becomes an explicit
   // rejection here instead of an SSIN_CHECK abort on the batcher thread.
@@ -104,6 +117,7 @@ SubmitStatus InterpolationServer::Submit(
   QueuedRequest item;
   item.request = std::move(request);
   item.enqueue_ns = telemetry::NowNs();
+  item.trace_id = trace_id;
   std::future<std::vector<double>> future = item.promise.get_future();
   if (!queue_.TryPush(&item)) {
     RejectedCounter()->Add(1);
@@ -163,6 +177,19 @@ void InterpolationServer::BatcherLoop() {
                         config_.batch_linger_us)) {
       break;  // Closed and drained: every accepted promise is fulfilled.
     }
+    const int64_t pop_ns = telemetry::NowNs();
+    for (const QueuedRequest& item : wave) {
+      QueueWaitHistogram()->Observe(
+          static_cast<double>(pop_ns - item.enqueue_ns) / 1e3);
+      // Every queue-wait span of a wave ends at the same pop instant, so
+      // they nest cleanly on the batcher's track; each carries its own
+      // request's trace id.
+      if (telemetry::Enabled() && item.trace_id != 0) {
+        telemetry::TraceRecorder::Global().Record(
+            "serve.queue_wait", item.enqueue_ns, pop_ns, /*depth=*/1,
+            item.trace_id);
+      }
+    }
     // Coalesce the wave: requests sharing (model, layout) become one
     // micro-batch. std::map keeps dispatch order deterministic.
     std::map<const QueuedRequest*, std::vector<QueuedRequest*>,
@@ -175,6 +202,11 @@ void InterpolationServer::BatcherLoop() {
 
 void InterpolationServer::DispatchGroup(
     const std::vector<QueuedRequest*>& group) {
+  // The dispatch (and the engine spans under it) carries the head
+  // request's trace id — one representative flow per micro-batch keeps the
+  // Perfetto view readable; every request still has its own submit and
+  // queue-wait spans.
+  telemetry::ScopedTrace trace(group[0]->trace_id);
   SSIN_TRACE_SPAN("serve.dispatch");
   const Request& head = group[0]->request;
   // The shared_ptr pins these weights for the whole dispatch: a Promote()
@@ -209,21 +241,21 @@ void InterpolationServer::DispatchGroup(
   batches_.fetch_add(1, std::memory_order_relaxed);
   BatchesCounter()->Add(1);
   BatchSizeHistogram()->Observe(static_cast<double>(group.size()));
-  telemetry::Histogram* latency = LatencyHistogramFor(head.model);
+  telemetry::WindowedHistogram* latency = LatencyHistogramFor(head.model);
   const int64_t done_ns = telemetry::NowNs();
   for (const QueuedRequest* item : group) {
     latency->Observe(static_cast<double>(done_ns - item->enqueue_ns) / 1e3);
   }
 }
 
-telemetry::Histogram* InterpolationServer::LatencyHistogramFor(
+telemetry::WindowedHistogram* InterpolationServer::LatencyHistogramFor(
     const std::string& model) const {
   std::lock_guard<std::mutex> lock(slo_mu_);
   auto it = slo_histograms_.find(model);
   if (it == slo_histograms_.end()) {
     it = slo_histograms_
-             .emplace(model,
-                      telemetry::GetHistogram("serve.request_us." + model))
+             .emplace(model, telemetry::GetWindowedHistogram(
+                                 "serve.request_us." + model))
              .first;
   }
   return it->second;
@@ -231,8 +263,9 @@ telemetry::Histogram* InterpolationServer::LatencyHistogramFor(
 
 InterpolationServer::ModelSlo InterpolationServer::Slo(
     const std::string& model) const {
-  const telemetry::HistogramSnapshot snapshot =
-      LatencyHistogramFor(model)->Snapshot();
+  telemetry::WindowedHistogram* histogram = LatencyHistogramFor(model);
+  const telemetry::HistogramSnapshot snapshot = histogram->Snapshot();
+  const telemetry::HistogramSnapshot window = histogram->WindowSnapshot();
   ModelSlo slo;
   slo.requests = snapshot.count;
   if (snapshot.count > 0) {
@@ -240,7 +273,27 @@ InterpolationServer::ModelSlo InterpolationServer::Slo(
     slo.p99_us = snapshot.Quantile(0.99);
     slo.max_us = snapshot.max;
   }
+  slo.window_seconds = histogram->window_seconds();
+  slo.window_requests = window.count;
+  if (window.count > 0) {
+    slo.window_p50_us = window.Quantile(0.5);
+    slo.window_p99_us = window.Quantile(0.99);
+    slo.window_max_us = window.max;
+  }
   return slo;
+}
+
+telemetry::HistogramSnapshot InterpolationServer::WindowLatencySnapshot(
+    const std::string& model) const {
+  return LatencyHistogramFor(model)->WindowSnapshot();
+}
+
+int64_t InterpolationServer::accepted_window() const {
+  return RequestsCounter()->WindowValue();
+}
+
+int64_t InterpolationServer::rejected_window() const {
+  return RejectedCounter()->WindowValue();
 }
 
 }  // namespace serve

@@ -65,13 +65,22 @@ const char* SubmitStatusName(SubmitStatus status);
 /// InterpolateTimestamp directly: coalescing changes scheduling, never
 /// arithmetic.
 ///
-/// Metrics: `serve.queue_depth` (gauge), `serve.batch_size` (histogram of
-/// dispatched group sizes), `serve.rejected_total` / `serve.requests_total`
-/// / `serve.batches_total` (counters), `serve.hot_swaps_total` (registry),
-/// and a per-model end-to-end latency histogram
-/// `serve.request_us.<model>` (enqueue → promise fulfilled) behind Slo().
-/// These are plain statistics in the sense of src/common/telemetry.h: they
-/// record regardless of the global telemetry flag.
+/// Metrics: `serve.queue_depth` (gauge) with `serve.queue_depth_samples`
+/// (windowed histogram of depth at each push/pop), `serve.batch_size`
+/// (windowed histogram of dispatched group sizes), `serve.rejected_total` /
+/// `serve.requests_total` / `serve.batches_total` (windowed counters),
+/// `serve.hot_swaps_total` (registry), `serve.queue_wait_us` (windowed
+/// histogram, enqueue → wave pop), and a per-model end-to-end latency
+/// windowed histogram `serve.request_us.<model>` (enqueue → promise
+/// fulfilled) behind Slo(), which reports both the lifetime and the
+/// last-60s view. These are plain statistics in the sense of
+/// src/common/telemetry.h: they record regardless of the global telemetry
+/// flag.
+///
+/// Tracing: when telemetry is enabled, Submit assigns each request a trace
+/// id; the `serve.submit`, `serve.queue_wait`, `serve.dispatch`,
+/// `serve.batch` and `serve.predict` spans it touches all carry that id,
+/// and the exported trace stitches them into one Perfetto flow.
 class InterpolationServer {
  public:
   explicit InterpolationServer(const ServerConfig& config = {});
@@ -108,14 +117,29 @@ class InterpolationServer {
   /// Idempotent; the destructor calls it.
   void Shutdown();
 
-  /// SLO view over the per-model end-to-end latency histogram.
+  /// SLO view over the per-model end-to-end latency histogram: the
+  /// lifetime aggregate plus the trailing-window (last window_seconds,
+  /// default 60) view the health monitor samples.
   struct ModelSlo {
     int64_t requests = 0;
     double p50_us = 0.0;
     double p99_us = 0.0;
     double max_us = 0.0;
+    int window_seconds = 0;
+    int64_t window_requests = 0;
+    double window_p50_us = 0.0;
+    double window_p99_us = 0.0;
+    double window_max_us = 0.0;
   };
   ModelSlo Slo(const std::string& model) const;
+
+  /// Trailing-window snapshot of the per-model latency histogram (the raw
+  /// distribution behind Slo()'s window fields; the health monitor computes
+  /// its SLO burn rate from the retained samples).
+  telemetry::HistogramSnapshot WindowLatencySnapshot(
+      const std::string& model) const;
+
+  const ServerConfig& config() const { return config_; }
 
   int64_t accepted_total() const {
     return accepted_.load(std::memory_order_relaxed);
@@ -126,6 +150,9 @@ class InterpolationServer {
   int64_t batches_total() const {
     return batches_.load(std::memory_order_relaxed);
   }
+  /// Accepted/rejected totals over the trailing metrics window.
+  int64_t accepted_window() const;
+  int64_t rejected_window() const;
   size_t queue_depth() const { return queue_.size(); }
 
  private:
@@ -135,7 +162,8 @@ class InterpolationServer {
   bool WaitWhilePaused();
   /// One micro-batch: every request in `group` shares (model, layout).
   void DispatchGroup(const std::vector<QueuedRequest*>& group);
-  telemetry::Histogram* LatencyHistogramFor(const std::string& model) const;
+  telemetry::WindowedHistogram* LatencyHistogramFor(
+      const std::string& model) const;
 
   const ServerConfig config_;
   ModelRegistry registry_;
@@ -147,7 +175,8 @@ class InterpolationServer {
 
   /// Per-model latency histogram pointers (stable; registry-owned).
   mutable std::mutex slo_mu_;
-  mutable std::map<std::string, telemetry::Histogram*> slo_histograms_;
+  mutable std::map<std::string, telemetry::WindowedHistogram*>
+      slo_histograms_;
 
   std::mutex pause_mu_;
   std::condition_variable pause_cv_;

@@ -15,6 +15,15 @@ telemetry::Gauge* QueueDepthGauge() {
   return gauge;
 }
 
+/// Depth observed at every push/pop: the gauge above is the instantaneous
+/// value, this windowed histogram gives the last-60s depth distribution
+/// (max/p99 saturation for the health monitor).
+telemetry::WindowedHistogram* QueueDepthSamples() {
+  static telemetry::WindowedHistogram* histogram =
+      telemetry::GetWindowedHistogram("serve.queue_depth_samples");
+  return histogram;
+}
+
 }  // namespace
 
 RequestQueue::RequestQueue(size_t capacity) : capacity_(capacity) {}
@@ -25,6 +34,7 @@ bool RequestQueue::TryPush(QueuedRequest* item) {
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(*item));
     QueueDepthGauge()->Set(static_cast<double>(items_.size()));
+    QueueDepthSamples()->Observe(static_cast<double>(items_.size()));
   }
   nonempty_cv_.notify_one();
   return true;
@@ -52,6 +62,7 @@ bool RequestQueue::PopWave(std::vector<QueuedRequest>* out, size_t max,
       items_.pop_front();
     }
     QueueDepthGauge()->Set(static_cast<double>(items_.size()));
+    QueueDepthSamples()->Observe(static_cast<double>(items_.size()));
     return true;
   }
 }

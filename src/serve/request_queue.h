@@ -23,12 +23,15 @@ struct Request {
 };
 
 /// A request in flight between Submit and the batcher: the client's query,
-/// the promise the dispatch fulfills, and the enqueue timestamp feeding
-/// the per-model latency SLO histogram.
+/// the promise the dispatch fulfills, the enqueue timestamp feeding the
+/// per-model latency SLO histogram, and the trace id (assigned at Submit
+/// when telemetry is on) that stitches the request's spans across the
+/// submit thread, the batcher and the engine workers.
 struct QueuedRequest {
   Request request;
   std::promise<std::vector<double>> promise;
   int64_t enqueue_ns = 0;
+  uint64_t trace_id = 0;
 };
 
 /// Bounded MPMC queue between submitting clients and the batcher.

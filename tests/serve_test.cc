@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -18,6 +20,7 @@
 #include "common/telemetry.h"
 #include "core/ssin_interpolator.h"
 #include "data/rainfall_generator.h"
+#include "serve/health_monitor.h"
 #include "serve/interpolation_server.h"
 #include "serve/model_registry.h"
 #include "serve/request_queue.h"
@@ -25,10 +28,13 @@
 namespace ssin {
 namespace {
 
+using serve::HealthMonitor;
+using serve::HealthState;
 using serve::InterpolationServer;
 using serve::ModelRegistry;
 using serve::Request;
 using serve::ServerConfig;
+using serve::ServerStatus;
 using serve::SubmitStatus;
 
 RainfallRegionConfig TinyRegion() {
@@ -433,6 +439,256 @@ TEST(InterpolationServerTest, HotSwapUnderLoadDropsNothing) {
   // Post-swap requests serve the promoted (generation B) weights.
   ExpectExactly(server.Interpolate(f.RequestFor(0)), f.expected_b[0],
                 "post-swap request");
+}
+
+// ------------------------------------------------- windowed SLO metrics
+
+TEST(InterpolationServerTest, SloWindowViewConvergesToLifetime) {
+  ServeFixture& f = Fixture();
+  // The windowed metrics are process-global; start this test from zero so
+  // earlier tests' requests don't sit in the trailing window.
+  telemetry::MetricsRegistry::Global().Reset();
+  ServerConfig config;
+  config.start_paused = true;
+  config.max_batch_size = 16;
+  config.batch_linger_us = 0;
+  InterpolationServer server(config);
+  auto [active, standby] = f.MakeBuffers();
+  server.registry().Register("hk-slo", std::move(active), std::move(standby));
+
+  constexpr int kRequests = 48;
+  std::vector<std::future<std::vector<double>>> futures(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_EQ(server.Submit(
+                  f.RequestFor(i % f.data.num_timestamps(), "hk-slo"),
+                  &futures[i]),
+              SubmitStatus::kAccepted);
+  }
+  server.Resume();
+  for (auto& future : futures) future.get();
+  server.Shutdown();  // Joins the batcher: every SLO observation landed.
+
+  // A steady load entirely inside one 60s window retains identical sample
+  // sets in both views, so the window statistics converge to the lifetime
+  // ones exactly — bit-equal quantiles, not approximations.
+  const InterpolationServer::ModelSlo slo = server.Slo("hk-slo");
+  EXPECT_EQ(slo.requests, kRequests);
+  EXPECT_EQ(slo.window_seconds, telemetry::kDefaultWindowSeconds);
+  EXPECT_EQ(slo.window_requests, kRequests);
+  EXPECT_GT(slo.p99_us, 0.0);
+  EXPECT_EQ(slo.window_p50_us, slo.p50_us);
+  EXPECT_EQ(slo.window_p99_us, slo.p99_us);
+  EXPECT_EQ(slo.window_max_us, slo.max_us);
+
+  EXPECT_EQ(server.accepted_window(), kRequests);
+  EXPECT_EQ(server.rejected_window(), 0);
+  const telemetry::HistogramSnapshot window =
+      server.WindowLatencySnapshot("hk-slo");
+  EXPECT_EQ(window.count, kRequests);
+}
+
+// ---------------------------------------------------- request tracing
+
+TEST(InterpolationServerTest, RequestSpansShareOneTraceIdAndExportFlow) {
+  if (!telemetry::CompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  ServeFixture& f = Fixture();
+  telemetry::SetEnabled(true);
+  telemetry::ResetAll();
+  {
+    ServerConfig config;
+    config.start_paused = true;
+    config.batch_linger_us = 0;
+    InterpolationServer server(config);
+    auto [active, standby] = f.MakeBuffers();
+    server.registry().Register("hk-flow", std::move(active),
+                               std::move(standby));
+    std::future<std::vector<double>> future;
+    ASSERT_EQ(server.Submit(f.RequestFor(0, "hk-flow"), &future),
+              SubmitStatus::kAccepted);
+    server.Resume();
+    future.get();
+    server.Shutdown();
+  }
+
+  // One submitted request must leave serve.submit (submit thread),
+  // serve.queue_wait + serve.dispatch (batcher thread) and serve.predict
+  // (engine) spans all tagged with the same nonzero trace id.
+  uint64_t trace_id = 0;
+  std::map<std::string, int> tagged;
+  for (const telemetry::ThreadTrace& trace :
+       telemetry::TraceRecorder::Global().Snapshot()) {
+    for (const telemetry::SpanEvent& event : trace.events) {
+      if (event.trace_id == 0) continue;
+      if (trace_id == 0) trace_id = event.trace_id;
+      EXPECT_EQ(event.trace_id, trace_id) << event.name;
+      ++tagged[event.name];
+    }
+  }
+  ASSERT_NE(trace_id, 0u);
+  EXPECT_EQ(tagged["serve.submit"], 1);
+  EXPECT_EQ(tagged["serve.queue_wait"], 1);
+  EXPECT_EQ(tagged["serve.dispatch"], 1);
+  EXPECT_GE(tagged["serve.predict"], 1);
+
+  // The exported report stitches those spans into one Perfetto flow: a
+  // start arrow, a binding finish, and the shared id on every slice.
+  const std::string report = telemetry::ReportJson("serve");
+  telemetry::SetEnabled(false);
+  telemetry::ResetAll();
+  const std::string id_text = "\"trace_id\":" + std::to_string(trace_id);
+  int id_count = 0;
+  for (size_t pos = report.find(id_text); pos != std::string::npos;
+       pos = report.find(id_text, pos + id_text.size())) {
+    ++id_count;
+  }
+  EXPECT_GE(id_count, 4);
+  EXPECT_NE(report.find("\"ph\":\"s\""), std::string::npos) << report;
+  EXPECT_NE(report.find("\"ph\":\"f\""), std::string::npos) << report;
+  EXPECT_NE(report.find("\"cat\":\"ssin.flow\""), std::string::npos);
+  EXPECT_NE(report.find("\"serve.request\""), std::string::npos);
+}
+
+TEST(InterpolationServerTest, NoTraceIdsAssignedWhenTelemetryDisabled) {
+  ServeFixture& f = Fixture();
+  ASSERT_FALSE(telemetry::Enabled());
+  InterpolationServer server;
+  auto [active, standby] = f.MakeBuffers();
+  server.registry().Register("hk-noflow", std::move(active),
+                             std::move(standby));
+  ExpectExactly(server.Interpolate(f.RequestFor(0, "hk-noflow")),
+                f.expected_a[0], "untraced request");
+  for (const telemetry::ThreadTrace& trace :
+       telemetry::TraceRecorder::Global().Snapshot()) {
+    EXPECT_TRUE(trace.events.empty());
+  }
+}
+
+// ------------------------------------------------------- health monitor
+
+TEST(HealthMonitorTest, HealthyOnIdleServer) {
+  ServeFixture& f = Fixture();
+  telemetry::MetricsRegistry::Global().Reset();
+  InterpolationServer server;
+  auto [active, standby] = f.MakeBuffers();
+  server.registry().Register("hk-idle", std::move(active),
+                             std::move(standby));
+  HealthMonitor monitor(&server);
+  const ServerStatus status = monitor.Evaluate();
+  EXPECT_EQ(status.state, HealthState::kHealthy);
+  EXPECT_EQ(monitor.transitions(), 0);
+  EXPECT_EQ(telemetry::GetGauge("serve.health_state")->Value(), 0.0);
+}
+
+TEST(HealthMonitorTest, DegradedWhenWindowP99ExceedsTarget) {
+  ServeFixture& f = Fixture();
+  telemetry::MetricsRegistry::Global().Reset();
+  InterpolationServer server;
+  auto [active, standby] = f.MakeBuffers();
+  server.registry().Register("hk-deg", std::move(active),
+                             std::move(standby));
+  for (int t = 0; t < 10; ++t) {
+    server.Interpolate(f.RequestFor(t % f.data.num_timestamps(), "hk-deg"));
+  }
+  // Join the batcher: the SLO observation lands after the promise is
+  // fulfilled, so without this the last request's latency could still be
+  // in flight when the monitor samples.
+  server.Shutdown();
+
+  // An impossible latency target: every retained window sample breaches
+  // it, so the burn rate saturates and the state degrades. Shedding
+  // signals are pushed out of reach so only the SLO drives the fold.
+  HealthMonitor::Options strict;
+  strict.thresholds.slo_p99_us = 1e-3;
+  strict.thresholds.queue_saturation = 2.0;
+  strict.thresholds.shed_ratio = 2.0;
+  HealthMonitor monitor(&server, strict);
+  const ServerStatus status = monitor.Evaluate();
+  EXPECT_EQ(status.state, HealthState::kDegraded);
+  EXPECT_EQ(monitor.transitions(), 1);
+  EXPECT_GT(status.worst_window_p99_us, 0.0);
+  ASSERT_EQ(status.models.size(), 1u);
+  EXPECT_EQ(status.models[0].model, "hk-deg");
+  EXPECT_EQ(status.models[0].window_requests, 10);
+  EXPECT_EQ(status.models[0].burn_rate, 1.0);
+  EXPECT_EQ(telemetry::GetGauge("serve.health_state")->Value(), 1.0);
+
+  // The same traffic judged against a generous target is healthy: the
+  // state is a property of thresholds over the window, not of lifetime
+  // history.
+  HealthMonitor generous(&server);
+  EXPECT_EQ(generous.Evaluate().state, HealthState::kHealthy);
+  EXPECT_EQ(generous.transitions(), 0);
+}
+
+TEST(HealthMonitorTest, SheddingWhenQueueSaturatesThenRecovers) {
+  ServeFixture& f = Fixture();
+  telemetry::MetricsRegistry::Global().Reset();
+  ServerConfig config;
+  config.queue_capacity = 4;
+  config.start_paused = true;
+  InterpolationServer server(config);
+  auto [active, standby] = f.MakeBuffers();
+  server.registry().Register("hk-shed", std::move(active),
+                             std::move(standby));
+
+  // Shed-ratio threshold out of reach: the windowed reject count outlives
+  // the drain below, and this test pins the queue-saturation signal and
+  // the recovery transition.
+  HealthMonitor::Options options;
+  options.thresholds.slo_p99_us = 1e9;
+  options.thresholds.shed_ratio = 2.0;
+  HealthMonitor monitor(&server, options);
+  ASSERT_EQ(monitor.Evaluate().state, HealthState::kHealthy);
+
+  std::vector<std::future<std::vector<double>>> futures(4);
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_EQ(server.Submit(f.RequestFor(t, "hk-shed"), &futures[t]),
+              SubmitStatus::kAccepted);
+  }
+  std::future<std::vector<double>> overflow;
+  ASSERT_EQ(server.Submit(f.RequestFor(4, "hk-shed"), &overflow),
+            SubmitStatus::kQueueFull);
+
+  const ServerStatus overloaded = monitor.Evaluate();
+  EXPECT_EQ(overloaded.state, HealthState::kShedding);
+  EXPECT_EQ(overloaded.queue_fill, 1.0);
+  EXPECT_EQ(overloaded.window_rejected, 1);
+  EXPECT_EQ(telemetry::GetGauge("serve.health_state")->Value(), 2.0);
+  // The structured status renders as JSON for ops endpoints.
+  const std::string json = overloaded.Json();
+  EXPECT_NE(json.find("\"state\":\"shedding\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"queue_fill\":1"), std::string::npos) << json;
+
+  server.Resume();
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(monitor.Evaluate().state, HealthState::kHealthy);
+  // healthy -> shedding -> healthy, counted in the transitions metric too.
+  EXPECT_EQ(monitor.transitions(), 2);
+  EXPECT_EQ(telemetry::GetCounter("serve.health_transitions_total")->Value(),
+            2);
+}
+
+TEST(HealthMonitorTest, BackgroundSamplerKeepsLastStatusFresh) {
+  ServeFixture& f = Fixture();
+  telemetry::MetricsRegistry::Global().Reset();
+  InterpolationServer server;
+  auto [active, standby] = f.MakeBuffers();
+  server.registry().Register("hk-bg", std::move(active), std::move(standby));
+
+  HealthMonitor::Options options;
+  options.sample_interval_ms = 1;
+  HealthMonitor monitor(&server, options);
+  monitor.Start();
+  monitor.Start();  // Idempotent.
+  // The sampler evaluates immediately on start; wait for one sample.
+  for (int spin = 0; spin < 1000; ++spin) {
+    if (monitor.LastStatus().sampled_at_ns != 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_NE(monitor.LastStatus().sampled_at_ns, 0);
+  EXPECT_EQ(monitor.LastStatus().state, HealthState::kHealthy);
+  monitor.Stop();
+  monitor.Stop();  // Idempotent.
 }
 
 }  // namespace

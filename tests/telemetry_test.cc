@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -315,6 +316,156 @@ TEST_F(TelemetryTest, SnapshotOrdersMetricsByName) {
 }
 
 // ---------------------------------------------------------------------------
+// Quantile edge cases.
+
+TEST_F(TelemetryTest, QuantileOfEmptySnapshotIsZero) {
+  const HistogramSnapshot snap = GetHistogram("test.empty_hist")->Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(snap.Quantile(q), 0.0) << "q=" << q;
+  }
+}
+
+TEST_F(TelemetryTest, QuantileOfSingleSampleIsThatSample) {
+  telemetry::Histogram* histogram = GetHistogram("test.single_hist");
+  histogram->Observe(42.5);
+  const HistogramSnapshot snap = histogram->Snapshot();
+  ASSERT_EQ(snap.count, 1);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(snap.Quantile(q), 42.5) << "q=" << q;
+  }
+  // Out-of-range q clamps instead of indexing out of bounds.
+  EXPECT_EQ(snap.Quantile(-1.0), 42.5);
+  EXPECT_EQ(snap.Quantile(2.0), 42.5);
+}
+
+TEST_F(TelemetryTest, QuantileBeyondReservoirCapacityStaysMonotoneInRange) {
+  // Once count outruns the reservoir the quantiles are estimates, but they
+  // must stay monotone in q and inside the observed [min, max] range.
+  telemetry::HistogramOptions options;
+  options.reservoir_capacity = 32;
+  telemetry::Histogram* histogram =
+      GetHistogram("test.overflow_quantile", options);
+  for (int i = 0; i < 5000; ++i) histogram->Observe(static_cast<double>(i));
+  const HistogramSnapshot snap = histogram->Snapshot();
+  EXPECT_EQ(snap.count, 5000);
+  ASSERT_GT(snap.samples.size(), 0u);
+  EXPECT_LE(snap.samples.size(), 32u);
+  double prev = snap.Quantile(0.0);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double cur = snap.Quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    EXPECT_GE(cur, snap.min) << "q=" << q;
+    EXPECT_LE(cur, snap.max) << "q=" << q;
+    prev = cur;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Windowed metrics.
+
+TEST_F(TelemetryTest, WindowedCounterTracksLifetimeAndWindow) {
+  telemetry::WindowedCounter* counter =
+      telemetry::GetWindowedCounter("test.windowed_counter");
+  EXPECT_EQ(counter->Value(), 0);
+  EXPECT_EQ(counter->WindowValue(), 0);
+  counter->Add(5);
+  counter->Add(7);
+  EXPECT_EQ(counter->Value(), 12);
+  // Every add landed inside the trailing window, so both views agree.
+  EXPECT_EQ(counter->WindowValue(), 12);
+  EXPECT_EQ(counter->window_seconds(), telemetry::kDefaultWindowSeconds);
+  // Same name -> same counter.
+  EXPECT_EQ(telemetry::GetWindowedCounter("test.windowed_counter"), counter);
+  telemetry::MetricsRegistry::Global().Reset();
+  EXPECT_EQ(counter->Value(), 0);
+  EXPECT_EQ(counter->WindowValue(), 0);
+}
+
+TEST_F(TelemetryTest, WindowedHistogramWindowMatchesLifetimeWhenRecent) {
+  // A burst entirely inside the window retains identical sample sets in
+  // both views (nothing overflowed either reservoir), so every statistic
+  // — including the interpolated quantiles — is bit-equal.
+  telemetry::WindowedHistogram* histogram =
+      telemetry::GetWindowedHistogram("test.windowed_hist");
+  for (int i = 0; i < 500; ++i) {
+    histogram->Observe(static_cast<double>((i * 37) % 500));
+  }
+  const HistogramSnapshot lifetime = histogram->Snapshot();
+  const HistogramSnapshot window = histogram->WindowSnapshot();
+  EXPECT_EQ(lifetime.count, 500);
+  EXPECT_EQ(window.count, lifetime.count);
+  EXPECT_EQ(window.sum, lifetime.sum);
+  EXPECT_EQ(window.min, lifetime.min);
+  EXPECT_EQ(window.max, lifetime.max);
+  EXPECT_EQ(window.bucket_counts, lifetime.bucket_counts);
+  ASSERT_EQ(window.samples.size(), lifetime.samples.size());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(window.Quantile(q), lifetime.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST_F(TelemetryTest, WindowedMergeExactUnderConcurrentWriters) {
+  // Four pool threads hammer one windowed counter and histogram; the
+  // lifetime totals must be event-exact and — since the whole burst fits
+  // inside the window and no ring slot can recycle in milliseconds — the
+  // window totals must match them. Run under TSan via scripts/run_tsan.sh.
+  telemetry::WindowedCounter* counter =
+      telemetry::GetWindowedCounter("test.mt_windowed_counter");
+  telemetry::WindowedHistogram* histogram =
+      telemetry::GetWindowedHistogram("test.mt_windowed_hist");
+  constexpr int64_t kItems = 20000;
+  ThreadPool pool(4);
+  pool.ParallelFor(kItems, [&](int64_t i, int) {
+    counter->Add(1);
+    histogram->Observe(static_cast<double>(i % 100));
+  });
+  EXPECT_EQ(counter->Value(), kItems);
+  EXPECT_EQ(counter->WindowValue(), kItems);
+  const HistogramSnapshot lifetime = histogram->Snapshot();
+  const HistogramSnapshot window = histogram->WindowSnapshot();
+  EXPECT_EQ(lifetime.count, kItems);
+  EXPECT_EQ(window.count, kItems);
+  EXPECT_EQ(lifetime.min, 0.0);
+  EXPECT_EQ(lifetime.max, 99.0);
+  EXPECT_EQ(window.min, 0.0);
+  EXPECT_EQ(window.max, 99.0);
+}
+
+TEST_F(TelemetryTest, SnapshotAndReportCarryWindowedMetrics) {
+  telemetry::GetWindowedCounter("test.report_windowed")->Add(4);
+  telemetry::GetWindowedHistogram("test.report_whist")->Observe(1.5);
+  const telemetry::MetricsSnapshot snap =
+      telemetry::MetricsRegistry::Global().Snapshot();
+  bool counter_found = false, histogram_found = false;
+  for (const auto& wc : snap.windowed_counters) {
+    if (wc.name == "test.report_windowed") {
+      counter_found = true;
+      EXPECT_EQ(wc.lifetime, 4);
+      EXPECT_EQ(wc.window, 4);
+    }
+  }
+  for (const auto& wh : snap.windowed_histograms) {
+    if (wh.lifetime.name == "test.report_whist") {
+      histogram_found = true;
+      EXPECT_EQ(wh.lifetime.count, 1);
+      EXPECT_EQ(wh.window.count, 1);
+    }
+  }
+  EXPECT_TRUE(counter_found);
+  EXPECT_TRUE(histogram_found);
+
+  const std::string report = telemetry::ReportJson("serve");
+  JsonChecker checker(report);
+  EXPECT_TRUE(checker.Valid()) << report;
+  // Lifetimes fold into the regular metric objects; the trailing-window
+  // views live under "windows".
+  EXPECT_NE(report.find("\"test.report_windowed\":4"), std::string::npos);
+  EXPECT_NE(report.find("\"windows\""), std::string::npos);
+  EXPECT_NE(report.find("\"window_seconds\":60"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Trace spans.
 
 TEST_F(TelemetryTest, SpansRecordNestingWhenEnabled) {
@@ -443,6 +594,211 @@ TEST_F(TelemetryTest, ResetAllClearsMetricsAndSpans) {
        telemetry::TraceRecorder::Global().Snapshot()) {
     EXPECT_TRUE(trace.events.empty());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Request tracing: trace ids on spans and Chrome flow-event export.
+
+TEST_F(TelemetryTest, ScopedTraceTagsSpansAndExportsFlowEvents) {
+  if (!telemetry::CompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  telemetry::SetEnabled(true);
+  const uint64_t trace_id = telemetry::NextTraceId();
+  ASSERT_NE(trace_id, 0u);
+  {
+    telemetry::ScopedTrace trace(trace_id);
+    EXPECT_EQ(telemetry::CurrentTraceId(), trace_id);
+    {
+      SSIN_TRACE_SPAN("flow_first");
+    }
+    {
+      SSIN_TRACE_SPAN("flow_second");
+    }
+  }
+  EXPECT_EQ(telemetry::CurrentTraceId(), 0u);  // Restored on scope exit.
+
+  int tagged = 0;
+  for (const telemetry::ThreadTrace& trace :
+       telemetry::TraceRecorder::Global().Snapshot()) {
+    for (const telemetry::SpanEvent& event : trace.events) {
+      if (std::string(event.name) == "flow_first" ||
+          std::string(event.name) == "flow_second") {
+        EXPECT_EQ(event.trace_id, trace_id);
+        ++tagged;
+      }
+    }
+  }
+  EXPECT_EQ(tagged, 2);
+
+  // Two spans sharing the id stitch into one flow: a start ("s") and a
+  // binding finish ("f"), both in the ssin.flow category with id =
+  // trace_id, plus trace_id args on the X slices themselves.
+  const std::string report = telemetry::ReportJson("serve");
+  JsonChecker checker(report);
+  EXPECT_TRUE(checker.Valid()) << report;
+  EXPECT_EQ(CountOccurrences(report, "\"ph\":\"s\""), 1) << report;
+  EXPECT_EQ(CountOccurrences(report, "\"ph\":\"f\""), 1) << report;
+  EXPECT_GE(CountOccurrences(report, "\"cat\":\"ssin.flow\""), 2);
+  EXPECT_GE(CountOccurrences(
+                report, "\"trace_id\":" + std::to_string(trace_id)),
+            2);
+}
+
+TEST_F(TelemetryTest, SingleSpanTraceEmitsNoFlowArrows) {
+  if (!telemetry::CompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  telemetry::SetEnabled(true);
+  {
+    telemetry::ScopedTrace trace(telemetry::NextTraceId());
+    SSIN_TRACE_SPAN("flow_lonely");
+  }
+  // A flow with one endpoint would render as a dangling arrow; the
+  // exporter drops it and keeps only the tagged slice.
+  const std::string report = telemetry::ReportJson("serve");
+  EXPECT_EQ(CountOccurrences(report, "\"ph\":\"s\""), 0) << report;
+  EXPECT_EQ(CountOccurrences(report, "\"ph\":\"f\""), 0) << report;
+  EXPECT_GE(CountOccurrences(report, "\"trace_id\":"), 1);
+}
+
+TEST_F(TelemetryTest, ScopedTraceNestsAndRestores) {
+  if (!telemetry::CompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  const uint64_t outer_id = telemetry::NextTraceId();
+  const uint64_t inner_id = telemetry::NextTraceId();
+  EXPECT_NE(outer_id, inner_id);
+  {
+    telemetry::ScopedTrace outer(outer_id);
+    {
+      telemetry::ScopedTrace inner(inner_id);
+      EXPECT_EQ(telemetry::CurrentTraceId(), inner_id);
+    }
+    EXPECT_EQ(telemetry::CurrentTraceId(), outer_id);
+  }
+  EXPECT_EQ(telemetry::CurrentTraceId(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition.
+
+// Minimal checker for the exposition subset we emit: `# TYPE` comments,
+// bare-name samples, and histogram `_bucket{le="..."}` series with
+// cumulative counts ending at +Inf. Returns "" when the text parses, a
+// diagnostic otherwise.
+std::string CheckPrometheusText(const std::string& text) {
+  auto valid_name = [](const std::string& name) {
+    if (name.empty() ||
+        std::isdigit(static_cast<unsigned char>(name[0]))) {
+      return false;
+    }
+    for (char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      if (!ok) return false;
+    }
+    return true;
+  };
+  std::istringstream lines(text);
+  std::string line;
+  std::string open_histogram;  // From the last `# TYPE ... histogram`.
+  int64_t cumulative = -1;
+  bool saw_inf = false;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const std::string where =
+        "line " + std::to_string(line_no) + ": " + line;
+    if (line.empty()) return "blank " + where;
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, kind, name, type;
+      comment >> hash >> kind >> name >> type;
+      if (hash != "#" || kind != "TYPE" || !valid_name(name) ||
+          (type != "counter" && type != "gauge" && type != "histogram")) {
+        return "bad comment at " + where;
+      }
+      if (!open_histogram.empty() && !saw_inf) {
+        return "histogram " + open_histogram + " ended without +Inf";
+      }
+      open_histogram = type == "histogram" ? name : "";
+      cumulative = -1;
+      saw_inf = false;
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) return "no value at " + where;
+    const std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);  // Accepts +Inf / NaN spellings.
+    if (end == value.c_str() || *end != '\0') return "bad value at " + where;
+    std::string series = line.substr(0, space);
+    std::string labels;
+    const size_t brace = series.find('{');
+    if (brace != std::string::npos) {
+      if (series.back() != '}') return "unterminated labels at " + where;
+      labels = series.substr(brace + 1, series.size() - brace - 2);
+      series = series.substr(0, brace);
+    }
+    if (!valid_name(series)) return "bad metric name at " + where;
+    if (!labels.empty()) {
+      // The only labelled series we emit are histogram buckets.
+      if (open_histogram.empty() || series != open_histogram + "_bucket" ||
+          labels.rfind("le=\"", 0) != 0 || labels.back() != '"') {
+        return "unexpected labels at " + where;
+      }
+      const int64_t count = std::strtoll(value.c_str(), nullptr, 10);
+      if (count < cumulative) return "non-cumulative bucket at " + where;
+      cumulative = count;
+      if (labels.substr(4, labels.size() - 5) == "+Inf") saw_inf = true;
+    }
+  }
+  if (!open_histogram.empty() && !saw_inf) {
+    return "histogram " + open_histogram + " ended without +Inf";
+  }
+  return "";
+}
+
+TEST_F(TelemetryTest, PrometheusTextParsesAndCoversEveryMetricFamily) {
+  GetCounter("test.prom_counter")->Add(3);
+  GetGauge("test.prom/gauge")->Set(-2.5);  // '/' must sanitize to '_'.
+  telemetry::HistogramOptions options;
+  options.bucket_bounds = {1.0, 10.0};
+  GetHistogram("test.prom_hist", options)->Observe(5.0);
+  telemetry::GetWindowedCounter("test.prom_windowed")->Add(9);
+  telemetry::GetWindowedHistogram("test.prom_whist")->Observe(2.0);
+
+  const std::string text = telemetry::PrometheusText();
+  EXPECT_EQ(CheckPrometheusText(text), "") << text;
+  EXPECT_NE(text.find("ssin_test_prom_counter 3"), std::string::npos);
+  EXPECT_NE(text.find("ssin_test_prom_gauge "), std::string::npos);
+  EXPECT_NE(text.find("ssin_test_prom_hist_bucket{le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ssin_test_prom_hist_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ssin_test_prom_hist_count 1"), std::string::npos);
+  // The windowed counter exports its lifetime as the counter and the
+  // trailing window as a _last60s gauge; the windowed histogram adds
+  // _last60s_{count,sum,p50,p99} gauges next to the lifetime histogram.
+  EXPECT_NE(text.find("ssin_test_prom_windowed 9"), std::string::npos);
+  EXPECT_NE(text.find("ssin_test_prom_windowed_last60s 9"),
+            std::string::npos);
+  EXPECT_NE(text.find("ssin_test_prom_whist_last60s_count 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ssin_test_prom_whist_last60s_p99 "),
+            std::string::npos);
+}
+
+TEST_F(TelemetryTest, WritePrometheusTextRoundTripsThroughDisk) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ssin_telemetry_prom_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "metrics.prom").string();
+  GetCounter("test.prom_disk")->Add(1);
+  ASSERT_TRUE(telemetry::WritePrometheusText(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_EQ(CheckPrometheusText(text), "") << text;
+  EXPECT_NE(text.find("ssin_test_prom_disk 1"), std::string::npos);
+  std::filesystem::remove_all(dir);
 }
 
 // ---------------------------------------------------------------------------
